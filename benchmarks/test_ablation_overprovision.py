@@ -1,0 +1,57 @@
+"""Ablation: Eq. 5's "+2" over-provisioning margin.
+
+The paper over-provisions by two cores "to provide some margin of error in
+the estimation". This ablation sweeps the margin and shows the trade-off:
+no margin saves a little power but inflates subframe latency when the
+estimate runs short; larger margins buy nothing but watts.
+"""
+
+import numpy as np
+
+from repro.power.estimator import calibrate_from_cost_model
+from repro.power.governor import NapIdlePolicy
+from repro.power.model import PowerModel
+from repro.sim.cost import CostModel
+from repro.sim.machine import MachineSimulator, SimConfig
+from repro.uplink.parameter_model import RandomizedParameterModel
+
+SUBFRAMES = 1_200
+
+
+def run_margin(margin: int, cost, estimator):
+    # Moderate load (half the PRB budget) so the margin's effect is not
+    # swamped by peak-saturation queueing.
+    model = RandomizedParameterModel(
+        total_subframes=SUBFRAMES, seed=0, max_prb=100
+    )
+    policy = NapIdlePolicy(cost.machine.num_workers, estimator, over_provision=margin)
+    simulator = MachineSimulator(cost, policy=policy, config=SimConfig(drain_margin_s=0.2))
+    sim = simulator.run(model, num_subframes=SUBFRAMES)
+    power = PowerModel().evaluate(sim.trace, cost.machine.clock_hz)
+    return power.mean_total(), float(np.percentile(sim.subframe_latency_s, 99))
+
+
+def test_ablation_overprovision(benchmark):
+    cost = CostModel()
+    estimator = calibrate_from_cost_model(cost)
+    results = benchmark.pedantic(
+        lambda: {m: run_margin(m, cost, estimator) for m in (0, 2, 6)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Ablation — Eq. 5 over-provisioning margin (NAP+IDLE)")
+    print(f"  {'margin':>6} {'power (W)':>10} {'p99 latency (ms)':>17}")
+    for margin, (power, p99) in results.items():
+        print(f"  {margin:>6} {power:>10.2f} {p99 * 1000:>17.1f}")
+
+    p0, l0 = results[0]
+    p2, l2 = results[2]
+    p6, l6 = results[6]
+    # More margin → more power (the cost side of Eq. 5's "+2").
+    assert p0 <= p2 <= p6
+    assert p6 - p2 > 0.01
+    # The paper's +2 never worsens latency vs no margin...
+    assert l2 <= l0 * 1.2
+    # ...and going beyond +2 shows diminishing latency returns.
+    assert l6 >= l2 * 0.5

@@ -1,0 +1,47 @@
+"""Extension: estimation-driven DVFS on top of NAP+IDLE (Section VII hints
+at combining the workload estimator with DVFS; the paper does not evaluate
+it). The estimator's per-subframe activity selects a frequency/voltage
+point with Eq. 7-style lookahead; dynamic power scales by f·V².
+"""
+
+import numpy as np
+
+from repro.power.dvfs import DvfsModel
+from repro.uplink.parameter_model import RandomizedParameterModel
+
+
+def test_ext_dvfs(benchmark, power_study, num_subframes):
+    run = power_study.runs["NAP+IDLE"]
+    model = RandomizedParameterModel(total_subframes=num_subframes, seed=0)
+    estimates = np.array(
+        [
+            power_study.estimator.estimate_subframe(model.uplink_parameters(i))
+            for i in range(num_subframes)
+        ]
+    )
+
+    def apply_dvfs():
+        dvfs = DvfsModel()
+        adjusted_dynamic = dvfs.apply_to_power(
+            run.power.dynamic_w, power_study.window_s, estimates, 5e-3
+        )
+        return run.power.base_power_w + adjusted_dynamic + run.power.leakage_w
+
+    dvfs_total = benchmark.pedantic(apply_dvfs, rounds=1, iterations=1)
+    napidle = run.power.total_w
+    print()
+    print("Extension — estimation-driven DVFS on top of NAP+IDLE")
+    print(f"  NAP+IDLE mean:        {napidle.mean():.2f} W")
+    print(f"  NAP+IDLE+DVFS mean:   {dvfs_total.mean():.2f} W")
+    n = napidle.size
+    low = slice(0, max(1, n // 6))
+    print(
+        f"  low-load reduction:   {(napidle[low] - dvfs_total[low]).mean():.2f} W"
+    )
+
+    # DVFS adds savings on average, concentrated at low load...
+    assert dvfs_total.mean() < napidle.mean() - 0.3
+    assert (napidle[low] - dvfs_total[low]).mean() > (napidle - dvfs_total).mean()
+    # ...and cannot help at the saturated peak (frequency pinned at nominal).
+    peak = slice(2 * n // 5, 3 * n // 5)
+    assert (napidle[peak] - dvfs_total[peak]).mean() < 1.0

@@ -1,0 +1,46 @@
+"""Fig. 11: correlation between subframe input parameters and activity.
+
+Runs the paper's calibration procedure on the simulator — steady-state
+single-user runs per (layers, modulation) configuration over a PRB sweep —
+and checks the figure's structure: activity is linear in PRBs, slopes grow
+with layers and modulation order, and the maximum configuration reaches
+~100 % activity at 200 PRBs.
+"""
+
+import numpy as np
+
+from repro.experiments.report import format_calibration
+from repro.power.estimator import calibrate_from_simulation, fit_slope_through_origin
+
+
+def test_fig11_calibration(benchmark, cost_model):
+    estimator, sweeps = benchmark.pedantic(
+        lambda: calibrate_from_simulation(
+            cost_model,
+            prb_values=[2, 40, 80, 120, 160, 200],
+            settle_subframes=20,
+            measure_subframes=80,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_calibration(sweeps, estimator.slopes))
+
+    # Linearity: residuals of the origin-through fit are small everywhere.
+    for key, (prbs, acts) in sweeps.items():
+        k = fit_slope_through_origin(prbs, acts)
+        residual = np.abs(acts - k * prbs).max()
+        assert residual < 0.05, key
+
+    # Slope ordering across layers and modulations (the fan of 12 curves).
+    for mod in ("QPSK", "16QAM", "64QAM"):
+        ks = [estimator.slopes[(layers, mod)] for layers in (1, 2, 3, 4)]
+        assert ks == sorted(ks)
+    for layers in (1, 2, 3, 4):
+        ks = [estimator.slopes[(layers, mod)] for mod in ("QPSK", "16QAM", "64QAM")]
+        assert ks == sorted(ks)
+
+    # The calibration point: 200 PRB / 4 layers / 64-QAM ≈ full activity.
+    prbs, acts = sweeps[(4, "64QAM")]
+    assert acts[-1] > 0.9

@@ -1,0 +1,23 @@
+"""Fig. 12: measured and estimated workload averaged over one second.
+
+Paper: "The maximum error is an underestimation of 5.4 %, and the average
+error is only 1.2 %" over a run whose average workload is ~50 %.
+"""
+
+from repro.experiments.report import format_estimation
+
+
+def test_fig12_estimation(benchmark, estimation_result):
+    result = benchmark.pedantic(lambda: estimation_result, rounds=1, iterations=1)
+    print()
+    print(format_estimation(result))
+
+    # Shape: triangle with a ~50 % mean and >10 % minimum (Section VIII).
+    assert result.measured.max() > 0.9
+    assert 0.35 < result.mean_measured() < 0.65
+    assert result.measured.min() > 0.08
+
+    # Errors in the paper's band: small, dominated by underestimation.
+    assert result.mean_absolute_error() < 0.02
+    assert result.max_underestimation() < 0.06
+    assert result.max_underestimation() >= result.max_overestimation()

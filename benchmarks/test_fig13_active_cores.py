@@ -1,0 +1,29 @@
+"""Fig. 13: estimated number of active cores for every 25th subframe.
+
+Eq. 5 applied to the randomized workload: the count "changes rapidly
+throughout the duration" and spans from the +2 floor to the full machine.
+"""
+
+import numpy as np
+
+from repro.experiments.report import format_series
+
+
+def test_fig13_active_cores(benchmark, power_study):
+    history = benchmark.pedantic(
+        lambda: power_study.runs["NAP"].estimated_active_cores,
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Fig. 13 — estimated active cores (Eq. 5, every 25th subframe)")
+    sampled = history[::25]
+    print(format_series("active", np.arange(sampled.size) * 25, sampled, 16))
+    print(f"range: {history.min()}..{history.max()}")
+
+    assert history.min() >= 2  # over-provisioning floor
+    assert history.max() >= 60  # near the full 62-worker machine at peak
+    # "changes rapidly": many distinct values and frequent changes.
+    assert len(np.unique(history)) > 15
+    changes = np.count_nonzero(np.diff(history))
+    assert changes > history.size * 0.5

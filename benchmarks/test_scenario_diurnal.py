@@ -1,0 +1,65 @@
+"""Scenario bench: the diurnal cell of Section I / Section VIII.
+
+A compressed 24-hour load profile (night trough, evening rush hour) run
+under NONAP / IDLE / NAP+IDLE / PowerGating; the savings ranking must hold
+and the relative wins must exceed the 50 %-average evaluation's, because
+low-load hours dominate the day.
+"""
+
+import numpy as np
+
+from repro.power import PowerGatingModel, PowerModel, calibrate_from_cost_model, make_policy
+from repro.power.energy import energy_report
+from repro.sim import CostModel, MachineSimulator, SimConfig
+from repro.uplink.scenarios import DiurnalParameterModel
+
+SUBFRAMES = 2_400
+
+
+def test_scenario_diurnal(benchmark, power_study):
+    cost = CostModel()
+    estimator = calibrate_from_cost_model(cost)
+    model = DiurnalParameterModel(total_subframes=SUBFRAMES, seed=0)
+
+    def run_day():
+        reports = {}
+        gated = None
+        for name in ("NONAP", "IDLE", "NAP+IDLE"):
+            policy = make_policy(name, cost.machine.num_workers, estimator)
+            sim = MachineSimulator(
+                cost, policy=policy, config=SimConfig(drain_margin_s=0.0)
+            ).run(model, num_subframes=SUBFRAMES)
+            power = PowerModel().evaluate(sim.trace, cost.machine.clock_hz)
+            reports[name] = energy_report(power)
+            if name == "NAP+IDLE":
+                history = np.array(policy.active_cores_history)
+                gated = PowerGatingModel().apply_to_power(
+                    power.total_w, power.window_s, history,
+                    cost.machine.subframe_period_s,
+                )
+                reports["PowerGating"] = energy_report(gated, window_s=power.window_s)
+        return reports
+
+    reports = benchmark.pedantic(run_day, rounds=1, iterations=1)
+    print()
+    print("Diurnal day — daily energy per policy")
+    baseline = reports["NONAP"]
+    for name, report in reports.items():
+        print(
+            f"  {name:<12} {report.mean_power_w:6.2f} W  "
+            f"{report.daily_kwh:5.2f} kWh/day  "
+            f"saved {report.savings_vs(baseline) * 100:5.1f}%"
+        )
+
+    # Ranking holds over the day.
+    assert (
+        reports["NONAP"].energy_j
+        > reports["IDLE"].energy_j
+        > reports["NAP+IDLE"].energy_j
+        > reports["PowerGating"].energy_j
+    )
+    # Section VIII: relative wins exceed the 50 %-average evaluation's.
+    day_saving = reports["PowerGating"].savings_vs(baseline)
+    eval_saving = 1.0 - power_study.mean_power("PowerGating") / power_study.mean_power("NONAP")
+    assert day_saving > eval_saving
+    assert day_saving > 0.30  # >30 % of the day's energy bill

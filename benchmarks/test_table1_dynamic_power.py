@@ -1,0 +1,23 @@
+"""Table I: average power dissipation when not including base power.
+
+Paper rows: NONAP 11 W (0 %), IDLE 6.7 W (39 %), NAP 6.5 W (41 %),
+NAP+IDLE 5.9 W (46 %).
+"""
+
+from repro.experiments.report import format_table1
+
+
+def test_table1_dynamic_power(benchmark, power_study):
+    rows = benchmark.pedantic(power_study.table1, rounds=1, iterations=1)
+    print()
+    print(format_table1(power_study))
+    by_name = {name: (above, red) for name, above, red in rows}
+
+    # NONAP dynamic power ~11 W at ~50 % average activity.
+    assert abs(by_name["NONAP"][0] - 11.0) < 1.5
+    # Reductions in the paper's band and order.
+    assert 0.30 < by_name["IDLE"][1] < 0.50  # paper: 39 %
+    assert 0.30 < by_name["NAP"][1] < 0.52  # paper: 41 %
+    assert 0.36 < by_name["NAP+IDLE"][1] < 0.56  # paper: 46 %
+    assert by_name["NAP+IDLE"][1] > by_name["NAP"][1] - 1e-9
+    assert by_name["NAP+IDLE"][1] > by_name["IDLE"][1]

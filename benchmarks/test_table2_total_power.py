@@ -1,0 +1,35 @@
+"""Table II: average total power dissipation.
+
+Paper rows: NONAP 25 W, IDLE 20.7 W (-17 %), NAP 20.5 W (-18 %),
+NAP+IDLE 19.9 W (-22 %), PowerGating 18.5 W (-26 %, and -11 % vs IDLE).
+"""
+
+from repro.experiments.report import format_table2
+
+PAPER = {
+    "NONAP": 25.0,
+    "IDLE": 20.7,
+    "NAP": 20.5,
+    "NAP+IDLE": 19.9,
+    "PowerGating": 18.5,
+}
+
+
+def test_table2_total_power(benchmark, power_study):
+    rows = benchmark.pedantic(power_study.table2, rounds=1, iterations=1)
+    print()
+    print(format_table2(power_study))
+    by_name = {name: (power, vs_nonap, vs_idle) for name, power, vs_nonap, vs_idle in rows}
+
+    # Absolute watts within ~1.5 W of every paper row.
+    for name, paper_w in PAPER.items():
+        assert abs(by_name[name][0] - paper_w) < 1.5, name
+
+    # Relative structure: who wins and by roughly what factor.
+    assert by_name["IDLE"][1] < -0.10  # paper: -17 %
+    assert by_name["NAP+IDLE"][1] < by_name["NAP"][1] < -0.10
+    assert by_name["PowerGating"][1] < -0.20  # paper: -26 %
+    assert by_name["PowerGating"][2] < -0.05  # paper: -11 % vs IDLE
+    # The paper's ordering, exactly.
+    ordered = sorted(PAPER, key=lambda n: by_name[n][0], reverse=True)
+    assert ordered == ["NONAP", "IDLE", "NAP", "NAP+IDLE", "PowerGating"]

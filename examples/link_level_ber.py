@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Link-level BER study of the PHY substrate (standalone usage).
+
+Sweeps SNR for each modulation over the full TX → MIMO channel → RX chain
+(channel estimation, MMSE combining, SC-FDMA despreading, soft demapping)
+and, as the extension of DESIGN.md §5, shows the optional real turbo codec
+beating the paper's pass-through stub at low SNR.
+
+Run:  python examples/link_level_ber.py
+"""
+
+import numpy as np
+
+from repro.phy import (
+    ChannelModel,
+    Modulation,
+    TurboCodec,
+    UserAllocation,
+    process_user,
+    random_payload,
+    transmit_subframe,
+)
+
+
+def measure_ber(modulation, snr_db, codec=None, trials=3, seed=0, num_prb=16):
+    """Average BER over a few fading realizations."""
+    rng = np.random.default_rng(seed)
+    errors = 0
+    bits = 0
+    for _ in range(trials):
+        alloc = UserAllocation(num_prb=num_prb, layers=2, modulation=modulation)
+        payload = random_payload(alloc, rng, codec)
+        tx = transmit_subframe(alloc, payload, rng, codec=codec)
+        channel = ChannelModel(num_rx_antennas=4, num_taps=3, snr_db=snr_db)
+        realization = channel.realize(alloc.layers, alloc.num_subcarriers, rng)
+        received = realization.apply(tx.grid, rng)
+        result = process_user(alloc, received, codec=codec)
+        errors += int(np.count_nonzero(result.payload != payload))
+        bits += payload.size
+    return errors / bits
+
+
+def main() -> None:
+    print("BER vs SNR, 2 layers, 16 PRBs, 4 RX antennas, pass-through turbo")
+    print(f"{'SNR (dB)':>9} {'QPSK':>10} {'16QAM':>10} {'64QAM':>10}")
+    for snr in (5, 10, 15, 20, 25, 30, 35):
+        row = [measure_ber(mod, snr) for mod in
+               (Modulation.QPSK, Modulation.QAM16, Modulation.QAM64)]
+        print(f"{snr:>9} " + " ".join(f"{ber:>10.2e}" for ber in row))
+
+    print()
+    print("extension: real rate-1/3 turbo codec vs pass-through (16QAM)")
+    print(f"{'SNR (dB)':>9} {'pass-through':>13} {'turbo':>10}")
+    # Small allocation: the pure-Python BCJR decoder is the bottleneck.
+    for snr in (8, 10, 12, 14):
+        passthrough = measure_ber(Modulation.QAM16, snr, trials=1, num_prb=4)
+        turbo = measure_ber(
+            Modulation.QAM16, snr, codec=TurboCodec(iterations=4), trials=1, num_prb=4
+        )
+        print(f"{snr:>9} {passthrough:>13.2e} {turbo:>10.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e . --no-use-pep517`` works on environments whose
+setuptools/pip lack the ``wheel`` package needed for PEP 517 editable
+installs (all metadata lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

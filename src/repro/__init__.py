@@ -1,0 +1,27 @@
+"""repro — reproduction of "An LTE Uplink Receiver PHY Benchmark and
+Subframe-Based Power Management" (Själander et al., ISPASS 2012).
+
+Subpackages
+-----------
+``repro.phy``
+    LTE uplink PHY signal-processing substrate (modulation, DMRS, channel
+    estimation, MMSE combining, SC-FDMA, CRC, optional turbo codec) plus a
+    transmitter + MIMO channel to synthesize input data.
+``repro.uplink``
+    The benchmark itself: user/subframe structures, the paper's randomized
+    input parameter model, the serial reference implementation, and the
+    task decomposition of Fig. 5.
+``repro.sched``
+    Work-stealing runtime (functional, thread-based).
+``repro.sim``
+    Discrete-event TILEPro64-like multicore simulator with a calibrated
+    per-kernel cycle cost model (substitute for the paper's hardware).
+``repro.power``
+    Power model (base + per-core dynamic + thermal leakage), subframe
+    workload estimator, and the NONAP/IDLE/NAP/NAP+IDLE/PowerGating
+    resource-management policies.
+``repro.experiments``
+    Drivers that regenerate every figure and table of the evaluation.
+"""
+
+__version__ = "1.0.0"

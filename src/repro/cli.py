@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the benchmark binary and the evaluation drivers:
+
+``quickstart``
+    Decode one synthesized subframe serially and on the thread runtime,
+    verify both agree (Section IV-D).
+``workload``
+    Print the Figs. 7-9 workload-trace summary of the randomized model.
+``calibrate``
+    Run the Fig. 11 steady-state calibration and print the k_LM table.
+``estimate``
+    Run the Fig. 12 estimated-vs-measured comparison (with an ASCII plot).
+``power-study``
+    Run the Section VI study and print Tables I and II (with an ASCII
+    rendering of Fig. 16).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_scale(parser: argparse.ArgumentParser, default: int) -> None:
+    parser.add_argument(
+        "--subframes",
+        type=int,
+        default=default,
+        help=f"evaluation length in subframes (default {default}; paper: 68000)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LTE Uplink Receiver PHY benchmark & power-management reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quick = sub.add_parser("quickstart", help="decode one subframe, verify runtimes")
+    quick.add_argument("--workers", type=int, default=4)
+    quick.add_argument("--seed", type=int, default=42)
+
+    workload = sub.add_parser("workload", help="Figs. 7-9 workload summary")
+    _add_scale(workload, 6_800)
+    workload.add_argument("--stride", type=int, default=25)
+
+    calibrate = sub.add_parser("calibrate", help="Fig. 11 k_LM calibration")
+    calibrate.add_argument(
+        "--points", type=int, default=5, help="PRB sweep points per configuration"
+    )
+
+    estimate = sub.add_parser("estimate", help="Fig. 12 estimated vs measured")
+    _add_scale(estimate, 2_000)
+
+    study = sub.add_parser("power-study", help="Tables I-II, Figs. 13-16")
+    _add_scale(study, 2_000)
+
+    report = sub.add_parser(
+        "report", help="run every experiment, emit a JSON paper-vs-measured report"
+    )
+    _add_scale(report, 2_000)
+    report.add_argument(
+        "--output", default="reproduction_report.json", help="output JSON path"
+    )
+    return parser
+
+
+def cmd_quickstart(args) -> int:
+    import numpy as np
+
+    from .phy import Modulation
+    from .sched import ThreadedRuntime
+    from .uplink import (
+        SubframeFactory,
+        UserParameters,
+        process_subframe_serial,
+        verify_against_serial,
+    )
+
+    users = [
+        UserParameters(0, 8, 1, Modulation.QPSK),
+        UserParameters(1, 16, 2, Modulation.QAM16),
+    ]
+    subframe = SubframeFactory(seed=args.seed).synthesize(users, 0)
+    serial = process_subframe_serial(subframe)
+    for result in serial.user_results:
+        expected = subframe.expected_payloads[result.user_id]
+        print(
+            f"user {result.user_id}: CRC {'OK' if result.crc_ok else 'FAIL'}, "
+            f"{expected.size} bits, errors "
+            f"{int(np.count_nonzero(result.payload != expected))}"
+        )
+    parallel = ThreadedRuntime(num_workers=args.workers).run([subframe])
+    report = verify_against_serial([serial], parallel)
+    print(report)
+    return 0 if report.passed else 1
+
+
+def cmd_workload(args) -> int:
+    from .experiments import collect_workload_trace, format_workload_summary
+    from .uplink import RandomizedParameterModel
+
+    model = RandomizedParameterModel(total_subframes=args.subframes, seed=args.seed)
+    trace = collect_workload_trace(model, stride=args.stride)
+    print(format_workload_summary(trace))
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    import numpy as np
+
+    from .experiments import format_calibration
+    from .power import calibrate_from_simulation
+    from .sim import CostModel
+
+    prb_values = [int(p) for p in np.linspace(2, 200, max(2, args.points))]
+    prb_values = sorted({p - p % 2 or 2 for p in prb_values})
+    estimator, sweeps = calibrate_from_simulation(CostModel(), prb_values=prb_values)
+    print(format_calibration(sweeps, estimator.slopes))
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    from .experiments import format_estimation, run_estimation_experiment
+    from .experiments.asciiplot import render_series
+
+    result = run_estimation_experiment(num_subframes=args.subframes, seed=args.seed)
+    print(
+        render_series(
+            {
+                "measured": (result.times_s, result.measured),
+                "estimated": (result.times_s, result.estimated),
+            },
+            title="Fig. 12 — activity over time",
+            y_min=0.0,
+            y_max=1.0,
+        )
+    )
+    print()
+    print(format_estimation(result))
+    return 0
+
+
+def cmd_power_study(args) -> int:
+    from .experiments import format_table1, format_table2, run_power_study
+    from .experiments.asciiplot import render_series
+
+    study = run_power_study(num_subframes=args.subframes, seed=args.seed)
+    times = study.runs["NONAP"].power.times_s
+    print(
+        render_series(
+            {
+                "NONAP": (times, study.runs["NONAP"].power.total_w),
+                "IDLE": (times, study.runs["IDLE"].power.total_w),
+                "NAP+IDLE": (times, study.runs["NAP+IDLE"].power.total_w),
+                "PowerGating": (times, study.gated_power_w),
+            },
+            title="Fig. 16 — power over time (W)",
+        )
+    )
+    print()
+    print(format_table1(study))
+    print()
+    print(format_table2(study))
+    return 0
+
+
+def cmd_report(args) -> int:
+    import json
+
+    from .experiments import run_full_reproduction, write_report
+
+    report = run_full_reproduction(num_subframes=args.subframes, seed=args.seed)
+    path = write_report(report, args.output)
+    print(json.dumps(report["shape_checks"], indent=2))
+    print(f"full report written to {path}")
+    return 0 if all(report["shape_checks"].values()) else 1
+
+
+_COMMANDS = {
+    "quickstart": cmd_quickstart,
+    "workload": cmd_workload,
+    "calibrate": cmd_calibrate,
+    "estimate": cmd_estimate,
+    "power-study": cmd_power_study,
+    "report": cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

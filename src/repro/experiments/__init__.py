@@ -1,0 +1,42 @@
+"""Experiment drivers that regenerate every figure and table of the
+paper's evaluation (see DESIGN.md §4 for the experiment index).
+"""
+
+from .asciiplot import render_series
+from .estimation import EstimationResult, run_estimation_experiment
+from .latency import IN_FLIGHT_BOUND, DeadlineReport, deadline_report
+from .power_study import PolicyRun, PowerStudyResult, run_power_study
+from .runner import PAPER_VALUES, run_full_reproduction, write_report
+from .report import (
+    format_calibration,
+    format_estimation,
+    format_series,
+    format_table1,
+    format_table2,
+    format_workload_summary,
+)
+from .workload import PAPER_PLOT_STRIDE, WorkloadTrace, collect_workload_trace
+
+__all__ = [
+    "render_series",
+    "IN_FLIGHT_BOUND",
+    "DeadlineReport",
+    "deadline_report",
+    "EstimationResult",
+    "run_estimation_experiment",
+    "PAPER_VALUES",
+    "run_full_reproduction",
+    "write_report",
+    "PolicyRun",
+    "PowerStudyResult",
+    "run_power_study",
+    "format_calibration",
+    "format_estimation",
+    "format_series",
+    "format_table1",
+    "format_table2",
+    "format_workload_summary",
+    "PAPER_PLOT_STRIDE",
+    "WorkloadTrace",
+    "collect_workload_trace",
+]

@@ -1,0 +1,93 @@
+"""Terminal rendering of the reproduced figures.
+
+matplotlib is not a dependency of this library; the evaluation figures are
+line/scatter plots that render perfectly well as character grids, which
+also makes them diffable in CI logs. Used by the examples and the
+benchmark harness to show Figs. 12-16 next to their statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_series", "MARKERS"]
+
+#: Per-series markers, assigned in insertion order.
+MARKERS = "*o+x#@%&"
+
+
+def render_series(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render named (x, y) series on one shared-axes character grid.
+
+    Later series draw over earlier ones where they collide. Returns a
+    multi-line string including a y-axis scale and a legend.
+    """
+    if not series:
+        raise ValueError("series must not be empty")
+    if width < 16 or height < 4:
+        raise ValueError("width must be >= 16 and height >= 4")
+    if len(series) > len(MARKERS):
+        raise ValueError(f"at most {len(MARKERS)} series supported")
+
+    cleaned: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=np.float64).reshape(-1)
+        ys = np.asarray(ys, dtype=np.float64).reshape(-1)
+        if xs.size != ys.size or xs.size == 0:
+            raise ValueError(f"series {name!r} must have matching non-empty x/y")
+        cleaned[name] = (xs, ys)
+
+    all_x = np.concatenate([xs for xs, _ in cleaned.values()])
+    all_y = np.concatenate([ys for _, ys in cleaned.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo = float(all_y.min()) if y_min is None else y_min
+    y_hi = float(all_y.max()) if y_max is None else y_max
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, (xs, ys)) in zip(MARKERS, cleaned.items()):
+        cols = np.clip(
+            ((xs - x_lo) / (x_hi - x_lo) * (width - 1)).round().astype(int), 0, width - 1
+        )
+        rows = np.clip(
+            ((ys - y_lo) / (y_hi - y_lo) * (height - 1)).round().astype(int),
+            0,
+            height - 1,
+        )
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_hi:.3g}"), len(f"{y_lo:.3g}"))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:.3g}"
+        elif i == height - 1:
+            label = f"{y_lo:.3g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  {x_lo:.3g}"
+        + " " * max(1, width - len(f"{x_lo:.3g}") - len(f"{x_hi:.3g}") - 2)
+        + f"{x_hi:.3g}"
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, cleaned)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)

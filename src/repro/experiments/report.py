@@ -1,0 +1,108 @@
+"""Plain-text rendering of the reproduced figures and tables.
+
+The benchmark harness prints the same rows/series the paper reports, so a
+run's output can be compared against the published numbers side by side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .estimation import EstimationResult
+from .power_study import PowerStudyResult
+from .workload import WorkloadTrace
+
+__all__ = [
+    "format_table1",
+    "format_table2",
+    "format_workload_summary",
+    "format_estimation",
+    "format_series",
+    "format_calibration",
+]
+
+
+def format_series(name: str, xs, ys, max_points: int = 12) -> str:
+    """One downsampled "series" line for a figure."""
+    xs = np.asarray(xs)
+    ys = np.asarray(ys)
+    if xs.size == 0:
+        return f"{name}: (empty)"
+    idx = np.linspace(0, xs.size - 1, min(max_points, xs.size)).astype(int)
+    pairs = " ".join(f"({xs[i]:g},{ys[i]:.3g})" for i in idx)
+    return f"{name}: {pairs}"
+
+
+def format_workload_summary(trace: WorkloadTrace) -> str:
+    """Figs. 7-9 envelope (users, PRBs, layers) as a text block."""
+    s = trace.summary()
+    lines = [
+        "Fig. 7-9 workload trace summary",
+        f"  users per subframe:      {s['users_min']:.0f} .. {s['users_max']:.0f}",
+        f"  total PRBs (max):        {s['total_prb_max']:.0f}",
+        f"  per-user PRBs:           {s['per_user_prb_min']:.0f} .. {s['per_user_prb_max']:.0f}",
+        f"  layers:                  {s['layers_min']:.0f} .. {s['layers_max']:.0f}",
+    ]
+    return "\n".join(lines)
+
+
+def format_estimation(result: EstimationResult) -> str:
+    """Fig. 12 series and error statistics, with the paper's numbers."""
+    lines = [
+        "Fig. 12 estimated vs measured activity",
+        format_series("  measured ", result.times_s, result.measured),
+        format_series("  estimated", result.times_s, result.estimated),
+        f"  mean measured activity:  {result.mean_measured():.3f}",
+        f"  max underestimation:     {result.max_underestimation() * 100:.1f}%  (paper: 5.4%)",
+        f"  mean absolute error:     {result.mean_absolute_error() * 100:.1f}%  (paper: 1.2%)",
+    ]
+    return "\n".join(lines)
+
+
+def format_table1(study: PowerStudyResult) -> str:
+    """Table I (power above base) side by side with the paper's rows."""
+    paper ={"NONAP": (11.0, 0.0), "IDLE": (6.7, 0.39), "NAP": (6.5, 0.41), "NAP+IDLE": (5.9, 0.46)}
+    lines = [
+        "Table I: average power dissipation when not including base power",
+        f"  {'Technique':<10} {'Power (W)':>10} {'Reduction':>10}   {'paper W':>8} {'paper red.':>10}",
+    ]
+    for name, above, reduction in study.table1():
+        pw, pr = paper.get(name, (float('nan'), float('nan')))
+        lines.append(
+            f"  {name:<10} {above:>10.1f} {reduction * 100:>9.0f}%   {pw:>8.1f} {pr * 100:>9.0f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(study: PowerStudyResult) -> str:
+    """Table II (total power + relative columns) next to the paper's."""
+    paper = {
+        "NONAP": (25.0, 0.0, 0.21),
+        "IDLE": (20.7, -0.17, 0.0),
+        "NAP": (20.5, -0.18, -0.01),
+        "NAP+IDLE": (19.9, -0.22, -0.04),
+        "PowerGating": (18.5, -0.26, -0.11),
+    }
+    lines = [
+        "Table II: average total power dissipation",
+        f"  {'Technique':<12} {'Power (W)':>10} {'vs NONAP':>9} {'vs IDLE':>8}   {'paper W':>8} {'paper vs NONAP':>14}",
+    ]
+    for name, power, vs_nonap, vs_idle in study.table2():
+        pw, pn, _ = paper[name]
+        lines.append(
+            f"  {name:<12} {power:>10.1f} {vs_nonap * 100:>8.0f}% {vs_idle * 100:>7.0f}%   "
+            f"{pw:>8.1f} {pn * 100:>13.0f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_calibration(sweeps: dict, slopes: dict) -> str:
+    """Fig. 11: activity-vs-PRB sweep per (layers, modulation) config."""
+    lines = ["Fig. 11 activity vs PRBs (slope k_LM per configuration)"]
+    for (layers, modulation), (prbs, acts) in sorted(sweeps.items()):
+        k = slopes[(layers, modulation)]
+        lines.append(
+            f"  {modulation:>5} {layers}L: k={k:.6f}  "
+            + format_series("sweep", prbs, acts, max_points=6)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""One-shot reproduction runner: every experiment, one machine-readable
+report.
+
+``run_full_reproduction`` executes the whole evaluation (workload traces,
+Fig. 12 estimation, the four-policy power study with gating) at a chosen
+scale and returns a JSON-serializable dict pairing each measured quantity
+with the paper's published value — the data behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..power.estimator import calibrate_from_cost_model
+from ..sim.cost import CostModel
+from ..uplink.parameter_model import RandomizedParameterModel
+from .estimation import run_estimation_experiment
+from .power_study import run_power_study
+from .workload import collect_workload_trace
+
+__all__ = ["PAPER_VALUES", "run_full_reproduction", "write_report"]
+
+#: The paper's published numbers, keyed like the report.
+PAPER_VALUES = {
+    "table2_total_power_w": {
+        "NONAP": 25.0,
+        "IDLE": 20.7,
+        "NAP": 20.5,
+        "NAP+IDLE": 19.9,
+        "PowerGating": 18.5,
+    },
+    "table1_power_above_base_w": {
+        "NONAP": 11.0,
+        "IDLE": 6.7,
+        "NAP": 6.5,
+        "NAP+IDLE": 5.9,
+    },
+    "fig12_max_underestimation": 0.054,
+    "fig12_mean_abs_error": 0.012,
+    "fig12_mean_activity": 0.5,
+    "fig14_low_load_gap_w": 6.5,  # "6-7 W"
+    "fig14_peak_gap_w": 1.0,  # "almost 1 W"
+}
+
+
+def run_full_reproduction(
+    num_subframes: int = 4_000, seed: int = 0
+) -> dict:
+    """Run everything; returns the paper-vs-measured report dict."""
+    cost = CostModel()
+    estimator = calibrate_from_cost_model(cost)
+    model = RandomizedParameterModel(total_subframes=num_subframes, seed=seed)
+
+    workload = collect_workload_trace(model)
+    estimation = run_estimation_experiment(
+        num_subframes=num_subframes, seed=seed, cost=cost, estimator=estimator
+    )
+    study = run_power_study(
+        num_subframes=num_subframes, seed=seed, cost=cost, estimator=estimator
+    )
+
+    nonap = study.runs["NONAP"].power.total_w
+    nap = study.runs["NAP"].power.total_w
+    gap = nonap - nap
+    n = gap.size
+    low_gap = float(gap[: max(1, n // 6)].mean())
+    peak_gap = float(gap[2 * n // 5 : 3 * n // 5].mean())
+
+    report = {
+        "scale": {
+            "num_subframes": num_subframes,
+            "seed": seed,
+            "paper_num_subframes": 68_000,
+        },
+        "workload": workload.summary(),
+        "fig12": {
+            "mean_activity": estimation.mean_measured(),
+            "max_underestimation": estimation.max_underestimation(),
+            "mean_abs_error": estimation.mean_absolute_error(),
+            "paper_max_underestimation": PAPER_VALUES["fig12_max_underestimation"],
+            "paper_mean_abs_error": PAPER_VALUES["fig12_mean_abs_error"],
+        },
+        "fig13": {
+            "active_cores_min": int(study.runs["NAP"].estimated_active_cores.min()),
+            "active_cores_max": int(study.runs["NAP"].estimated_active_cores.max()),
+        },
+        "fig14": {
+            "low_load_gap_w": low_gap,
+            "peak_gap_w": peak_gap,
+            "paper_low_load_gap_w": PAPER_VALUES["fig14_low_load_gap_w"],
+            "paper_peak_gap_w": PAPER_VALUES["fig14_peak_gap_w"],
+        },
+        "table1": {
+            name: {
+                "power_above_base_w": above,
+                "reduction": reduction,
+                "paper_w": PAPER_VALUES["table1_power_above_base_w"][name],
+            }
+            for name, above, reduction in study.table1()
+        },
+        "table2": {
+            name: {
+                "total_power_w": power,
+                "vs_nonap": vs_nonap,
+                "vs_idle": vs_idle,
+                "paper_w": PAPER_VALUES["table2_total_power_w"][name],
+            }
+            for name, power, vs_nonap, vs_idle in study.table2()
+        },
+    }
+    report["shape_checks"] = _shape_checks(report)
+    return report
+
+
+def _shape_checks(report: dict) -> dict:
+    """The pass/fail shape criteria of DESIGN.md §4."""
+    table2 = {name: row["total_power_w"] for name, row in report["table2"].items()}
+    ordering = sorted(table2, key=table2.get, reverse=True)
+    return {
+        "policy_ordering": ordering
+        == ["NONAP", "IDLE", "NAP", "NAP+IDLE", "PowerGating"],
+        "estimation_underestimates": report["fig12"]["max_underestimation"]
+        >= 0.0,
+        "estimation_error_small": report["fig12"]["mean_abs_error"] < 0.03,
+        "nap_wins_most_at_low_load": report["fig14"]["low_load_gap_w"]
+        > report["fig14"]["peak_gap_w"],
+        "all_within_1p5w_of_paper": all(
+            abs(row["total_power_w"] - row["paper_w"]) < 1.5
+            for row in report["table2"].values()
+        ),
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Serialize the report to JSON (numpy scalars converted)."""
+    path = Path(path)
+
+    def default(value):
+        if isinstance(value, (np.integer,)):
+            return int(value)
+        if isinstance(value, (np.floating,)):
+            return float(value)
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        raise TypeError(f"not JSON-serializable: {type(value)}")
+
+    path.write_text(json.dumps(report, indent=2, default=default))
+    return path

@@ -1,0 +1,209 @@
+"""MIMO uplink radio channel model.
+
+Each (receive-antenna, layer) path is a frequency-selective Rayleigh
+channel realized as a tapped delay line: a handful of complex Gaussian taps
+with an exponentially decaying power profile whose FFT gives the
+frequency response across the user's allocated subcarriers. The channel is
+block-fading: constant over one subframe, newly drawn per subframe, which
+matches the paper's once-per-slot channel-estimation structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ChannelRealization", "ChannelModel", "awgn"]
+
+
+@dataclass(frozen=True)
+class ChannelRealization:
+    """One subframe's channel between a user and the base station.
+
+    Attributes
+    ----------
+    response:
+        Complex frequency response with shape
+        ``(num_rx_antennas, num_layers, num_subcarriers)``.
+        This is the *first slot's* channel; with a mobile user the second
+        slot's channel (``slot_responses[1]``) differs.
+    noise_variance:
+        Variance of the complex AWGN added at each receive antenna.
+    slot_responses:
+        Optional per-slot responses, shape ``(2, antennas, layers,
+        subcarriers)``. When absent the channel is block-fading over the
+        whole subframe (the default), i.e. both slots see ``response``.
+    """
+
+    response: np.ndarray
+    noise_variance: float
+    slot_responses: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.response.ndim != 3:
+            raise ValueError("response must be (antennas, layers, subcarriers)")
+        if self.noise_variance < 0:
+            raise ValueError("noise_variance must be >= 0")
+        if self.slot_responses is not None:
+            expected = (2, *self.response.shape)
+            if self.slot_responses.shape != expected:
+                raise ValueError(
+                    f"slot_responses must have shape {expected}, "
+                    f"got {self.slot_responses.shape}"
+                )
+
+    @property
+    def num_rx_antennas(self) -> int:
+        return self.response.shape[0]
+
+    @property
+    def num_layers(self) -> int:
+        return self.response.shape[1]
+
+    @property
+    def num_subcarriers(self) -> int:
+        return self.response.shape[2]
+
+    def response_for_slot(self, slot: int) -> np.ndarray:
+        """The channel in force during one of the subframe's two slots."""
+        if not 0 <= slot < 2:
+            raise ValueError("slot must be 0 or 1")
+        if self.slot_responses is None:
+            return self.response
+        return self.slot_responses[slot]
+
+    def apply(self, tx_grid: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Pass a transmitted grid through the channel and add noise.
+
+        Parameters
+        ----------
+        tx_grid:
+            Transmitted symbols, shape ``(num_layers, num_symbols,
+            num_subcarriers)``. Symbols 0-6 see the first slot's channel,
+            symbols 7-13 the second's.
+        rng:
+            Noise source.
+
+        Returns
+        -------
+        numpy.ndarray
+            Received grid, shape ``(num_rx_antennas, num_symbols,
+            num_subcarriers)``.
+        """
+        tx_grid = np.asarray(tx_grid, dtype=np.complex128)
+        if tx_grid.shape[0] != self.num_layers:
+            raise ValueError(
+                f"tx grid has {tx_grid.shape[0]} layers, channel has {self.num_layers}"
+            )
+        if tx_grid.shape[2] != self.num_subcarriers:
+            raise ValueError("tx grid subcarrier count does not match channel")
+        num_symbols = tx_grid.shape[1]
+        half = (num_symbols + 1) // 2
+        # rx[a, s, k] = sum_l H_slot(s)[a, l, k] * tx[l, s, k]
+        rx = np.empty(
+            (self.num_rx_antennas, num_symbols, self.num_subcarriers),
+            dtype=np.complex128,
+        )
+        rx[:, :half, :] = np.einsum(
+            "alk,lsk->ask", self.response_for_slot(0), tx_grid[:, :half, :]
+        )
+        if num_symbols > half:
+            rx[:, half:, :] = np.einsum(
+                "alk,lsk->ask", self.response_for_slot(1), tx_grid[:, half:, :]
+            )
+        return awgn(rx, self.noise_variance, rng)
+
+
+class ChannelModel:
+    """Draws per-subframe :class:`ChannelRealization` objects.
+
+    Parameters
+    ----------
+    num_rx_antennas:
+        Receive antennas at the base station.
+    num_taps:
+        Taps of the delay line (1 = flat fading).
+    delay_spread_decay:
+        Per-tap exponential power decay factor in (0, 1].
+    snr_db:
+        Average per-antenna SNR in dB, assuming unit-energy transmit
+        symbols per layer.
+    """
+
+    def __init__(
+        self,
+        num_rx_antennas: int = 4,
+        num_taps: int = 4,
+        delay_spread_decay: float = 0.5,
+        snr_db: float = 30.0,
+        slot_correlation: float = 1.0,
+    ) -> None:
+        if num_rx_antennas < 1:
+            raise ValueError("num_rx_antennas must be >= 1")
+        if num_taps < 1:
+            raise ValueError("num_taps must be >= 1")
+        if not 0.0 < delay_spread_decay <= 1.0:
+            raise ValueError("delay_spread_decay must be in (0, 1]")
+        if not 0.0 <= slot_correlation <= 1.0:
+            raise ValueError("slot_correlation must be in [0, 1]")
+        self.num_rx_antennas = num_rx_antennas
+        self.num_taps = num_taps
+        self.delay_spread_decay = delay_spread_decay
+        self.snr_db = snr_db
+        #: Gauss-Markov correlation between the two slots' fading (1.0 =
+        #: block fading over the subframe; < 1 models user mobility, which
+        #: is why channel estimation runs once per slot).
+        self.slot_correlation = slot_correlation
+        profile = delay_spread_decay ** np.arange(num_taps)
+        self._tap_powers = profile / profile.sum()
+
+    def noise_variance(self) -> float:
+        """Complex noise variance corresponding to the configured SNR."""
+        return float(10.0 ** (-self.snr_db / 10.0))
+
+    def realize(
+        self, num_layers: int, num_subcarriers: int, rng: np.random.Generator
+    ) -> ChannelRealization:
+        """Draw one block-fading realization."""
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if num_subcarriers < 1:
+            raise ValueError("num_subcarriers must be >= 1")
+        shape = (self.num_rx_antennas, num_layers, self.num_taps)
+        taps = (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)) / np.sqrt(2.0)
+        taps *= np.sqrt(self._tap_powers)
+        # Frequency response across the allocation: DFT of the tap vector.
+        k = np.arange(num_subcarriers)
+        d = np.arange(self.num_taps)
+        # Delay taps are spaced at the subcarrier grid's fundamental period
+        # relative to a nominal 2048-point symbol, keeping the channel
+        # smooth across a PRB (realistic delay spread).
+        phase = np.exp(-2j * np.pi * np.outer(k, d) / 2048.0)
+        response = np.einsum("ald,kd->alk", taps, phase)
+        slot_responses = None
+        if self.slot_correlation < 1.0:
+            rho = self.slot_correlation
+            innovation = (
+                rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+            ) / np.sqrt(2.0)
+            innovation *= np.sqrt(self._tap_powers)
+            taps_slot1 = rho * taps + np.sqrt(1.0 - rho * rho) * innovation
+            response_slot1 = np.einsum("ald,kd->alk", taps_slot1, phase)
+            slot_responses = np.stack([response, response_slot1])
+        return ChannelRealization(
+            response=response,
+            noise_variance=self.noise_variance(),
+            slot_responses=slot_responses,
+        )
+
+
+def awgn(signal: np.ndarray, noise_variance: float, rng: np.random.Generator) -> np.ndarray:
+    """Add circularly symmetric complex Gaussian noise."""
+    if noise_variance < 0:
+        raise ValueError("noise_variance must be >= 0")
+    signal = np.asarray(signal, dtype=np.complex128)
+    if noise_variance == 0:
+        return signal.copy()
+    noise = rng.standard_normal(signal.shape) + 1j * rng.standard_normal(signal.shape)
+    return signal + noise * np.sqrt(noise_variance / 2.0)

@@ -1,0 +1,101 @@
+"""Combiner-weight computation and antenna combining.
+
+After channel estimation the receiver computes, per subcarrier, weights
+that merge the antennas and undo the channel (Fig. 3's "combiner weight
+calculation" and "antenna combining"). MMSE weights are the default; MRC
+is available for the single-layer case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mmse_combiner_weights",
+    "mrc_combiner_weights",
+    "combine_antennas",
+    "post_combining_noise_variance",
+]
+
+
+def mmse_combiner_weights(
+    channel: np.ndarray, noise_variance: float
+) -> np.ndarray:
+    """Per-subcarrier MMSE weights.
+
+    Parameters
+    ----------
+    channel:
+        Channel estimates, shape ``(antennas, layers, subcarriers)``.
+    noise_variance:
+        Per-antenna complex noise variance (regularization term).
+
+    Returns
+    -------
+    numpy.ndarray
+        Weights ``W`` with shape ``(layers, antennas, subcarriers)`` such
+        that ``x_hat[l, k] = Σ_a W[l, a, k] · y[a, k]``.
+    """
+    channel = np.asarray(channel, dtype=np.complex128)
+    if channel.ndim != 3:
+        raise ValueError("channel must be (antennas, layers, subcarriers)")
+    if noise_variance < 0:
+        raise ValueError("noise_variance must be >= 0")
+    num_antennas, num_layers, num_sc = channel.shape
+    if num_layers > num_antennas:
+        raise ValueError("cannot separate more layers than antennas")
+    # Per-subcarrier H: (subcarriers, antennas, layers).
+    h = np.moveaxis(channel, 2, 0)
+    hh = np.conj(np.swapaxes(h, 1, 2))  # (sc, layers, antennas)
+    gram = hh @ h  # (sc, layers, layers)
+    reg = gram + (noise_variance + 1e-12) * np.eye(num_layers)[None, :, :]
+    weights = np.linalg.solve(reg, hh)  # (sc, layers, antennas)
+    return np.moveaxis(weights, 0, 2)  # (layers, antennas, sc)
+
+
+def mrc_combiner_weights(channel: np.ndarray) -> np.ndarray:
+    """Maximum-ratio combining weights (single layer only)."""
+    channel = np.asarray(channel, dtype=np.complex128)
+    if channel.ndim != 3 or channel.shape[1] != 1:
+        raise ValueError("MRC requires exactly one layer")
+    h = channel[:, 0, :]  # (antennas, sc)
+    norm = np.sum(np.abs(h) ** 2, axis=0)
+    norm = np.where(norm > 0, norm, 1.0)
+    weights = np.conj(h) / norm  # (antennas, sc)
+    return weights[None, :, :]  # (1, antennas, sc)
+
+
+def combine_antennas(received: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Merge per-antenna data into per-layer estimates.
+
+    Parameters
+    ----------
+    received:
+        Received grid slice, shape ``(antennas, symbols, subcarriers)``.
+    weights:
+        Combiner weights, shape ``(layers, antennas, subcarriers)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Layer estimates, shape ``(layers, symbols, subcarriers)``.
+    """
+    received = np.asarray(received, dtype=np.complex128)
+    weights = np.asarray(weights, dtype=np.complex128)
+    if received.shape[0] != weights.shape[1]:
+        raise ValueError("antenna count mismatch between data and weights")
+    if received.shape[2] != weights.shape[2]:
+        raise ValueError("subcarrier count mismatch between data and weights")
+    return np.einsum("lak,ask->lsk", weights, received)
+
+
+def post_combining_noise_variance(
+    weights: np.ndarray, noise_variance: float
+) -> np.ndarray:
+    """Effective noise variance after combining, per (layer, subcarrier).
+
+    ``σ_eff²[l, k] = σ² · Σ_a |W[l, a, k]|²`` — the quantity the soft
+    demapper needs to scale its LLRs.
+    """
+    weights = np.asarray(weights, dtype=np.complex128)
+    return noise_variance * np.sum(np.abs(weights) ** 2, axis=1)

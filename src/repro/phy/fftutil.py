@@ -1,0 +1,143 @@
+"""FFT helpers for the channel-estimation chain.
+
+The paper's channel estimator transforms the matched-filter output to the
+time domain (IFFT), applies a window that keeps only the span where the
+channel's impulse response can live, and transforms back (FFT). This module
+provides those primitives plus a self-contained radix-2 FFT used by the
+test suite to cross-check numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_power_of_two",
+    "next_power_of_two",
+    "fft_radix2",
+    "ifft_radix2",
+    "time_domain_window",
+    "wraparound_window",
+    "denoise_time_domain",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two greater than or equal to ``n``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return 1 << (n - 1).bit_length()
+
+
+def fft_radix2(x: np.ndarray) -> np.ndarray:
+    """Iterative radix-2 decimation-in-time FFT.
+
+    A reference implementation (O(n log n), power-of-two lengths only) used
+    to validate that the numpy transforms the library relies on agree with
+    an independent implementation.
+    """
+    x = np.asarray(x, dtype=np.complex128).reshape(-1).copy()
+    n = x.size
+    if not is_power_of_two(n):
+        raise ValueError("radix-2 FFT requires a power-of-two length")
+    # Bit-reversal permutation.
+    levels = n.bit_length() - 1
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for bit in range(levels):
+        reversed_indices |= ((indices >> bit) & 1) << (levels - 1 - bit)
+    x = x[reversed_indices]
+    # Butterflies.
+    size = 2
+    while size <= n:
+        half = size // 2
+        twiddle = np.exp(-2j * np.pi * np.arange(half) / size)
+        x = x.reshape(-1, size)
+        even = x[:, :half]
+        odd = x[:, half:] * twiddle
+        x = np.concatenate([even + odd, even - odd], axis=1).reshape(-1)
+        size *= 2
+    return x
+
+
+def ifft_radix2(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`fft_radix2` (1/n normalization)."""
+    x = np.asarray(x, dtype=np.complex128).reshape(-1)
+    return np.conj(fft_radix2(np.conj(x))) / x.size
+
+
+def time_domain_window(length: int, keep: int, taper: int = 0) -> np.ndarray:
+    """Window that keeps the first ``keep`` time-domain samples.
+
+    The channel impulse response of an allocation occupies only a small
+    leading span of the IFFT output (delay spread ≪ symbol length), so the
+    estimator zeroes everything else; an optional raised-cosine taper of
+    ``taper`` samples softens the edge to limit spectral leakage.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    if not 0 < keep <= length:
+        raise ValueError("keep must be in (0, length]")
+    if taper < 0 or keep + taper > length:
+        raise ValueError("taper out of range")
+    window = np.zeros(length, dtype=np.float64)
+    window[:keep] = 1.0
+    if taper:
+        ramp = 0.5 * (1.0 + np.cos(np.pi * (np.arange(1, taper + 1)) / (taper + 1)))
+        window[keep : keep + taper] = ramp
+    return window
+
+
+def wraparound_window(
+    length: int, keep_front: int, keep_back: int, taper: int = 0
+) -> np.ndarray:
+    """Window keeping ``[0, keep_front)`` plus the wrapped ``[-keep_back, 0)``.
+
+    A channel impulse response with fractional delay has energy on both
+    sides of delay zero; the negative-delay half wraps to the end of the
+    IFFT buffer, so a one-sided window would discard half the main lobe.
+    """
+    if keep_back < 0 or keep_front + keep_back > length:
+        raise ValueError("keep_front + keep_back must fit in length")
+    window = time_domain_window(length, keep_front, taper)
+    if keep_back:
+        window[-keep_back:] = 1.0
+    return window
+
+
+def denoise_time_domain(
+    freq_response: np.ndarray, keep_fraction: float = 0.125, taper_fraction: float = 0.0
+) -> np.ndarray:
+    """IFFT → window → FFT denoising of a raw frequency response.
+
+    This is the paper's three-kernel tail of channel estimation. The raw
+    per-subcarrier estimate from the matched filter is noisy; confining the
+    impulse response to its physically plausible leading span averages the
+    noise down without biasing the channel estimate.
+
+    Parameters
+    ----------
+    freq_response:
+        Raw frequency-domain channel estimate (1-D).
+    keep_fraction:
+        Fraction of time-domain samples retained.
+    taper_fraction:
+        Fraction of samples used for the raised-cosine edge.
+    """
+    freq_response = np.asarray(freq_response, dtype=np.complex128).reshape(-1)
+    n = freq_response.size
+    if n < 2:
+        raise ValueError("frequency response must have at least 2 samples")
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    keep = max(1, int(round(keep_fraction * n)))
+    taper = int(round(taper_fraction * n))
+    taper = min(taper, n - keep)
+    impulse = np.fft.ifft(freq_response)
+    impulse *= time_domain_window(n, keep, taper)
+    return np.fft.fft(impulse)

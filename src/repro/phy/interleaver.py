@@ -1,0 +1,63 @@
+"""Channel interleaving / deinterleaving.
+
+A row-column block interleaver in the spirit of the LTE PUSCH channel
+interleaver (TS 36.212 §5.2.2.8): bits are written row-wise into a matrix
+with a fixed number of columns, the columns are permuted, and bits are read
+column-wise. The receiver chain applies the inverse after antenna combining,
+as in the paper's Fig. 3 ("deinterleaver").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "NUM_COLUMNS",
+    "COLUMN_PERMUTATION",
+    "interleave",
+    "deinterleave",
+    "interleave_indices",
+]
+
+#: Number of interleaver columns (LTE's sub-block interleaver uses 32).
+NUM_COLUMNS = 32
+
+#: TS 36.212 Table 5.1.4-1 inter-column permutation pattern.
+COLUMN_PERMUTATION = np.array(
+    [
+        0, 16, 8, 24, 4, 20, 12, 28, 2, 18, 10, 26, 6, 22, 14, 30,
+        1, 17, 9, 25, 5, 21, 13, 29, 3, 19, 11, 27, 7, 23, 15, 31,
+    ],
+    dtype=np.int64,
+)
+
+
+def interleave_indices(length: int) -> np.ndarray:
+    """Permutation ``p`` such that ``out[i] = in[p[i]]`` interleaves.
+
+    Dummy positions created by padding the matrix to a whole number of rows
+    are pruned, so the permutation is exact for any length.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    rows = -(-length // NUM_COLUMNS)  # ceil division
+    padded = rows * NUM_COLUMNS
+    matrix = np.arange(padded).reshape(rows, NUM_COLUMNS)
+    permuted = matrix[:, COLUMN_PERMUTATION]
+    read_out = permuted.T.reshape(-1)
+    return read_out[read_out < length]
+
+
+def interleave(values: np.ndarray) -> np.ndarray:
+    """Interleave a 1-D array (bits or LLRs)."""
+    values = np.asarray(values).reshape(-1)
+    return values[interleave_indices(values.size)]
+
+
+def deinterleave(values: np.ndarray) -> np.ndarray:
+    """Invert :func:`interleave`."""
+    values = np.asarray(values).reshape(-1)
+    indices = interleave_indices(values.size)
+    out = np.empty_like(values)
+    out[indices] = values
+    return out

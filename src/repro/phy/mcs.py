@@ -1,0 +1,78 @@
+"""Link adaptation: choosing modulation (and layers) from channel quality.
+
+Section II-B: "Various coding and modulation schemes can be used,
+depending on the signal quality between the transmitter and receiver.
+When noise and interference are low, a higher-order modulation scheme can
+be employed". The benchmark's parameter model draws modulations randomly;
+this helper provides the deterministic counterpart a scheduler would use,
+so scenario builders can derive realistic per-user parameters from SNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import MAX_LAYERS, Modulation
+
+__all__ = ["McsThresholds", "select_modulation", "select_layers", "spectral_efficiency"]
+
+
+@dataclass(frozen=True)
+class McsThresholds:
+    """SNR switching points (dB) between modulation schemes.
+
+    Defaults approximate where each scheme's uncoded BER crosses ~1e-3 on
+    an AWGN channel with a small implementation margin.
+    """
+
+    qam16_snr_db: float = 14.0
+    qam64_snr_db: float = 22.0
+
+    def __post_init__(self) -> None:
+        if self.qam64_snr_db <= self.qam16_snr_db:
+            raise ValueError("64-QAM threshold must exceed the 16-QAM threshold")
+
+
+def select_modulation(
+    snr_db: float, thresholds: McsThresholds | None = None
+) -> Modulation:
+    """Highest-order modulation supportable at the given SNR."""
+    thresholds = thresholds or McsThresholds()
+    if snr_db >= thresholds.qam64_snr_db:
+        return Modulation.QAM64
+    if snr_db >= thresholds.qam16_snr_db:
+        return Modulation.QAM16
+    return Modulation.QPSK
+
+
+def select_layers(
+    snr_db: float,
+    num_rx_antennas: int = 4,
+    per_layer_penalty_db: float = 6.0,
+    min_snr_db: float = 8.0,
+) -> int:
+    """Spatial layers supportable at the given SNR.
+
+    Each added layer splits power and adds inter-layer interference,
+    modelled as a fixed per-layer SNR penalty: layer count L is feasible
+    when ``snr - (L-1)·penalty ≥ min_snr`` and L does not exceed the
+    receive antennas (you cannot separate more layers than antennas).
+    """
+    if num_rx_antennas < 1:
+        raise ValueError("num_rx_antennas must be >= 1")
+    if per_layer_penalty_db <= 0:
+        raise ValueError("per_layer_penalty_db must be positive")
+    layers = 1
+    while (
+        layers < min(MAX_LAYERS, num_rx_antennas)
+        and snr_db - layers * per_layer_penalty_db >= min_snr_db
+    ):
+        layers += 1
+    return layers
+
+
+def spectral_efficiency(modulation: Modulation, layers: int) -> float:
+    """Bits per subcarrier per data symbol (pass-through coding)."""
+    if not 1 <= layers <= MAX_LAYERS:
+        raise ValueError(f"layers must be in [1, {MAX_LAYERS}]")
+    return modulation.bits_per_symbol * layers

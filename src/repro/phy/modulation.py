@@ -1,0 +1,153 @@
+"""Gray-mapped QPSK / 16-QAM / 64-QAM modulation, demodulation, and
+max-log-MAP soft demapping.
+
+The constellations follow 3GPP TS 36.211 Table 7.1.x: bits are mapped in
+(I, Q) pairs with Gray labelling, and constellations are normalized to unit
+average energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .params import Modulation
+
+__all__ = [
+    "constellation",
+    "modulate",
+    "demodulate_hard",
+    "soft_demap",
+    "bits_to_symbols",
+    "symbols_to_bits",
+]
+
+# TS 36.211 per-axis PAM levels, before normalization. For each axis the
+# bits select levels with Gray labelling; the tables below give the level
+# for each integer value of the bit group controlling that axis.
+_PAM_QPSK = np.array([1.0, -1.0])
+_PAM_16 = np.array([1.0, 3.0, -1.0, -3.0])
+_PAM_64 = np.array([3.0, 1.0, 5.0, 7.0, -3.0, -1.0, -5.0, -7.0])
+
+_NORM = {
+    Modulation.QPSK: np.sqrt(2.0),
+    Modulation.QAM16: np.sqrt(10.0),
+    Modulation.QAM64: np.sqrt(42.0),
+}
+
+_PAM = {
+    Modulation.QPSK: _PAM_QPSK,
+    Modulation.QAM16: _PAM_16,
+    Modulation.QAM64: _PAM_64,
+}
+
+
+def constellation(modulation: Modulation) -> np.ndarray:
+    """Return the full unit-energy constellation as a complex array.
+
+    The point at index ``i`` corresponds to the bit label given by the
+    binary expansion of ``i`` (MSB first), with bits interleaved between
+    the I and Q axes per TS 36.211 (even-position bits steer I, odd
+    position bits steer Q).
+    """
+    bits_per_symbol = modulation.bits_per_symbol
+    half = bits_per_symbol // 2
+    pam = _PAM[modulation]
+    points = np.empty(1 << bits_per_symbol, dtype=np.complex128)
+    for label in range(1 << bits_per_symbol):
+        bits = [(label >> (bits_per_symbol - 1 - k)) & 1 for k in range(bits_per_symbol)]
+        i_idx = 0
+        q_idx = 0
+        for k in range(half):
+            i_idx = (i_idx << 1) | bits[2 * k]
+            q_idx = (q_idx << 1) | bits[2 * k + 1]
+        points[label] = (pam[i_idx] + 1j * pam[q_idx]) / _NORM[modulation]
+    return points
+
+
+def bits_to_symbols(bits: np.ndarray, modulation: Modulation) -> np.ndarray:
+    """Group a flat bit array into integer symbol labels (MSB first)."""
+    bits = np.asarray(bits, dtype=np.int64)
+    bps = modulation.bits_per_symbol
+    if bits.ndim != 1:
+        raise ValueError("bits must be one-dimensional")
+    if bits.size % bps:
+        raise ValueError(
+            f"bit count {bits.size} not a multiple of {bps} for {modulation.value}"
+        )
+    if bits.size and (bits.min() < 0 or bits.max() > 1):
+        raise ValueError("bits must be 0/1")
+    grouped = bits.reshape(-1, bps)
+    weights = 1 << np.arange(bps - 1, -1, -1)
+    return grouped @ weights
+
+
+def symbols_to_bits(labels: np.ndarray, modulation: Modulation) -> np.ndarray:
+    """Expand integer symbol labels back into a flat bit array (MSB first)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    bps = modulation.bits_per_symbol
+    shifts = np.arange(bps - 1, -1, -1)
+    return ((labels[:, None] >> shifts) & 1).reshape(-1)
+
+
+def modulate(bits: np.ndarray, modulation: Modulation) -> np.ndarray:
+    """Map a flat 0/1 bit array onto unit-energy constellation symbols."""
+    labels = bits_to_symbols(bits, modulation)
+    return constellation(modulation)[labels]
+
+
+def demodulate_hard(symbols: np.ndarray, modulation: Modulation) -> np.ndarray:
+    """Minimum-distance hard demodulation back to a flat bit array."""
+    symbols = np.asarray(symbols, dtype=np.complex128).reshape(-1)
+    points = constellation(modulation)
+    # Distance from every received symbol to every constellation point.
+    dist = np.abs(symbols[:, None] - points[None, :])
+    labels = np.argmin(dist, axis=1)
+    return symbols_to_bits(labels, modulation)
+
+
+def soft_demap(
+    symbols: np.ndarray,
+    modulation: Modulation,
+    noise_variance: float | np.ndarray = 1.0,
+) -> np.ndarray:
+    """Max-log-MAP soft demapping to log-likelihood ratios.
+
+    Parameters
+    ----------
+    symbols:
+        Equalized complex symbols (any shape; flattened).
+    modulation:
+        Constellation in use.
+    noise_variance:
+        Post-equalization noise variance, scalar or per-symbol array.
+
+    Returns
+    -------
+    numpy.ndarray
+        LLRs, one row of ``bits_per_symbol`` values per input symbol,
+        flattened to 1-D in transmission bit order. Positive LLR means
+        bit 0 is more likely (the conventional LLR = log P(b=0)/P(b=1)).
+    """
+    symbols = np.asarray(symbols, dtype=np.complex128).reshape(-1)
+    noise = np.broadcast_to(
+        np.asarray(noise_variance, dtype=np.float64), symbols.shape
+    )
+    if np.any(noise <= 0):
+        raise ValueError("noise_variance must be positive")
+    points = constellation(modulation)
+    bps = modulation.bits_per_symbol
+    labels = np.arange(points.size)
+    # Squared distances, shape (num_symbols, num_points).
+    dist2 = np.abs(symbols[:, None] - points[None, :]) ** 2
+    llrs = np.empty((symbols.size, bps), dtype=np.float64)
+    for bit in range(bps):
+        mask0 = ((labels >> (bps - 1 - bit)) & 1) == 0
+        d0 = dist2[:, mask0].min(axis=1)
+        d1 = dist2[:, ~mask0].min(axis=1)
+        llrs[:, bit] = (d1 - d0) / noise
+    return llrs.reshape(-1)
+
+
+def llrs_to_bits(llrs: np.ndarray) -> np.ndarray:
+    """Hard decisions from LLRs (LLR < 0 → bit 1)."""
+    return (np.asarray(llrs) < 0).astype(np.int64)

@@ -1,0 +1,199 @@
+"""UE-side SC-FDMA uplink transmitter.
+
+Synthesizes the signal a base station receives from one user so the
+benchmark can process realistic data: payload bits get a CRC24A, pass the
+(by default pass-through) turbo stage, are modulated, interleaved at symbol
+level (the paper's receiver deinterleaves *before* soft demapping, so the
+interleaver operates on modulated symbols), mapped to layers, DFT-precoded
+per SC-FDMA symbol, and placed on the subframe grid together with the
+per-layer DMRS reference symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import interleaver as il
+from .crc import CRC24A, crc_attach
+from .modulation import modulate
+from .params import (
+    DATA_SYMBOLS_PER_SUBFRAME,
+    REFERENCE_SYMBOL_INDEX,
+    SLOTS_PER_SUBFRAME,
+    SUBCARRIERS_PER_PRB,
+    SYMBOLS_PER_SLOT,
+    Modulation,
+    validate_allocation,
+)
+from .sequences import dmrs_for_layer
+from .turbo import PassThroughTurbo
+
+__all__ = [
+    "UserAllocation",
+    "TxSubframe",
+    "payload_capacity",
+    "data_symbol_indices",
+    "reference_symbol_indices",
+    "transmit_subframe",
+    "random_payload",
+]
+
+
+@dataclass(frozen=True)
+class UserAllocation:
+    """Frequency/layer/modulation allocation of one user in one subframe.
+
+    ``num_prb`` counts PRBs over the whole subframe (paper convention:
+    MAX_PRB = 200 across two slots → the allocation is ``num_prb / 2`` PRBs
+    wide in frequency, repeated in both slots).
+    """
+
+    num_prb: int
+    layers: int
+    modulation: Modulation
+
+    def __post_init__(self) -> None:
+        validate_allocation(self.num_prb, self.layers, self.modulation)
+
+    @property
+    def prb_per_slot(self) -> int:
+        """Frequency width of the allocation in PRBs."""
+        return self.num_prb // SLOTS_PER_SUBFRAME
+
+    @property
+    def num_subcarriers(self) -> int:
+        """Frequency width of the allocation in subcarriers."""
+        return self.prb_per_slot * SUBCARRIERS_PER_PRB
+
+
+@dataclass
+class TxSubframe:
+    """Everything the transmitter produced for one user-subframe."""
+
+    allocation: UserAllocation
+    payload: np.ndarray
+    grid: np.ndarray  # (layers, 14 symbols, num_subcarriers)
+    coded_bits: np.ndarray = field(repr=False, default=None)
+
+
+def data_symbol_indices() -> list[int]:
+    """Indices of the 12 data symbols within the subframe's 14 symbols."""
+    indices = []
+    for slot in range(SLOTS_PER_SUBFRAME):
+        base = slot * SYMBOLS_PER_SLOT
+        for sym in range(SYMBOLS_PER_SLOT):
+            if sym != REFERENCE_SYMBOL_INDEX:
+                indices.append(base + sym)
+    return indices
+
+
+def reference_symbol_indices() -> list[int]:
+    """Indices of the reference (DMRS) symbols within the subframe."""
+    return [
+        slot * SYMBOLS_PER_SLOT + REFERENCE_SYMBOL_INDEX
+        for slot in range(SLOTS_PER_SUBFRAME)
+    ]
+
+
+def payload_capacity(allocation: UserAllocation, codec=None) -> int:
+    """Payload bits (before CRC) that exactly fill the allocation.
+
+    With the default pass-through codec this is
+    ``subcarriers × 12 data symbols × layers × bits_per_symbol − 24``.
+    """
+    codec = codec or PassThroughTurbo()
+    total_res = (
+        allocation.num_subcarriers * DATA_SYMBOLS_PER_SUBFRAME * allocation.layers
+    )
+    coded_capacity = total_res * allocation.modulation.bits_per_symbol
+    if codec.rate_denominator == 1:
+        info = coded_capacity - CRC24A.width
+    else:
+        # Rate-1/3 turbo with 12 tail bits: 3*(k) + 12 <= coded capacity.
+        info = (coded_capacity - 12) // 3 - CRC24A.width
+    if info < 1:
+        raise ValueError("allocation too small to carry any payload")
+    return info
+
+
+def random_payload(
+    allocation: UserAllocation, rng: np.random.Generator, codec=None
+) -> np.ndarray:
+    """Draw a random payload of exactly the allocation's capacity."""
+    return rng.integers(0, 2, size=payload_capacity(allocation, codec), dtype=np.int64)
+
+
+def transmit_subframe(
+    allocation: UserAllocation,
+    payload: np.ndarray,
+    rng: np.random.Generator | None = None,
+    codec=None,
+    scrambling_c_init: int | None = None,
+) -> TxSubframe:
+    """Build the transmitted subframe grid for one user.
+
+    Parameters
+    ----------
+    allocation:
+        The user's PRB/layer/modulation allocation.
+    payload:
+        Information bits; must match :func:`payload_capacity` exactly
+        (unused coded-capacity padding is appended with random bits when a
+        redundant codec leaves slack).
+    rng:
+        Only needed to draw padding bits when the codec rate leaves slack.
+    codec:
+        Turbo stage; defaults to the paper's pass-through.
+    scrambling_c_init:
+        When given, the coded bit stream is XOR-scrambled with the LTE
+        Gold sequence seeded by this value (see ``repro.phy.scrambling``)
+        before modulation.
+    """
+    codec = codec or PassThroughTurbo()
+    payload = np.asarray(payload, dtype=np.int64).reshape(-1)
+    expected = payload_capacity(allocation, codec)
+    if payload.size != expected:
+        raise ValueError(f"payload must be exactly {expected} bits, got {payload.size}")
+
+    coded = codec.encode(crc_attach(payload))
+    total_res = (
+        allocation.num_subcarriers * DATA_SYMBOLS_PER_SUBFRAME * allocation.layers
+    )
+    bps = allocation.modulation.bits_per_symbol
+    slack = total_res * bps - coded.size
+    if slack:
+        if rng is None:
+            padding = np.zeros(slack, dtype=np.int64)
+        else:
+            padding = rng.integers(0, 2, size=slack, dtype=np.int64)
+        coded = np.concatenate([coded, padding])
+
+    if scrambling_c_init is not None:
+        from .scrambling import scramble_bits
+
+        coded = scramble_bits(coded, scrambling_c_init)
+
+    symbols = modulate(coded, allocation.modulation)
+    symbols = il.interleave(symbols)
+
+    # Layer mapping: consecutive symbols round-robin across layers.
+    layers = allocation.layers
+    per_layer = symbols.reshape(-1, layers).T  # (layers, res_per_layer)
+
+    num_sc = allocation.num_subcarriers
+    grid = np.zeros(
+        (layers, SLOTS_PER_SUBFRAME * SYMBOLS_PER_SLOT, num_sc), dtype=np.complex128
+    )
+    data_idx = data_symbol_indices()
+    for layer in range(layers):
+        blocks = per_layer[layer].reshape(DATA_SYMBOLS_PER_SUBFRAME, num_sc)
+        # SC-FDMA transform precoding: DFT each symbol's block.
+        precoded = np.fft.fft(blocks, axis=1) / np.sqrt(num_sc)
+        for row, sym in enumerate(data_idx):
+            grid[layer, sym, :] = precoded[row]
+        dmrs = dmrs_for_layer(num_sc, layer)
+        for sym in reference_symbol_indices():
+            grid[layer, sym, :] = dmrs
+    return TxSubframe(allocation=allocation, payload=payload.copy(), grid=grid, coded_bits=coded)

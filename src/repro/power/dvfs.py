@@ -1,0 +1,159 @@
+"""DVFS extension (Section VII: "we could also use [the workload
+estimation] in combination with DVFS to create further power management
+opportunities").
+
+The paper does not evaluate DVFS; this module implements the natural
+design it hints at, in the same analytical style as the power-gating
+model: per subframe, the estimated activity picks the lowest
+frequency/voltage operating point that still leaves deadline headroom,
+and the chip's *dynamic* power scales by ``(f/f_nom) · (V/V_nom)²``.
+
+Like Eq. 7, the chosen point is held for the maximum demand over the
+5-subframe visibility window (two ahead known, three in flight), and each
+operating-point switch costs a fixed overhead for one subframe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OperatingPoint", "DvfsParams", "DvfsTrace", "DvfsModel"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One frequency/voltage step.
+
+    ``frequency`` and ``voltage`` are relative to nominal (1.0, 1.0).
+    """
+
+    frequency: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.frequency <= 1.0:
+            raise ValueError("frequency must be in (0, 1]")
+        if not 0.0 < self.voltage <= 1.0:
+            raise ValueError("voltage must be in (0, 1]")
+
+    @property
+    def dynamic_power_factor(self) -> float:
+        """P_dyn ∝ f · V²."""
+        return self.frequency * self.voltage**2
+
+
+#: A realistic four-step ladder: voltage falls more slowly than frequency.
+DEFAULT_LADDER = (
+    OperatingPoint(frequency=0.25, voltage=0.70),
+    OperatingPoint(frequency=0.50, voltage=0.80),
+    OperatingPoint(frequency=0.75, voltage=0.90),
+    OperatingPoint(frequency=1.00, voltage=1.00),
+)
+
+
+@dataclass(frozen=True)
+class DvfsParams:
+    """Knobs of the analytical DVFS model."""
+
+    ladder: tuple[OperatingPoint, ...] = DEFAULT_LADDER
+    #: Utilization ceiling: pick the slowest point with activity/f below it.
+    headroom: float = 0.9
+    #: Extra power for one subframe on every operating-point switch (W).
+    switch_overhead_w: float = 0.2
+    lookahead_subframes: int = 2
+    lookbehind_subframes: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise ValueError("ladder must contain at least one operating point")
+        freqs = [p.frequency for p in self.ladder]
+        if freqs != sorted(freqs):
+            raise ValueError("ladder must be sorted by ascending frequency")
+        if freqs[-1] != 1.0:
+            raise ValueError("ladder must include the nominal point (f=1.0)")
+        if not 0.0 < self.headroom <= 1.0:
+            raise ValueError("headroom must be in (0, 1]")
+        if self.switch_overhead_w < 0:
+            raise ValueError("switch_overhead_w must be >= 0")
+
+
+@dataclass
+class DvfsTrace:
+    """Per-subframe DVFS decisions."""
+
+    frequency: np.ndarray
+    power_factor: np.ndarray
+    switch_overhead_w: np.ndarray
+
+    def mean_power_factor(self) -> float:
+        return float(self.power_factor.mean())
+
+
+class DvfsModel:
+    """Chooses operating points from estimated activity and scales power."""
+
+    def __init__(self, params: DvfsParams | None = None) -> None:
+        self.params = params or DvfsParams()
+
+    def select_point(self, estimated_activity: float) -> OperatingPoint:
+        """Slowest ladder point that keeps utilization under the headroom."""
+        if estimated_activity < 0:
+            raise ValueError("estimated_activity must be >= 0")
+        for point in self.params.ladder:
+            if estimated_activity <= self.params.headroom * point.frequency:
+                return point
+        return self.params.ladder[-1]
+
+    def evaluate(self, estimated_activity: np.ndarray) -> DvfsTrace:
+        """Per-subframe decisions with the 5-subframe visibility window."""
+        p = self.params
+        activity = np.asarray(estimated_activity, dtype=np.float64)
+        n = activity.size
+        # Hold the maximum demand over [i-2, i+2], like Eq. 7.
+        demanded = np.empty(n)
+        for i in range(n):
+            lo = max(0, i - p.lookbehind_subframes)
+            hi = min(n, i + p.lookahead_subframes + 1)
+            demanded[i] = activity[lo:hi].max()
+        points = [self.select_point(a) for a in demanded]
+        freq = np.array([pt.frequency for pt in points])
+        factor = np.array([pt.dynamic_power_factor for pt in points])
+        switches = np.concatenate([[0.0], (np.diff(freq) != 0).astype(float)])
+        return DvfsTrace(
+            frequency=freq,
+            power_factor=factor,
+            switch_overhead_w=switches * p.switch_overhead_w,
+        )
+
+    def apply_to_power(
+        self,
+        dynamic_power_w: np.ndarray,
+        window_s: float,
+        estimated_activity: np.ndarray,
+        subframe_period_s: float,
+    ) -> np.ndarray:
+        """Scale a per-window *dynamic* power trace by the DVFS factors.
+
+        Returns the adjusted dynamic power (base power is unaffected by
+        DVFS of the cores and must be added back by the caller).
+        """
+        if window_s <= 0 or subframe_period_s <= 0:
+            raise ValueError("window_s and subframe_period_s must be positive")
+        trace = self.evaluate(estimated_activity)
+        dynamic = np.asarray(dynamic_power_w, dtype=np.float64)
+        per_window = int(round(window_s / subframe_period_s))
+        if per_window < 1:
+            raise ValueError("window must cover at least one subframe")
+        adjusted = dynamic.copy()
+        for w in range(dynamic.size):
+            lo = w * per_window
+            hi = min(trace.power_factor.size, lo + per_window)
+            if lo >= trace.power_factor.size:
+                break
+            adjusted[w] = (
+                dynamic[w] * trace.power_factor[lo:hi].mean()
+                + trace.switch_overhead_w[lo:hi].mean()
+            )
+        return adjusted

@@ -1,0 +1,50 @@
+"""DAQ-style power measurement emulation (Section V-B).
+
+The paper samples the voltage drop across two precision resistors in the
+buck converter's phases at 8 µs, converts to current, and reports the RMS
+over 100 ms windows at a 1.0 V supply (so current equals power). These
+helpers reproduce that pipeline for tests and for consumers who want to
+post-process fine-grained power samples the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["currents_from_voltages", "rms_windows", "SUPPLY_VOLTAGE_V"]
+
+#: TILEPro64 supply voltage: 1.0 V, so measured amps equal watts.
+SUPPLY_VOLTAGE_V = 1.0
+
+
+def currents_from_voltages(
+    v_phase_a: np.ndarray,
+    v_phase_b: np.ndarray,
+    resistance_a_ohm: float,
+    resistance_b_ohm: float,
+) -> np.ndarray:
+    """Sum the two buck-converter phase currents (V = I·R per phase)."""
+    if resistance_a_ohm <= 0 or resistance_b_ohm <= 0:
+        raise ValueError("resistances must be positive")
+    v_phase_a = np.asarray(v_phase_a, dtype=np.float64)
+    v_phase_b = np.asarray(v_phase_b, dtype=np.float64)
+    if v_phase_a.shape != v_phase_b.shape:
+        raise ValueError("phase sample arrays must have equal shape")
+    return v_phase_a / resistance_a_ohm + v_phase_b / resistance_b_ohm
+
+
+def rms_windows(samples: np.ndarray, samples_per_window: int) -> np.ndarray:
+    """RMS over consecutive windows (trailing partial window dropped).
+
+    "The current varies rapidly, so we compute the root mean square (RMS)
+    value of the current for every 100 milliseconds."
+    """
+    if samples_per_window < 1:
+        raise ValueError("samples_per_window must be >= 1")
+    samples = np.asarray(samples, dtype=np.float64).reshape(-1)
+    n_windows = samples.size // samples_per_window
+    if n_windows == 0:
+        raise ValueError("not enough samples for a single window")
+    trimmed = samples[: n_windows * samples_per_window]
+    windows = trimmed.reshape(n_windows, samples_per_window)
+    return np.sqrt(np.mean(windows**2, axis=1))

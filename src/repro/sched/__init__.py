@@ -1,0 +1,15 @@
+"""Work-stealing runtime: queues, victim policy, and the thread-based
+functional execution of the benchmark (the paper's Pthreads version).
+"""
+
+from .policy import RandomVictimPolicy
+from .queues import GlobalQueue, WorkStealingDeque
+from .threaded import RuntimeStats, ThreadedRuntime
+
+__all__ = [
+    "RandomVictimPolicy",
+    "GlobalQueue",
+    "WorkStealingDeque",
+    "RuntimeStats",
+    "ThreadedRuntime",
+]

@@ -1,0 +1,283 @@
+"""Thread-based work-stealing runtime (the Pthreads version, Section IV).
+
+This is the functional twin of the paper's default Pthreads benchmark: a
+maintenance thread dispatches subframes onto a global user queue, worker
+threads pick users up, decompose them into the Fig. 5 task graph, and
+steal from each other when idle.
+
+Because of the CPython GIL this runtime demonstrates *correctness* (the
+parallel execution produces bit-identical results to the serial version,
+Section IV-D), not wall-clock scaling; timing behaviour is studied with
+``repro.sim`` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..phy.chest import ChestConfig
+from ..uplink.serial import SubframeResult
+from ..uplink.subframe import SubframeInput, UserSlice
+from ..uplink.tasks import UserJob
+from .policy import RandomVictimPolicy
+from .queues import GlobalQueue, WorkStealingDeque
+
+__all__ = ["ThreadedRuntime", "RuntimeStats"]
+
+
+@dataclass
+class RuntimeStats:
+    """Counters describing one run (useful for scheduling tests)."""
+
+    tasks_executed: list[int] = field(default_factory=list)
+    steals: list[int] = field(default_factory=list)
+    users_processed: list[int] = field(default_factory=list)
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(self.tasks_executed)
+
+    @property
+    def total_steals(self) -> int:
+        return sum(self.steals)
+
+
+class _Latch:
+    """Counts task completions so the user thread can join a stage."""
+
+    def __init__(self, count: int) -> None:
+        self._count = count
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+        if count == 0:
+            self._event.set()
+
+    def count_down(self) -> None:
+        with self._lock:
+            self._count -= 1
+            if self._count <= 0:
+                self._event.set()
+
+    def wait(self, help_while_waiting: Callable[[], bool] | None = None) -> None:
+        """Block until all tasks completed, optionally helping other work."""
+        while not self._event.is_set():
+            if help_while_waiting is None or not help_while_waiting():
+                self._event.wait(timeout=0.0005)
+
+
+@dataclass
+class _PendingSubframe:
+    subframe: SubframeInput
+    remaining_users: int
+    result: SubframeResult
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class ThreadedRuntime:
+    """Work-stealing execution of the benchmark on real threads.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker thread count (the paper uses up to 62 on the TILEPro64).
+    config, codec:
+        Forwarded to the per-user receiver chain.
+    steal_seed:
+        Seed for the random victim policy.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        config: ChestConfig | None = None,
+        codec=None,
+        steal_seed: int = 0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.config = config
+        self.codec = codec
+        self._policy = RandomVictimPolicy(num_workers, seed=steal_seed)
+        self._global: GlobalQueue = GlobalQueue()
+        self._locals: list[WorkStealingDeque] = [
+            WorkStealingDeque() for _ in range(num_workers)
+        ]
+        self._stats = RuntimeStats(
+            tasks_executed=[0] * num_workers,
+            steals=[0] * num_workers,
+            users_processed=[0] * num_workers,
+        )
+        self._completed: list[SubframeResult] = []
+        self._completed_lock = threading.Lock()
+        self._outstanding = 0
+        self._outstanding_lock = threading.Lock()
+        self._all_done = threading.Event()
+        self._all_done.set()
+        self._shutdown = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------ API
+    def start(self) -> None:
+        """Spawn the worker threads."""
+        if self._threads:
+            raise RuntimeError("runtime already started")
+        self._shutdown.clear()
+        for worker_id in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, args=(worker_id,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop the worker threads (after draining outstanding work)."""
+        self.drain()
+        self._shutdown.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+
+    def submit(self, subframe: SubframeInput) -> None:
+        """Dispatch one subframe's users onto the global queue."""
+        if not self._threads:
+            raise RuntimeError("runtime not started")
+        pending = _PendingSubframe(
+            subframe=subframe,
+            remaining_users=len(subframe.slices),
+            result=SubframeResult(subframe_index=subframe.subframe_index),
+        )
+        with self._outstanding_lock:
+            self._outstanding += 1
+            self._all_done.clear()
+        if not subframe.slices:
+            self._finish_subframe(pending)
+            return
+        self._global.put_subframe(
+            [(pending, user_slice) for user_slice in subframe.slices]
+        )
+
+    def drain(self) -> None:
+        """Block until every submitted subframe has completed."""
+        self._all_done.wait()
+
+    def run(self, subframes: list[SubframeInput]) -> list[SubframeResult]:
+        """Convenience: start, submit all, drain, stop; returns results."""
+        owns_threads = not self._threads
+        if owns_threads:
+            self.start()
+        try:
+            for subframe in subframes:
+                self.submit(subframe)
+            self.drain()
+        finally:
+            if owns_threads:
+                self.stop()
+        return self.collect_results()
+
+    def collect_results(self) -> list[SubframeResult]:
+        """Drain and return completed subframe results, ordered by index."""
+        with self._completed_lock:
+            results = sorted(self._completed, key=lambda r: r.subframe_index)
+            self._completed.clear()
+        return results
+
+    @property
+    def stats(self) -> RuntimeStats:
+        return self._stats
+
+    # ------------------------------------------------------------ internals
+    def _finish_subframe(self, pending: _PendingSubframe) -> None:
+        with self._completed_lock:
+            self._completed.append(pending.result)
+        with self._outstanding_lock:
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._all_done.set()
+
+    def _worker_loop(self, worker_id: int) -> None:
+        while not self._shutdown.is_set():
+            if not self._find_and_run_work(worker_id):
+                time.sleep(0.0002)  # idle back-off (the NONAP busy-spin)
+
+    def _find_and_run_work(self, worker_id: int) -> bool:
+        """One scheduling step; returns False when no work was found."""
+        # 1. Local tasks first.
+        task = self._locals[worker_id].pop()
+        if task is not None:
+            task()
+            self._stats.tasks_executed[worker_id] += 1
+            return True
+        # 2. Global user queue beats stealing.
+        entry = self._global.get()
+        if entry is not None:
+            pending, user_slice = entry
+            self._process_user(worker_id, pending, user_slice)
+            return True
+        # 3. Steal.
+        for victim in self._policy.victim_order(worker_id):
+            task = self._locals[victim].steal()
+            if task is not None:
+                self._stats.steals[worker_id] += 1
+                task()
+                self._stats.tasks_executed[worker_id] += 1
+                return True
+        return False
+
+    def _process_user(
+        self, worker_id: int, pending: _PendingSubframe, user_slice: UserSlice
+    ) -> None:
+        """Become the user thread for one user (Section IV-C)."""
+        self._stats.users_processed[worker_id] += 1
+        job = UserJob(
+            user_slice, pending.subframe.grid, config=self.config, codec=self.codec
+        )
+        self._run_stage(worker_id, job.chest_tasks())
+        job.run_combiner()
+        self._run_stage(worker_id, job.data_tasks())
+        result = job.finalize()
+        with pending.lock:
+            pending.result.user_results.append(result)
+            pending.remaining_users -= 1
+            done = pending.remaining_users == 0
+        if done:
+            self._finish_subframe(pending)
+
+    def _run_stage(self, worker_id: int, tasks: list[Callable[[], None]]) -> None:
+        """Push a stage's tasks locally, process until empty, join."""
+        latch = _Latch(len(tasks))
+
+        def wrap(task: Callable[[], None]) -> Callable[[], None]:
+            def run() -> None:
+                try:
+                    task()
+                finally:
+                    latch.count_down()
+
+            return run
+
+        self._locals[worker_id].push_all([wrap(t) for t in tasks])
+        while True:
+            task = self._locals[worker_id].pop()
+            if task is None:
+                break
+            task()
+            self._stats.tasks_executed[worker_id] += 1
+        # Other workers may still hold stolen tasks; help elsewhere while
+        # waiting ("the user thread waits until the results from all tasks
+        # become available").
+        latch.wait(help_while_waiting=lambda: self._help_once(worker_id))
+
+    def _help_once(self, worker_id: int) -> bool:
+        """Steal one task from somewhere while blocked on a join."""
+        for victim in self._policy.victim_order(worker_id):
+            task = self._locals[victim].steal()
+            if task is not None:
+                self._stats.steals[worker_id] += 1
+                task()
+                self._stats.tasks_executed[worker_id] += 1
+                return True
+        return False

@@ -1,0 +1,56 @@
+"""Minimal discrete-event engine (time in clock cycles)."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Callable
+
+__all__ = ["EventEngine"]
+
+
+class EventEngine:
+    """A heap-ordered event queue.
+
+    Events are ``(time, callback)``; ties break in scheduling order so the
+    simulation is fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callable[[int], None]]] = []
+        self._counter = count()
+        self.now: int = 0
+
+    def schedule(self, time: int, callback: Callable[[int], None]) -> None:
+        """Schedule ``callback(time)`` at an absolute time (cycles)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def schedule_in(self, delay: int, callback: Callable[[int], None]) -> None:
+        """Schedule ``callback`` after a relative delay (cycles)."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        self.schedule(self.now + delay, callback)
+
+    def run_until(self, end_time: int) -> None:
+        """Process events up to and including ``end_time``."""
+        while self._heap and self._heap[0][0] <= end_time:
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = time
+            callback(time)
+        self.now = max(self.now, end_time)
+
+    def run_until_idle(self, hard_limit: int | None = None) -> None:
+        """Process all events (optionally bounded by a hard time limit)."""
+        while self._heap:
+            if hard_limit is not None and self._heap[0][0] > hard_limit:
+                self.now = hard_limit
+                return
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = time
+            callback(time)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

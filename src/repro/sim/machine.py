@@ -1,0 +1,605 @@
+"""Discrete-event simulation of the benchmark on a TILEPro64-like machine.
+
+Substitutes for the paper's hardware platform (Section V-B): ``num_workers``
+cores execute the Fig. 5 task graph under work stealing, a maintenance
+"thread" dispatches one subframe's users every DELTA onto the global user
+queue, and a pluggable policy decides how many workers are proactively
+napped (NAP) and whether idle workers nap reactively (IDLE).
+
+The simulation is at task granularity: each task's duration comes from the
+calibrated :class:`~repro.sim.cost.CostModel`; queue/steal overheads are
+folded into the per-task constant. Cores move between four states —
+COMPUTE, SPIN (busy-wait polling), NAP (reactive clock-gated idle with
+periodic wake checks), DISABLED (proactively napped by the governor) — and
+every state segment is binned into 100 ms windows for the power model.
+
+Scheduling fidelity vs. the Pthreads version (Section IV-C):
+
+* an idle worker checks the global user queue before stealing;
+* the worker that dequeues a user becomes its *user thread*: it runs that
+  user's combiner-weight and finalize joins, processes its own job's tasks
+  first, and helps (steals) elsewhere while waiting for stolen results;
+* other workers steal individual channel-estimation / symbol tasks.
+
+Periodic nap wake-checks are not simulated as events (that would be ~20 M
+events per run); instead a napping core is woken *at its next periodic
+boundary* when work exists for it, and the wake-check energy overhead is
+charged analytically by the power model from NAP occupancy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..uplink.parameter_model import ParameterModel
+from ..uplink.tasks import describe_user_tasks
+from ..uplink.user import UserParameters
+from .cost import CostModel, MachineSpec
+from .engine import EventEngine
+from .trace import CoreState, OccupancyTrace
+
+__all__ = ["SimConfig", "AlwaysOnPolicy", "SimResult", "MachineSimulator"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulator tuning knobs.
+
+    ``wake_period_s`` is how often a napping core wakes to look for work
+    (the TILEPro64 nap instruction has no external wake-up, Section V-B);
+    ``wake_check_cycles`` is what one check costs; ``window_s`` is the
+    trace/power window (the paper's 100 ms RMS).
+    """
+
+    wake_period_s: float = 1e-3
+    wake_check_cycles: int = 500
+    window_s: float = 0.1
+    drain_margin_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.wake_period_s <= 0 or self.window_s <= 0:
+            raise ValueError("wake_period_s and window_s must be positive")
+        if self.wake_check_cycles < 0 or self.drain_margin_s < 0:
+            raise ValueError("wake_check_cycles/drain_margin_s must be >= 0")
+
+
+class AlwaysOnPolicy:
+    """The NONAP/IDLE family: every worker is always available.
+
+    ``reactive_nap`` distinguishes NONAP (False: idle workers busy-spin)
+    from IDLE (True: idle workers nap and wake periodically).
+    """
+
+    def __init__(self, num_workers: int, reactive_nap: bool = False) -> None:
+        self.num_workers = num_workers
+        self.reactive_nap = reactive_nap
+
+    def target_active_workers(
+        self, users: list[UserParameters], subframe_index: int
+    ) -> int:
+        return self.num_workers
+
+
+class _Job:
+    """One user's in-flight task graph."""
+
+    __slots__ = (
+        "user",
+        "subframe_index",
+        "stages",
+        "stage_index",
+        "ready",
+        "outstanding",
+        "user_core",
+        "continuation_pending",
+        "steal_lines",
+    )
+
+    def __init__(
+        self,
+        user: UserParameters,
+        subframe_index: int,
+        cost: CostModel,
+        antennas: int,
+        cache=None,
+        slot_pipelined: bool = False,
+    ):
+        chest, combiner, data, finalize = describe_user_tasks(user, antennas)
+        self.user = user
+        self.subframe_index = subframe_index
+        chest_cycles = [cost.task_cycles(t) for t in chest]
+        combiner_cycles = cost.task_cycles(combiner)
+        symbol_cycles = [cost.task_cycles(t) for t in data]
+        finalize_cycles = cost.task_cycles(finalize)
+        chest_lines = cache.payload_lines(chest[0]) if cache is not None else 0
+        data_lines = cache.payload_lines(data[0]) if cache is not None else 0
+        # The stage program: ("par", [task cycles...], steal lines) fans out
+        # to thieves; ("ser", cycles) runs on the user thread. The default
+        # is the paper's whole-subframe sequence; slot-pipelined splits
+        # channel estimation / combining / demodulation per slot.
+        if not slot_pipelined:
+            self.stages: list[tuple] = [
+                ("par", chest_cycles, chest_lines),
+                ("ser", combiner_cycles),
+                ("par", symbol_cycles, data_lines),
+                ("ser", finalize_cycles),
+            ]
+        else:
+            half_comb = combiner_cycles // 2
+            half_data = len(symbol_cycles) // 2
+            self.stages = [
+                ("par", [c // 2 for c in chest_cycles], chest_lines),
+                ("ser", half_comb),
+                ("par", symbol_cycles[:half_data], data_lines),
+                ("par", [c - c // 2 for c in chest_cycles], chest_lines),
+                ("ser", combiner_cycles - half_comb),
+                ("par", symbol_cycles[half_data:], data_lines),
+                ("ser", finalize_cycles),
+            ]
+        self.stage_index = -1
+        self.ready: list[int] = []
+        self.steal_lines = 0
+        self.outstanding = 0
+        self.user_core: "_Core | None" = None
+        self.continuation_pending = False
+
+
+class _Core:
+    """One simulated worker core."""
+
+    __slots__ = ("index", "state", "state_since", "job", "wake_scheduled", "busy")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.state = CoreState.SPIN
+        self.state_since = 0
+        self.job: _Job | None = None
+        self.wake_scheduled = False
+        self.busy = False
+
+
+@dataclass
+class SimResult:
+    """Everything one simulated run produced."""
+
+    trace: OccupancyTrace
+    machine: MachineSpec
+    config: SimConfig
+    #: Governor decision per subframe (actual worker cap in force).
+    active_workers: np.ndarray
+    #: Dispatch-to-last-user-completion latency per subframe, seconds.
+    subframe_latency_s: np.ndarray
+    #: Per-subframe total compute cycles (from the cost model).
+    subframe_cycles: np.ndarray
+    tasks_executed: int
+    steals: int
+    users_processed: int
+
+    @property
+    def activity(self) -> np.ndarray:
+        """Per-window measured activity (Eq. 2)."""
+        return self.trace.activity()
+
+    def mean_activity(self) -> float:
+        return float(self.activity.mean())
+
+
+class MachineSimulator:
+    """Runs a parameter model through the simulated machine.
+
+    Parameters
+    ----------
+    cost:
+        Calibrated cycle cost model (also supplies the machine spec).
+    policy:
+        Resource-management policy: must expose ``reactive_nap`` and
+        ``target_active_workers(users, subframe_index)``.
+    config:
+        Simulator knobs.
+    """
+
+    def __init__(
+        self,
+        cost: CostModel,
+        policy=None,
+        config: SimConfig | None = None,
+        noc=None,
+        cache=None,
+        slot_pipelined: bool = False,
+    ) -> None:
+        self.cost = cost
+        self.machine = cost.machine
+        self.policy = policy or AlwaysOnPolicy(self.machine.num_workers)
+        self.config = config or SimConfig()
+        #: Optional :class:`repro.sim.noc.NocModel`: charges stolen tasks a
+        #: distance-dependent mesh latency (thief ↔ the job's user core).
+        self.noc = noc
+        #: Optional :class:`repro.sim.memory.CacheModel`: sizes the data a
+        #: thief pulls across the mesh (only used together with ``noc``).
+        self.cache = cache
+        #: Split each user's processing per slot (chest/combine/demodulate
+        #: slot 0, then slot 1) instead of the default whole-subframe
+        #: stages — an ablation on the Fig. 5 structure.
+        self.slot_pipelined = slot_pipelined
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        model: ParameterModel,
+        num_subframes: int,
+        start: int = 0,
+    ) -> SimResult:
+        if num_subframes < 1:
+            raise ValueError("num_subframes must be >= 1")
+        machine = self.machine
+        cfg = self.config
+        clock = machine.clock_hz
+        delta = machine.subframe_period_cycles
+        window_cycles = int(round(cfg.window_s * clock))
+        horizon = num_subframes * delta + int(round(cfg.drain_margin_s * clock))
+        num_windows = max(1, -(-horizon // window_cycles))  # ceil: never truncate
+        horizon = num_windows * window_cycles
+
+        self._engine = EventEngine()
+        self._trace = OccupancyTrace(
+            window_cycles=window_cycles,
+            num_windows=num_windows,
+            num_workers=machine.num_workers,
+        )
+        self._cores = [_Core(i) for i in range(machine.num_workers)]
+        self._user_queue: deque[_Job] = deque()
+        self._jobs_with_ready: deque[_Job] = deque()
+        self._idle_spin: set[int] = set(range(machine.num_workers))
+        self._idle_nap: dict[int, int] = {}
+        self._disabled: set[int] = set()
+        self._active_workers = machine.num_workers
+        self._wake_period_cycles = max(1, int(round(cfg.wake_period_s * clock)))
+        self._horizon = horizon
+
+        self._tasks_executed = 0
+        self._steals = 0
+        self._users_processed = 0
+        self._active_trace = np.zeros(num_subframes, dtype=np.int64)
+        self._dispatch_cycle = np.zeros(num_subframes, dtype=np.int64)
+        self._complete_cycle = np.zeros(num_subframes, dtype=np.int64)
+        self._pending_users = np.zeros(num_subframes, dtype=np.int64)
+        self._subframe_cycles = np.zeros(num_subframes, dtype=np.float64)
+        self._start_index = start
+        self._num_subframes = num_subframes
+        self._antennas = 4
+
+        for i in range(num_subframes):
+            users = model.uplink_parameters(start + i)
+            when = i * delta
+            self._engine.schedule(
+                when, self._make_dispatch(i, users)
+            )
+        # Every core looks for work once at t=0 so idle cores settle into
+        # the policy's idle state (spin vs nap vs disabled) immediately.
+        for core in self._cores:
+            self._engine.schedule(0, self._make_initial_seek(core))
+        self._engine.run_until_idle(hard_limit=horizon)
+        self._finalize_trace(horizon)
+
+        latency = (self._complete_cycle - self._dispatch_cycle) / clock
+        return SimResult(
+            trace=self._trace,
+            machine=machine,
+            config=cfg,
+            active_workers=self._active_trace,
+            subframe_latency_s=latency,
+            subframe_cycles=self._subframe_cycles,
+            tasks_executed=self._tasks_executed,
+            steals=self._steals,
+            users_processed=self._users_processed,
+        )
+
+    # --------------------------------------------------------------- events
+    def _make_dispatch(self, index: int, users: list[UserParameters]):
+        def dispatch(t: int) -> None:
+            self._dispatch_cycle[index] = t
+            self._complete_cycle[index] = t  # empty subframes: zero latency
+            self._pending_users[index] = len(users)
+            self._subframe_cycles[index] = sum(
+                self.cost.user_cycles(u, self._antennas) for u in users
+            )
+            target = self.policy.target_active_workers(users, self._start_index + index)
+            target = max(1, min(self.machine.num_workers, int(target)))
+            self._active_trace[index] = target
+            self._set_active_workers(target, t)
+            for user in users:
+                self._user_queue.append(
+                    _Job(
+                        user,
+                        index,
+                        self.cost,
+                        self._antennas,
+                        cache=self.cache,
+                        slot_pipelined=self.slot_pipelined,
+                    )
+                )
+            self._distribute_work(t)
+
+        return dispatch
+
+    def _set_active_workers(self, target: int, t: int) -> None:
+        previous = self._active_workers
+        self._active_workers = target
+        if target > previous:
+            # Re-enable proactively disabled cores; they notice at their
+            # next periodic wake check (modelled as half a period).
+            delay = max(1, self._wake_period_cycles // 2)
+            for core in self._cores[previous:target]:
+                if core.index in self._disabled:
+                    self._disabled.discard(core.index)
+                    self._engine.schedule_in(
+                        delay, self._make_enable(core)
+                    )
+        # Shrinking happens lazily: surplus cores disable themselves when
+        # they next look for work (they never abandon an owned job).
+
+    def _make_initial_seek(self, core: _Core):
+        def initial_seek(t: int) -> None:
+            if core.busy or core.job is not None:
+                return
+            if core.state is CoreState.SPIN and core.index in self._idle_spin:
+                self._idle_spin.discard(core.index)
+                self._seek_work(core, t)
+
+        return initial_seek
+
+    def _make_enable(self, core: _Core):
+        def enable(t: int) -> None:
+            if core.state is CoreState.DISABLED:
+                self._set_state(core, CoreState.SPIN, t)
+                # _seek_work either takes work or re-registers the core as
+                # idle; pre-registering here would let _distribute_work
+                # dispatch the same (now busy) core twice.
+                self._seek_work(core, t)
+
+        return enable
+
+    # ----------------------------------------------------------- scheduling
+    def _set_state(self, core: _Core, state: CoreState, t: int) -> None:
+        if core.state is state:
+            return
+        self._trace.add_segment(core.state, core.state_since, t)
+        core.state = state
+        core.state_since = t
+
+    def _has_stealable_work(self) -> bool:
+        if self._user_queue:
+            return True
+        while self._jobs_with_ready and not self._jobs_with_ready[0].ready:
+            self._jobs_with_ready.popleft()
+        return bool(self._jobs_with_ready)
+
+    def _distribute_work(self, t: int) -> None:
+        """Hand available work to idle cores (spinners first, then nappers).
+
+        A spinner that declines the available work (e.g. a user thread
+        waiting on stolen results cannot adopt a new user) is set aside for
+        the rest of the pass so the loop always makes progress.
+        """
+        progress = True
+        while progress and self._has_stealable_work():
+            progress = False
+            deferred: list[int] = []
+            while self._has_stealable_work() and self._idle_spin:
+                index = min(self._idle_spin)
+                self._idle_spin.discard(index)
+                if self._seek_work(self._cores[index], t):
+                    progress = True
+                else:
+                    # _go_idle put it back; keep it out of this pass.
+                    self._idle_spin.discard(index)
+                    deferred.append(index)
+            self._idle_spin.update(deferred)
+        if self._has_stealable_work() and self._idle_nap:
+            for index, nap_start in list(self._idle_nap.items()):
+                core = self._cores[index]
+                if core.wake_scheduled:
+                    continue
+                elapsed = t - nap_start
+                periods = elapsed // self._wake_period_cycles + 1
+                wake_at = nap_start + periods * self._wake_period_cycles
+                core.wake_scheduled = True
+                self._engine.schedule(wake_at, self._make_wake(core))
+
+    def _make_wake(self, core: _Core):
+        def wake(t: int) -> None:
+            core.wake_scheduled = False
+            if core.state is not CoreState.NAP:
+                return
+            self._idle_nap.pop(core.index, None)
+            self._set_state(core, CoreState.SPIN, t)
+            self._seek_work(core, t)
+
+        return wake
+
+    def _go_idle(self, core: _Core, t: int) -> None:
+        """No work found: spin or nap according to the policy."""
+        if core.job is None and core.index >= self._active_workers:
+            self._set_state(core, CoreState.DISABLED, t)
+            self._disabled.add(core.index)
+            return
+        if self.policy.reactive_nap:
+            self._set_state(core, CoreState.NAP, t)
+            self._idle_nap[core.index] = t
+        else:
+            self._set_state(core, CoreState.SPIN, t)
+            self._idle_spin.add(core.index)
+
+    def _seek_work(self, core: _Core, t: int) -> bool:
+        """Find the next thing for a free core to do (Section IV-C order).
+
+        Returns True when the core took work, False when it went idle.
+        """
+        core.busy = False
+        job = core.job
+        # 0. A completed stage waiting for this core (its user thread).
+        if job is not None and job.continuation_pending:
+            job.continuation_pending = False
+            if self._owner_advance(core, job, t):
+                return True
+            # The advance opened a parallel stage (fall through to pick a
+            # task from it) or finished the job (job is now None).
+            job = core.job
+        # 1. This core's own job's ready tasks (owner LIFO).
+        if job is not None and job.ready:
+            cycles = job.ready.pop()
+            self._execute_task(core, job, cycles, t, stolen=False)
+            return True
+        # A surplus worker (index beyond the governor's target) naps as soon
+        # as it holds no job — it neither adopts users nor steals.
+        if job is None and core.index >= self._active_workers:
+            self._go_idle(core, t)
+            return False
+        # 2. The global user queue (only a free core can adopt a new user).
+        if job is None and self._user_queue:
+            new_job = self._user_queue.popleft()
+            self._start_job(core, new_job, t)
+            return True
+        # 3. Steal from any job with ready tasks (thief FIFO).
+        victim = self._pop_stealable(exclude=job)
+        if victim is not None:
+            victim_job, cycles = victim
+            self._steals += 1
+            self._execute_task(core, victim_job, cycles, t, stolen=True)
+            return True
+        # 4. Nothing to do.
+        self._go_idle(core, t)
+        return False
+
+    def _pop_stealable(self, exclude: _Job | None) -> tuple[_Job, int] | None:
+        for _ in range(len(self._jobs_with_ready)):
+            job = self._jobs_with_ready[0]
+            if not job.ready:
+                self._jobs_with_ready.popleft()
+                continue
+            if job is exclude:
+                # Rotate: look for a different victim first.
+                if len(self._jobs_with_ready) == 1:
+                    return None
+                self._jobs_with_ready.rotate(-1)
+                continue
+            return job, job.ready.pop(0)
+        return None
+
+    def _start_job(self, core: _Core, job: _Job, t: int) -> None:
+        self._users_processed += 1
+        core.job = job
+        job.user_core = core
+        if not self._owner_advance(core, job, t):
+            self._seek_work(core, t)
+
+    def _execute_task(
+        self, core: _Core, job: _Job, cycles: int, t: int, stolen: bool
+    ) -> None:
+        core.busy = True
+        self._set_state(core, CoreState.COMPUTE, t)
+        self._tasks_executed += 1
+        if stolen and self.noc is not None and job.user_core is not None:
+            cycles += self.noc.steal_penalty(
+                core.index, job.user_core.index, payload_lines=job.steal_lines
+            )
+
+        def finish(end: int) -> None:
+            self._task_finished(core, job, end)
+
+        self._engine.schedule(t + cycles, finish)
+
+    def _task_finished(self, core: _Core, job: _Job, t: int) -> None:
+        job.outstanding -= 1
+        if job.outstanding == 0 and not job.ready:
+            self._stage_complete(job, t)
+        self._seek_work(core, t)
+
+    def _stage_complete(self, job: _Job, t: int) -> None:
+        """All tasks of the current parallel stage finished."""
+        owner = job.user_core
+        assert owner is not None
+        if owner.busy:
+            # The user thread is off helping elsewhere; it advances the job
+            # when it next looks for work (Section IV-C's wait-and-help).
+            job.continuation_pending = True
+            return
+        # The user thread was idle-waiting (spin or nap): it resumes at
+        # once — remove it from the idle sets first.
+        self._idle_spin.discard(owner.index)
+        self._idle_nap.pop(owner.index, None)
+        if not self._owner_advance(owner, job, t):
+            self._seek_work(owner, t)
+
+    def _advance_stage(self, job: _Job, t: int) -> str:
+        """Move the job to its next stage; returns "par", "ser" or "done".
+
+        A parallel stage's tasks become stealable immediately; the owner
+        core is engaged by the caller (it competes for its own tasks like
+        the Pthreads user thread draining its local queue).
+        """
+        job.stage_index += 1
+        if job.stage_index >= len(job.stages):
+            return "done"
+        stage = job.stages[job.stage_index]
+        if stage[0] == "par":
+            _, cycles_list, lines = stage
+            job.ready = list(cycles_list)
+            job.steal_lines = lines
+            job.outstanding = len(job.ready)
+            if not job.ready:  # degenerate empty fan-out
+                return self._advance_stage(job, t)
+            self._jobs_with_ready.append(job)
+            return "par"
+        return "ser"
+
+    def _owner_advance(self, core: _Core, job: _Job, t: int) -> bool:
+        """Advance the owned job; True when this call engaged the core."""
+        outcome = self._advance_stage(job, t)
+        if outcome == "ser":
+            self._run_continuation(core, t)
+            return True
+        if outcome == "done":
+            self._finish_job(core, t)
+            return False
+        # "par": hand surplus tasks to other cores; the caller's subsequent
+        # _seek_work lets the owner grab its own first task.
+        self._distribute_work(t)
+        return False
+
+    def _run_continuation(self, core: _Core, t: int) -> None:
+        """Run the current serial stage (combiner/finalize) on the owner."""
+        job = core.job
+        assert job is not None
+        stage = job.stages[job.stage_index]
+        assert stage[0] == "ser", "continuation outside a serial stage"
+        core.busy = True
+        self._set_state(core, CoreState.COMPUTE, t)
+        self._tasks_executed += 1
+        cycles = stage[1]
+
+        def finish(end: int) -> None:
+            core.busy = False
+            if not self._owner_advance(core, job, end):
+                self._seek_work(core, end)
+
+        self._engine.schedule(t + cycles, finish)
+
+    def _finish_job(self, core: _Core, t: int) -> None:
+        """Bookkeeping when a job's last stage completes (no work seeking)."""
+        job = core.job
+        assert job is not None
+        core.job = None
+        job.user_core = None
+        index = job.subframe_index
+        self._pending_users[index] -= 1
+        if self._pending_users[index] == 0:
+            self._complete_cycle[index] = t
+
+    def _finalize_trace(self, horizon: int) -> None:
+        for core in self._cores:
+            self._trace.add_segment(core.state, core.state_since, horizon)
+            core.state_since = horizon

@@ -1,0 +1,76 @@
+"""Cache hierarchy model (Section V-B: 16 kB L1I, 8 kB L1D, 64 kB L2 per
+core, forming a virtual 4 MB L3 across the mesh).
+
+An analytic working-set model: each task touches a footprint proportional
+to its data (complex samples of the user's allocation), and the part that
+does not fit in the private caches streams from the distributed L3 /
+memory at a per-line penalty. Like the NoC model this is opt-in: the
+default cost model folds average memory behaviour into its per-PRB units,
+and this module supports sensitivity studies on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..phy.params import DATA_SYMBOLS_PER_SUBFRAME, SUBCARRIERS_PER_PRB
+from ..uplink.tasks import TaskDescriptor
+
+__all__ = ["CacheSpec", "CacheModel"]
+
+_BYTES_PER_SAMPLE = 8  # complex64 in the C benchmark
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Per-core cache sizes (TILEPro64 values)."""
+
+    l1d_bytes: int = 8 * 1024
+    l2_bytes: int = 64 * 1024
+    line_bytes: int = 64
+    #: Cycles to pull one line from the distributed L3 / next level.
+    remote_line_cycles: int = 40
+
+    def __post_init__(self) -> None:
+        if min(self.l1d_bytes, self.l2_bytes, self.line_bytes) < 1:
+            raise ValueError("cache sizes must be positive")
+        if self.remote_line_cycles < 0:
+            raise ValueError("remote_line_cycles must be >= 0")
+
+
+class CacheModel:
+    """Analytic extra-cycles model from task working sets."""
+
+    def __init__(self, spec: CacheSpec | None = None) -> None:
+        self.spec = spec or CacheSpec()
+
+    def task_footprint_bytes(self, task: TaskDescriptor) -> int:
+        """Approximate bytes a task reads + writes."""
+        # Subcarriers of the allocation (frequency width, one slot).
+        width = (task.num_prb // 2) * SUBCARRIERS_PER_PRB
+        if task.kind == "chest":
+            # One reference symbol per slot in, one estimate per slot out.
+            samples = 2 * (2 * width)
+        elif task.kind == "combiner":
+            # All antenna-layer estimates in, weights out, both slots.
+            samples = 2 * width * task.antennas * task.layers * 2
+        elif task.kind == "symbol":
+            # One SC-FDMA symbol across antennas in, one layer out.
+            samples = width * (task.antennas + 1)
+        elif task.kind == "finalize":
+            # Every despread data symbol of every layer.
+            samples = width * DATA_SYMBOLS_PER_SUBFRAME * task.layers * 2
+        else:
+            raise ValueError(f"unknown task kind {task.kind!r}")
+        return samples * _BYTES_PER_SAMPLE
+
+    def payload_lines(self, task: TaskDescriptor) -> int:
+        """Cache lines of input data a thief must pull across the mesh."""
+        return -(-self.task_footprint_bytes(task) // self.spec.line_bytes)
+
+    def extra_cycles(self, task: TaskDescriptor) -> int:
+        """Cycles spent missing past the private caches."""
+        footprint = self.task_footprint_bytes(task)
+        overflow = max(0, footprint - self.spec.l2_bytes)
+        lines = -(-overflow // self.spec.line_bytes)
+        return lines * self.spec.remote_line_cycles

@@ -1,0 +1,80 @@
+"""On-chip mesh network model (Section V-B: the TILEPro64's 64 cores "are
+connected through an on-chip mesh network").
+
+Work stealing is not free on a mesh: a steal crosses the network to the
+victim's queue and the task's input data crosses back. This module models
+an 8x8 mesh with dimension-ordered (XY) routing and charges stolen tasks a
+distance-dependent latency. It is optional — the baseline cost model folds
+average steal cost into the per-task constant — and exists to support the
+locality ablation (random vs. nearest-neighbour victim selection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MeshTopology", "NocModel"]
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """An R x C mesh of cores with XY routing."""
+
+    rows: int = 8
+    cols: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("rows and cols must be >= 1")
+
+    @property
+    def num_cores(self) -> int:
+        return self.rows * self.cols
+
+    def coordinates(self, core: int) -> tuple[int, int]:
+        """(x, y) position of a core index (row-major)."""
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} outside the {self.rows}x{self.cols} mesh")
+        return core % self.cols, core // self.cols
+
+    def hops(self, src: int, dst: int) -> int:
+        """XY-routed hop count between two cores."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def neighbours_by_distance(self, core: int) -> list[int]:
+        """All other cores ordered by hop distance (then index)."""
+        others = [c for c in range((self.num_cores)) if c != core]
+        return sorted(others, key=lambda c: (self.hops(core, c), c))
+
+
+@dataclass(frozen=True)
+class NocModel:
+    """Cycle costs of crossing the mesh.
+
+    ``steal_base_cycles`` covers the queue CAS and bookkeeping;
+    ``cycles_per_hop`` is the per-hop request latency; task input data
+    (``payload_lines`` cache lines) streams back at ``cycles_per_line_hop``
+    per line per hop.
+    """
+
+    topology: MeshTopology = MeshTopology()
+    steal_base_cycles: int = 100
+    cycles_per_hop: int = 2
+    cycles_per_line_hop: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.steal_base_cycles < 0 or self.cycles_per_hop < 0:
+            raise ValueError("cycle costs must be >= 0")
+        if self.cycles_per_line_hop < 0:
+            raise ValueError("cycles_per_line_hop must be >= 0")
+
+    def steal_penalty(self, thief: int, victim: int, payload_lines: int = 0) -> int:
+        """Extra cycles a stolen task costs the thief."""
+        if payload_lines < 0:
+            raise ValueError("payload_lines must be >= 0")
+        hops = self.topology.hops(thief, victim)
+        transfer = self.cycles_per_line_hop * payload_lines * hops
+        # Request goes out, response comes back: 2x the one-way latency.
+        return int(round(self.steal_base_cycles + 2 * hops * self.cycles_per_hop + transfer))

@@ -1,0 +1,49 @@
+"""The LTE Uplink Receiver PHY benchmark core: user/subframe structures,
+the paper's randomized input parameter model (Figs. 6 and 10), the serial
+reference implementation, the Fig. 5 task decomposition, and
+serial-vs-parallel verification.
+"""
+
+from .benchmark import BenchmarkConfig, BenchmarkDriver
+from .parameter_model import (
+    DEFAULT_TOTAL_SUBFRAMES,
+    ParameterModel,
+    RandomizedParameterModel,
+    SteadyStateParameterModel,
+    TraceParameterModel,
+)
+from .recording import load_results, save_results, verify_against_recording
+from .scenarios import DiurnalParameterModel, ScaledLoadModel
+from .serial import SerialBenchmark, SubframeResult, process_subframe_serial
+from .subframe import DEFAULT_POOL_SIZE, SubframeFactory, SubframeInput, UserSlice
+from .tasks import TaskDescriptor, UserJob, describe_user_tasks
+from .user import UserParameters
+from .verification import VerificationReport, verify_against_serial
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkDriver",
+    "DEFAULT_TOTAL_SUBFRAMES",
+    "ParameterModel",
+    "RandomizedParameterModel",
+    "SteadyStateParameterModel",
+    "TraceParameterModel",
+    "DiurnalParameterModel",
+    "ScaledLoadModel",
+    "load_results",
+    "save_results",
+    "verify_against_recording",
+    "SerialBenchmark",
+    "SubframeResult",
+    "process_subframe_serial",
+    "DEFAULT_POOL_SIZE",
+    "SubframeFactory",
+    "SubframeInput",
+    "UserSlice",
+    "TaskDescriptor",
+    "UserJob",
+    "describe_user_tasks",
+    "UserParameters",
+    "VerificationReport",
+    "verify_against_serial",
+]

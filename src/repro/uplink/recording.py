@@ -1,0 +1,95 @@
+"""Recording and replaying benchmark results (Section IV-D).
+
+"The serial version processes a predetermined sequence of subframes,
+recording and storing the results from each subframe. ... This can be used
+to verify that the computation is consistent across different
+architectures, as well."
+
+Results are stored as a single compressed ``.npz`` archive: per user, the
+decoded payload bits and CRC flag, keyed by subframe and user id. A stored
+reference can then be checked against any later run — a different worker
+count, runtime, or machine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..phy.chain import UserResult
+from .serial import SubframeResult
+from .verification import VerificationReport, verify_against_serial
+
+__all__ = ["save_results", "load_results", "verify_against_recording"]
+
+_FORMAT_KEY = "__format__"
+_FORMAT_VERSION = 1
+
+
+def _key(subframe_index: int, user_id: int, field: str) -> str:
+    return f"sf{subframe_index:08d}/u{user_id:04d}/{field}"
+
+
+def save_results(results: list[SubframeResult], path: str | Path) -> Path:
+    """Store a run's decoded results as a compressed archive."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {
+        _FORMAT_KEY: np.array([_FORMAT_VERSION], dtype=np.int64)
+    }
+    indices = []
+    for result in results:
+        indices.append(result.subframe_index)
+        user_ids = []
+        for user_result in result.user_results:
+            user_ids.append(user_result.user_id)
+            arrays[_key(result.subframe_index, user_result.user_id, "payload")] = (
+                np.asarray(user_result.payload, dtype=np.uint8)
+            )
+            arrays[_key(result.subframe_index, user_result.user_id, "crc")] = (
+                np.array([user_result.crc_ok], dtype=np.uint8)
+            )
+        arrays[f"sf{result.subframe_index:08d}/users"] = np.array(
+            sorted(user_ids), dtype=np.int64
+        )
+    arrays["subframes"] = np.array(sorted(indices), dtype=np.int64)
+    if len(set(indices)) != len(indices):
+        raise ValueError("duplicate subframe indices cannot be recorded")
+    np.savez_compressed(path, **arrays)
+    # np.savez appends .npz when missing; report the real path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_results(path: str | Path) -> list[SubframeResult]:
+    """Load a stored run back into :class:`SubframeResult` objects."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if _FORMAT_KEY not in archive or int(archive[_FORMAT_KEY][0]) != _FORMAT_VERSION:
+            raise ValueError(f"{path} is not a recognized results recording")
+        results = []
+        for subframe_index in archive["subframes"]:
+            subframe_index = int(subframe_index)
+            user_results = []
+            for user_id in archive[f"sf{subframe_index:08d}/users"]:
+                user_id = int(user_id)
+                payload = archive[_key(subframe_index, user_id, "payload")].astype(
+                    np.int64
+                )
+                crc_ok = bool(archive[_key(subframe_index, user_id, "crc")][0])
+                user_results.append(
+                    UserResult(user_id=user_id, payload=payload, crc_ok=crc_ok)
+                )
+            results.append(
+                SubframeResult(
+                    subframe_index=subframe_index, user_results=user_results
+                )
+            )
+    return results
+
+
+def verify_against_recording(
+    path: str | Path, results: list[SubframeResult]
+) -> VerificationReport:
+    """Check a fresh run against a stored reference recording."""
+    reference = load_results(path)
+    return verify_against_serial(reference, results)

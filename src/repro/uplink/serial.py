@@ -1,0 +1,96 @@
+"""Serial reference implementation of the benchmark (Section IV-A).
+
+"We implemented the serial version as a reference to verify parallelized
+versions of the benchmark." The serial benchmark processes each dispatched
+subframe's users one at a time, in order, recording every result so
+parallel runs can be compared bit-for-bit (Section IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..phy.chain import UserResult
+from ..phy.chest import ChestConfig
+from .parameter_model import ParameterModel
+from .subframe import SubframeFactory, SubframeInput
+from .tasks import UserJob
+
+__all__ = ["SubframeResult", "SerialBenchmark", "process_subframe_serial"]
+
+
+@dataclass
+class SubframeResult:
+    """All users' decoded results for one subframe."""
+
+    subframe_index: int
+    user_results: list[UserResult] = field(default_factory=list)
+
+    def equals(self, other: "SubframeResult") -> bool:
+        """Bit-exact comparison against another run of the same subframe."""
+        if self.subframe_index != other.subframe_index:
+            return False
+        if len(self.user_results) != len(other.user_results):
+            return False
+        mine = sorted(self.user_results, key=lambda r: r.user_id)
+        theirs = sorted(other.user_results, key=lambda r: r.user_id)
+        return all(a.equals(b) for a, b in zip(mine, theirs))
+
+
+def process_subframe_serial(
+    subframe: SubframeInput,
+    config: ChestConfig | None = None,
+    codec=None,
+) -> SubframeResult:
+    """Process one subframe's users sequentially on the calling thread."""
+    result = SubframeResult(subframe_index=subframe.subframe_index)
+    for user_slice in subframe.slices:
+        job = UserJob(user_slice, subframe.grid, config=config, codec=codec)
+        result.user_results.append(job.run_serially())
+    return result
+
+
+class SerialBenchmark:
+    """Drives the serial version over a parameter model.
+
+    Parameters
+    ----------
+    model:
+        Source of per-subframe user parameters.
+    factory:
+        Source of input data (pool mode by default, per the paper).
+    synthesize:
+        When True, build physically meaningful input (CRCs pass) instead of
+        reusing the pre-generated pool.
+    """
+
+    def __init__(
+        self,
+        model: ParameterModel,
+        factory: SubframeFactory | None = None,
+        synthesize: bool = False,
+        config: ChestConfig | None = None,
+        codec=None,
+    ) -> None:
+        self.model = model
+        self.factory = factory or SubframeFactory()
+        self.synthesize = synthesize
+        self.config = config
+        self.codec = codec
+
+    def build_subframe(self, subframe_index: int) -> SubframeInput:
+        users = self.model.uplink_parameters(subframe_index)
+        if self.synthesize:
+            return self.factory.synthesize(users, subframe_index)
+        return self.factory.from_pool(users, subframe_index)
+
+    def run(self, num_subframes: int, start: int = 0) -> list[SubframeResult]:
+        """Process ``num_subframes`` consecutive subframes; returns results."""
+        if num_subframes < 1:
+            raise ValueError("num_subframes must be >= 1")
+        return [
+            process_subframe_serial(
+                self.build_subframe(index), config=self.config, codec=self.codec
+            )
+            for index in range(start, start + num_subframes)
+        ]

@@ -1,0 +1,40 @@
+"""Per-user subframe input parameters (Section IV: "The following input
+parameters define the workload for a subframe: number of users; number of
+PRBs allocated to each user; number of layers used for each user; and
+modulation technique used for each user.").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..phy.params import Modulation, validate_allocation
+from ..phy.transmitter import UserAllocation
+
+__all__ = ["UserParameters"]
+
+
+@dataclass(frozen=True)
+class UserParameters:
+    """One scheduled user's parameters for one subframe."""
+
+    user_id: int
+    num_prb: int
+    layers: int
+    modulation: Modulation
+
+    def __post_init__(self) -> None:
+        if self.user_id < 0:
+            raise ValueError("user_id must be >= 0")
+        validate_allocation(self.num_prb, self.layers, self.modulation)
+
+    @property
+    def allocation(self) -> UserAllocation:
+        """The PHY-level allocation for this user."""
+        return UserAllocation(
+            num_prb=self.num_prb, layers=self.layers, modulation=self.modulation
+        )
+
+    def config_key(self) -> tuple[int, str]:
+        """(layers, modulation) key used by the workload estimator's k_LM."""
+        return (self.layers, self.modulation.value)

@@ -1,0 +1,60 @@
+"""Serial-vs-parallel verification (Section IV-D).
+
+"The serial version processes a predetermined sequence of subframes,
+recording and storing the results from each subframe. By processing the
+same sequence of subframes in the parallel versions of the benchmark,
+results from each subframe can be compared against the serial version's
+data."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .serial import SubframeResult
+
+__all__ = ["VerificationReport", "verify_against_serial"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of comparing a parallel run against the serial reference."""
+
+    subframes_compared: int
+    mismatched_subframes: list[int] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.mismatched_subframes
+
+    def __str__(self) -> str:
+        if self.passed:
+            return f"verification PASSED over {self.subframes_compared} subframes"
+        return (
+            f"verification FAILED: {len(self.mismatched_subframes)} of "
+            f"{self.subframes_compared} subframes mismatched "
+            f"(first: {self.mismatched_subframes[0]})"
+        )
+
+
+def verify_against_serial(
+    serial_results: list[SubframeResult],
+    parallel_results: list[SubframeResult],
+) -> VerificationReport:
+    """Compare two runs of the same subframe sequence bit-for-bit.
+
+    Results are matched by subframe index; within a subframe, user results
+    are matched by user id, so the parallel run's completion order does not
+    matter.
+    """
+    by_index = {r.subframe_index: r for r in parallel_results}
+    if len(by_index) != len(parallel_results):
+        raise ValueError("parallel results contain duplicate subframe indices")
+    mismatched = []
+    for reference in serial_results:
+        candidate = by_index.get(reference.subframe_index)
+        if candidate is None or not reference.equals(candidate):
+            mismatched.append(reference.subframe_index)
+    return VerificationReport(
+        subframes_compared=len(serial_results), mismatched_subframes=mismatched
+    )

@@ -1,0 +1,86 @@
+"""Tests for the ASCII figure renderer and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.asciiplot import MARKERS, render_series
+
+
+class TestRenderSeries:
+    def test_single_series_renders(self):
+        xs = np.linspace(0, 10, 50)
+        out = render_series({"line": (xs, xs)}, width=40, height=8, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "*" in out
+        assert "*=line" in out
+
+    def test_monotone_series_has_monotone_shape(self):
+        """An increasing series' marker column rises left to right."""
+        xs = np.linspace(0, 1, 30)
+        out = render_series({"up": (xs, xs)}, width=30, height=10)
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        first_marks = [row.find("*") for row in rows if "*" in row]
+        # Top rows (rendered first) hold the rightmost points.
+        assert first_marks == sorted(first_marks, reverse=True)
+
+    def test_multiple_series_distinct_markers(self):
+        xs = np.arange(10)
+        out = render_series({"a": (xs, xs), "b": (xs, xs[::-1])}, width=20, height=6)
+        assert MARKERS[0] in out and MARKERS[1] in out
+
+    def test_axis_labels_present(self):
+        xs = np.linspace(2.0, 7.0, 5)
+        ys = np.linspace(10.0, 30.0, 5)
+        out = render_series({"s": (xs, ys)}, width=20, height=5)
+        assert "30" in out and "10" in out
+        assert "2" in out and "7" in out
+
+    def test_fixed_y_range(self):
+        xs = np.arange(4)
+        out = render_series({"s": (xs, xs * 0.1)}, y_min=0.0, y_max=1.0, width=20, height=5)
+        assert "1" in out.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_series({})
+        with pytest.raises(ValueError):
+            render_series({"s": (np.arange(3), np.arange(4))})
+        with pytest.raises(ValueError):
+            render_series({"s": (np.arange(3), np.arange(3))}, width=4)
+
+    def test_constant_series_does_not_crash(self):
+        xs = np.arange(5)
+        out = render_series({"flat": (xs, np.ones(5))}, width=20, height=5)
+        assert "*" in out
+
+
+class TestCli:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        for command in ("quickstart", "workload", "calibrate", "estimate", "power-study"):
+            args = parser.parse_args(
+                [command] if command in ("quickstart", "calibrate") else [command, "--subframes", "400"]
+            )
+            assert args.command == command
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "CRC OK" in out
+        assert "PASSED" in out
+
+    def test_workload_runs(self, capsys):
+        assert main(["workload", "--subframes", "800", "--stride", "50"]) == 0
+        assert "users per subframe" in capsys.readouterr().out
+
+    def test_estimate_runs(self, capsys):
+        assert main(["estimate", "--subframes", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 12" in out
+        assert "measured" in out

@@ -1,0 +1,143 @@
+"""Tests for the MIMO fading channel model."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import ChannelModel, ChannelRealization, awgn
+
+
+class TestAwgn:
+    def test_zero_variance_is_identity(self):
+        rng = np.random.default_rng(0)
+        x = np.ones((2, 3), dtype=complex)
+        assert np.array_equal(awgn(x, 0.0, rng), x)
+
+    def test_noise_variance_matches(self):
+        rng = np.random.default_rng(1)
+        x = np.zeros(200_000, dtype=complex)
+        noisy = awgn(x, 0.5, rng)
+        assert np.mean(np.abs(noisy) ** 2) == pytest.approx(0.5, rel=0.05)
+
+    def test_noise_is_circular(self):
+        rng = np.random.default_rng(2)
+        noisy = awgn(np.zeros(100_000, dtype=complex), 1.0, rng)
+        assert np.mean(noisy.real * noisy.imag) == pytest.approx(0.0, abs=0.02)
+        assert np.var(noisy.real) == pytest.approx(np.var(noisy.imag), rel=0.05)
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ValueError):
+            awgn(np.zeros(4, dtype=complex), -1.0, np.random.default_rng(0))
+
+
+class TestChannelModel:
+    def test_realization_shape(self):
+        rng = np.random.default_rng(3)
+        model = ChannelModel(num_rx_antennas=4)
+        real = model.realize(num_layers=2, num_subcarriers=48, rng=rng)
+        assert real.response.shape == (4, 2, 48)
+        assert real.num_rx_antennas == 4
+        assert real.num_layers == 2
+        assert real.num_subcarriers == 48
+
+    def test_unit_average_gain(self):
+        """Tap powers normalized: E[|H|^2] == 1 per antenna-layer pair."""
+        rng = np.random.default_rng(4)
+        model = ChannelModel(num_rx_antennas=2, num_taps=4)
+        powers = []
+        for _ in range(300):
+            real = model.realize(1, 24, rng)
+            powers.append(np.mean(np.abs(real.response) ** 2))
+        assert np.mean(powers) == pytest.approx(1.0, rel=0.1)
+
+    def test_snr_sets_noise_variance(self):
+        model = ChannelModel(snr_db=20.0)
+        assert model.noise_variance() == pytest.approx(0.01)
+
+    def test_flat_channel_constant_across_frequency(self):
+        rng = np.random.default_rng(5)
+        model = ChannelModel(num_taps=1)
+        real = model.realize(1, 96, rng)
+        assert np.allclose(real.response, real.response[:, :, :1])
+
+    def test_selective_channel_varies_across_frequency(self):
+        rng = np.random.default_rng(6)
+        model = ChannelModel(num_taps=8, delay_spread_decay=1.0)
+        real = model.realize(1, 1200, rng)
+        flat_error = np.abs(real.response - real.response[:, :, :1]).max()
+        assert flat_error > 0.01
+
+    def test_deterministic_given_rng(self):
+        a = ChannelModel().realize(2, 24, np.random.default_rng(7))
+        b = ChannelModel().realize(2, 24, np.random.default_rng(7))
+        assert np.array_equal(a.response, b.response)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_rx_antennas": 0},
+            {"num_taps": 0},
+            {"delay_spread_decay": 0.0},
+            {"delay_spread_decay": 1.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            ChannelModel(**kwargs)
+
+    def test_realize_rejects_bad_dims(self):
+        model = ChannelModel()
+        with pytest.raises(ValueError):
+            model.realize(0, 24, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model.realize(1, 0, np.random.default_rng(0))
+
+
+class TestChannelApplication:
+    def test_apply_shapes(self):
+        rng = np.random.default_rng(8)
+        real = ChannelModel(num_rx_antennas=4).realize(2, 36, rng)
+        tx = np.ones((2, 14, 36), dtype=complex)
+        rx = real.apply(tx, rng)
+        assert rx.shape == (4, 14, 36)
+
+    def test_apply_is_linear_in_input_noiseless(self):
+        rng = np.random.default_rng(9)
+        model = ChannelModel(num_rx_antennas=2, snr_db=np.inf)
+        real = ChannelRealization(
+            response=model.realize(1, 12, rng).response, noise_variance=0.0
+        )
+        tx = np.zeros((1, 14, 12), dtype=complex)
+        tx[0, 0, 0] = 1.0
+        rx1 = real.apply(tx, rng)
+        rx2 = real.apply(2 * tx, rng)
+        assert np.allclose(rx2, 2 * rx1)
+
+    def test_single_tone_sees_channel_gain(self):
+        rng = np.random.default_rng(10)
+        real = ChannelRealization(
+            response=ChannelModel().realize(1, 12, rng).response, noise_variance=0.0
+        )
+        tx = np.zeros((1, 14, 12), dtype=complex)
+        tx[0, 3, 5] = 1.0
+        rx = real.apply(tx, rng)
+        assert np.allclose(rx[:, 3, 5], real.response[:, 0, 5])
+        rx[:, 3, 5] = 0
+        assert np.allclose(rx, 0)
+
+    def test_layer_mismatch_rejected(self):
+        rng = np.random.default_rng(11)
+        real = ChannelModel().realize(2, 24, rng)
+        with pytest.raises(ValueError):
+            real.apply(np.zeros((3, 14, 24), dtype=complex), rng)
+
+    def test_subcarrier_mismatch_rejected(self):
+        rng = np.random.default_rng(12)
+        real = ChannelModel().realize(2, 24, rng)
+        with pytest.raises(ValueError):
+            real.apply(np.zeros((2, 14, 48), dtype=complex), rng)
+
+    def test_realization_validates(self):
+        with pytest.raises(ValueError):
+            ChannelRealization(response=np.zeros((2, 2)), noise_variance=0.1)
+        with pytest.raises(ValueError):
+            ChannelRealization(response=np.zeros((2, 2, 4)), noise_variance=-1.0)

@@ -1,0 +1,189 @@
+"""Tests for channel estimation and MMSE combining."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import ChannelModel
+from repro.phy.chest import (
+    ChestConfig,
+    estimate_channel,
+    estimate_noise_variance,
+    matched_filter,
+)
+from repro.phy.equalizer import (
+    combine_antennas,
+    mmse_combiner_weights,
+    mrc_combiner_weights,
+    post_combining_noise_variance,
+)
+from repro.phy.sequences import dmrs_for_layer
+
+
+def _received_reference(response, layers, noise_variance, rng, antenna=0):
+    """Synthesize the reference symbol seen at one antenna."""
+    n = response.shape[2]
+    ref = sum(response[antenna, l, :] * dmrs_for_layer(n, l) for l in range(layers))
+    noise = (rng.standard_normal(n) + 1j * rng.standard_normal(n)) * np.sqrt(
+        noise_variance / 2
+    )
+    return ref + noise
+
+
+class TestChestConfig:
+    def test_default_valid(self):
+        ChestConfig()
+
+    @pytest.mark.parametrize("keep", [0.0, 0.3, 1.0])
+    def test_rejects_keep_beyond_layer_spacing(self, keep):
+        with pytest.raises(ValueError):
+            ChestConfig(keep_fraction=keep)
+
+    def test_rejects_negative_taper(self):
+        with pytest.raises(ValueError):
+            ChestConfig(taper_fraction=-0.1)
+
+
+class TestMatchedFilter:
+    def test_recovers_flat_channel_exactly_noiseless(self):
+        n = 48
+        h = 0.7 - 0.2j
+        ref = h * dmrs_for_layer(n, 0)
+        assert np.allclose(matched_filter(ref, 0), h)
+
+    def test_wrong_layer_gives_rotating_phase(self):
+        n = 48
+        ref = dmrs_for_layer(n, 0)
+        out = matched_filter(ref, 2)
+        # Layer-2 matched filter on layer-0 data: residual phase ramp, so the
+        # mean collapses while the magnitude stays 1.
+        assert abs(np.mean(out)) < 0.05
+        assert np.allclose(np.abs(out), 1.0)
+
+
+class TestEstimateChannel:
+    def test_flat_channel_high_accuracy(self):
+        rng = np.random.default_rng(0)
+        model = ChannelModel(num_rx_antennas=1, num_taps=1, snr_db=30.0)
+        real = model.realize(1, 144, rng)
+        ref = _received_reference(real.response, 1, real.noise_variance, rng)
+        est = estimate_channel(ref, 0)
+        mse = np.mean(np.abs(est - real.response[0, 0]) ** 2)
+        # The window keeps keep+back of the 144 time samples, so the
+        # residual error is that fraction of the noise (flat channel passes
+        # through the window exactly); allow 3x for estimation variance.
+        cfg = ChestConfig()
+        keep, back, _ = cfg.window_lengths(144)
+        expected = real.noise_variance * (keep + back) / 144
+        assert mse < 3 * expected
+
+    def test_denoising_beats_raw_matched_filter(self):
+        rng = np.random.default_rng(1)
+        model = ChannelModel(num_rx_antennas=1, num_taps=1, snr_db=10.0)
+        real = model.realize(1, 144, rng)
+        ref = _received_reference(real.response, 1, real.noise_variance, rng)
+        h = real.response[0, 0]
+        raw = matched_filter(ref, 0)
+        est = estimate_channel(ref, 0)
+        err_raw = np.mean(np.abs(raw - h) ** 2)
+        err_est = np.mean(np.abs(est - h) ** 2)
+        assert err_est < err_raw * 0.3
+
+    def test_layer_separation_four_layers(self):
+        """With 4 simultaneous layers each estimate tracks its own channel."""
+        rng = np.random.default_rng(2)
+        model = ChannelModel(num_rx_antennas=1, num_taps=1, snr_db=40.0)
+        real = model.realize(4, 144, rng)
+        ref = _received_reference(real.response, 4, real.noise_variance, rng)
+        for layer in range(4):
+            est = estimate_channel(ref, layer)
+            h = real.response[0, layer]
+            nmse = np.mean(np.abs(est - h) ** 2) / np.mean(np.abs(h) ** 2)
+            assert nmse < 0.01, f"layer {layer} nmse {nmse}"
+
+    def test_noise_variance_estimate_tracks_truth(self):
+        rng = np.random.default_rng(3)
+        model = ChannelModel(num_rx_antennas=1, num_taps=1, snr_db=20.0)
+        real = model.realize(1, 288, rng)
+        estimates = []
+        for _ in range(30):
+            ref = _received_reference(real.response, 1, real.noise_variance, rng)
+            estimates.append(estimate_noise_variance(ref, 0))
+        assert np.mean(estimates) == pytest.approx(real.noise_variance, rel=0.35)
+
+
+class TestMmseWeights:
+    def _channel(self, antennas, layers, sc, seed):
+        rng = np.random.default_rng(seed)
+        return ChannelModel(num_rx_antennas=antennas, num_taps=1).realize(
+            layers, sc, rng
+        ).response
+
+    def test_shape(self):
+        h = self._channel(4, 2, 24, 0)
+        w = mmse_combiner_weights(h, 0.01)
+        assert w.shape == (2, 4, 24)
+
+    def test_zero_noise_inverts_channel(self):
+        h = self._channel(4, 2, 12, 1)
+        w = mmse_combiner_weights(h, 0.0)
+        # W @ H per subcarrier approaches identity.
+        prod = np.einsum("lak,amk->lmk", w, h)
+        eye = np.eye(2)[:, :, None]
+        assert np.allclose(prod, eye, atol=1e-6)
+
+    def test_rejects_more_layers_than_antennas(self):
+        h = self._channel(2, 2, 12, 2)
+        h = np.concatenate([h, h], axis=1)  # 4 layers, 2 antennas
+        with pytest.raises(ValueError):
+            mmse_combiner_weights(h, 0.01)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            mmse_combiner_weights(self._channel(2, 1, 12, 3), -0.1)
+
+    def test_high_noise_shrinks_weights(self):
+        h = self._channel(4, 1, 12, 4)
+        w_low = mmse_combiner_weights(h, 1e-6)
+        w_high = mmse_combiner_weights(h, 10.0)
+        assert np.linalg.norm(w_high) < np.linalg.norm(w_low)
+
+
+class TestMrcWeights:
+    def test_matches_mmse_direction_single_layer(self):
+        rng = np.random.default_rng(5)
+        h = ChannelModel(num_rx_antennas=4, num_taps=1).realize(1, 12, rng).response
+        w = mrc_combiner_weights(h)
+        assert w.shape == (1, 4, 12)
+        # MRC applied to the pure channel gives exactly 1 per subcarrier.
+        gain = np.einsum("lak,alk->lk", w, h)
+        assert np.allclose(gain, 1.0)
+
+    def test_rejects_multi_layer(self):
+        rng = np.random.default_rng(6)
+        h = ChannelModel(num_rx_antennas=4, num_taps=1).realize(2, 12, rng).response
+        with pytest.raises(ValueError):
+            mrc_combiner_weights(h)
+
+
+class TestCombining:
+    def test_perfect_combining_recovers_symbols(self):
+        rng = np.random.default_rng(7)
+        h = ChannelModel(num_rx_antennas=4, num_taps=1).realize(2, 24, rng).response
+        tx = rng.standard_normal((2, 6, 24)) + 1j * rng.standard_normal((2, 6, 24))
+        rx = np.einsum("alk,lsk->ask", h, tx)
+        w = mmse_combiner_weights(h, 0.0)
+        recovered = combine_antennas(rx, w)
+        assert np.allclose(recovered, tx, atol=1e-6)
+
+    def test_shape_checks(self):
+        w = np.zeros((1, 4, 24), dtype=complex)
+        with pytest.raises(ValueError):
+            combine_antennas(np.zeros((2, 6, 24), dtype=complex), w)
+        with pytest.raises(ValueError):
+            combine_antennas(np.zeros((4, 6, 12), dtype=complex), w)
+
+    def test_post_combining_noise(self):
+        w = np.ones((1, 4, 3), dtype=complex)
+        sigma = post_combining_noise_variance(w, 0.5)
+        assert sigma.shape == (1, 3)
+        assert np.allclose(sigma, 0.5 * 4)

@@ -1,0 +1,105 @@
+"""Tests for the LTE CRC implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.crc import CRC8, CRC16, CRC24A, CRC24B, crc_attach, crc_check
+
+ALL_POLYS = [CRC24A, CRC24B, CRC16, CRC8]
+
+
+@pytest.mark.parametrize("poly", ALL_POLYS, ids=lambda p: p.name)
+class TestCrcBasics:
+    def test_zero_message_has_zero_crc(self, poly):
+        assert poly.compute(np.zeros(64, dtype=int)) == 0
+
+    def test_table_matches_bitwise(self, poly):
+        rng = np.random.default_rng(0)
+        for size in (1, 7, 8, 9, 31, 32, 100, 257):
+            bits = rng.integers(0, 2, size=size)
+            assert poly.compute(bits) == poly.compute_bitwise(bits)
+
+    def test_attach_then_check(self, poly):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=200)
+        assert crc_check(crc_attach(bits, poly), poly)
+
+    def test_single_bit_error_detected(self, poly):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, size=100)
+        coded = crc_attach(bits, poly)
+        for pos in range(0, coded.size, 17):
+            corrupted = coded.copy()
+            corrupted[pos] ^= 1
+            assert not crc_check(corrupted, poly)
+
+    def test_burst_error_detected(self, poly):
+        """CRCs detect all bursts no longer than their width."""
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, size=120)
+        coded = crc_attach(bits, poly)
+        for start in (0, 10, 50):
+            corrupted = coded.copy()
+            burst = rng.integers(0, 2, size=poly.width)
+            burst[0] = 1  # non-trivial burst
+            corrupted[start : start + poly.width] ^= burst
+            if np.any(corrupted != coded):
+                assert not crc_check(corrupted, poly)
+
+    def test_crc_bits_width(self, poly):
+        assert poly.to_bits(0).size == poly.width
+        assert poly.to_bits((1 << poly.width) - 1).tolist() == [1] * poly.width
+
+
+class TestKnownValues:
+    """Cross-checks against independently computed CRC values."""
+
+    def test_crc16_ccitt_known_vector(self):
+        # "123456789" ASCII with CRC16/XMODEM (poly 0x1021, init 0) = 0x31C3.
+        data = b"123456789"
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8)).astype(np.int64)
+        assert CRC16.compute(bits) == 0x31C3
+
+    def test_crc24a_nonzero_for_nonzero_message(self):
+        bits = np.zeros(40, dtype=int)
+        bits[0] = 1
+        assert CRC24A.compute(bits) != 0
+
+    def test_polynomials_are_distinct(self):
+        bits = np.ones(48, dtype=int)
+        values = {p.name: p.compute(bits) for p in ALL_POLYS}
+        assert len(set(values.values())) == len(values)
+
+
+class TestValidation:
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            CRC24A.compute(np.array([0, 1, 2]))
+
+    def test_check_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            crc_check(np.zeros(10, dtype=int), CRC24A)
+
+
+@given(
+    bits=st.lists(st.integers(0, 1), min_size=1, max_size=300),
+    poly_idx=st.integers(0, len(ALL_POLYS) - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_attach_check_roundtrip(bits, poly_idx):
+    poly = ALL_POLYS[poly_idx]
+    assert crc_check(crc_attach(np.array(bits), poly), poly)
+
+
+@given(
+    bits=st.lists(st.integers(0, 1), min_size=8, max_size=200),
+    flip=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_any_single_flip_detected(bits, flip):
+    coded = crc_attach(np.array(bits), CRC24A)
+    corrupted = coded.copy()
+    corrupted[flip % coded.size] ^= 1
+    assert not crc_check(corrupted, CRC24A)

@@ -1,0 +1,175 @@
+"""Tests for the Fig. 2 receive front-end (CP, OFDM, receive filter)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.frontend import (
+    Frontend,
+    FrontendConfig,
+    ReceiveFilter,
+    cp_lengths,
+    ofdm_demodulate,
+    ofdm_modulate,
+)
+
+
+SMALL = FrontendConfig(fft_size=256)
+
+
+def random_grid(rng, symbols=14, subcarriers=144):
+    return rng.standard_normal((symbols, subcarriers)) + 1j * rng.standard_normal(
+        (symbols, subcarriers)
+    )
+
+
+class TestConfig:
+    def test_lte_reference_numerology(self):
+        cfg = FrontendConfig()
+        assert cfg.fft_size == 2048
+        assert cfg.sample_rate_hz == pytest.approx(30.72e6)
+        assert cfg.cp_length(0) == 160
+        assert cfg.cp_length(1) == 144
+        # One slot = 0.5 ms of samples.
+        assert cfg.samples_per_slot == pytest.approx(30.72e6 * 0.5e-3)
+
+    def test_scaled_numerology(self):
+        assert SMALL.cp_length(0) == 20
+        assert SMALL.cp_length(3) == 18
+
+    def test_cp_lengths_per_subframe(self):
+        lengths = cp_lengths(FrontendConfig())
+        assert len(lengths) == 14
+        assert lengths[0] == 160 and lengths[7] == 160  # slot starts
+        assert lengths[1] == 144 and lengths[13] == 144
+
+    def test_rejects_bad_fft_size(self):
+        with pytest.raises(ValueError):
+            FrontendConfig(fft_size=100)
+        with pytest.raises(ValueError):
+            FrontendConfig(fft_size=64)
+
+
+class TestOfdmRoundtrip:
+    def test_modulate_demodulate_identity(self):
+        rng = np.random.default_rng(0)
+        grid = random_grid(rng)
+        waveform = ofdm_modulate(grid, SMALL)
+        recovered = ofdm_demodulate(waveform, 14, 144, SMALL)
+        assert np.allclose(recovered, grid, atol=1e-10)
+
+    def test_waveform_length(self):
+        rng = np.random.default_rng(1)
+        grid = random_grid(rng)
+        waveform = ofdm_modulate(grid, SMALL)
+        assert waveform.size == SMALL.samples_per_subframe
+
+    def test_cp_is_cyclic(self):
+        """The prefix equals the tail of each symbol body."""
+        rng = np.random.default_rng(2)
+        grid = random_grid(rng, symbols=1)
+        waveform = ofdm_modulate(grid, SMALL)
+        cp = SMALL.cp_length(0)
+        assert np.allclose(waveform[:cp], waveform[-cp:])
+
+    def test_cp_absorbs_channel_delay(self):
+        """A delayed copy within the CP still demodulates to a pure
+        per-subcarrier phase ramp (no inter-symbol interference)."""
+        rng = np.random.default_rng(3)
+        grid = random_grid(rng)
+        waveform = ofdm_modulate(grid, SMALL)
+        delay = 5  # < min CP (18 samples at fft_size 256)
+        delayed = np.concatenate([np.zeros(delay, dtype=complex), waveform])[
+            : waveform.size
+        ]
+        recovered = ofdm_demodulate(delayed, 14, 144, SMALL)
+        ratio = recovered[2] / grid[2]
+        assert np.allclose(np.abs(ratio), 1.0, atol=1e-6)
+
+    def test_parseval_power(self):
+        rng = np.random.default_rng(4)
+        grid = random_grid(rng, symbols=1)
+        waveform = ofdm_modulate(grid, SMALL)
+        body = waveform[SMALL.cp_length(0) :]
+        assert np.sum(np.abs(body) ** 2) == pytest.approx(
+            np.sum(np.abs(grid[0]) ** 2), rel=1e-9
+        )
+
+    def test_too_short_waveform_rejected(self):
+        with pytest.raises(ValueError):
+            ofdm_demodulate(np.zeros(10, dtype=complex), 14, 144, SMALL)
+
+    def test_too_wide_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ofdm_modulate(np.zeros((1, 300), dtype=complex), SMALL)
+
+
+class TestReceiveFilter:
+    def test_passband_preserved(self):
+        """In-band symbols survive the filter nearly unchanged."""
+        rng = np.random.default_rng(5)
+        grid = random_grid(rng, subcarriers=96)
+        waveform = ofdm_modulate(grid, SMALL)
+        filtered = ReceiveFilter(SMALL, occupied_subcarriers=96).apply(waveform)
+        recovered = ofdm_demodulate(filtered, 14, 96, SMALL)
+        error = np.abs(recovered - grid).max() / np.abs(grid).max()
+        assert error < 0.05
+
+    def test_out_of_band_noise_attenuated(self):
+        """Wideband noise loses the energy outside the occupied band."""
+        rng = np.random.default_rng(6)
+        cfg = SMALL
+        noise = rng.standard_normal(cfg.samples_per_subframe) + 1j * rng.standard_normal(
+            cfg.samples_per_subframe
+        )
+        filtered = ReceiveFilter(cfg, occupied_subcarriers=96).apply(noise)
+        power_in = np.mean(np.abs(noise) ** 2)
+        power_out = np.mean(np.abs(filtered) ** 2)
+        # Occupied band ≈ 96/256 of the spectrum (+ transition margin).
+        assert power_out < 0.6 * power_in
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReceiveFilter(SMALL, num_taps=4)
+        with pytest.raises(ValueError):
+            ReceiveFilter(SMALL, occupied_subcarriers=1000)
+        with pytest.raises(ValueError):
+            ReceiveFilter(SMALL).apply(np.zeros(8, dtype=complex))
+
+
+class TestFrontend:
+    def test_full_frontend_roundtrip(self):
+        rng = np.random.default_rng(7)
+        grid = random_grid(rng, subcarriers=96)
+        waveform = ofdm_modulate(grid, SMALL)
+        frontend = Frontend(SMALL, occupied_subcarriers=96)
+        recovered = frontend.receive(waveform)
+        error = np.abs(recovered - grid).max() / np.abs(grid).max()
+        assert error < 0.05
+
+    def test_frontend_without_filter_is_exact(self):
+        rng = np.random.default_rng(8)
+        grid = random_grid(rng, subcarriers=96)
+        waveform = ofdm_modulate(grid, SMALL)
+        frontend = Frontend(SMALL, occupied_subcarriers=96, use_filter=False)
+        assert np.allclose(frontend.receive(waveform), grid, atol=1e-10)
+
+    def test_time_domain_end_to_end_with_receiver_chain(self):
+        """TX grid → waveform → front-end → benchmark receiver chain:
+        the excluded-from-benchmark front-end composes with the benchmark
+        kernels into a full time-domain link that still decodes."""
+        from repro.phy import Modulation, UserAllocation, process_user, random_payload, transmit_subframe
+
+        rng = np.random.default_rng(9)
+        alloc = UserAllocation(num_prb=8, layers=1, modulation=Modulation.QAM16)
+        payload = random_payload(alloc, rng)
+        tx = transmit_subframe(alloc, payload, rng)
+        frontend = Frontend(SMALL, occupied_subcarriers=alloc.num_subcarriers, use_filter=False)
+        received = np.stack(
+            [
+                frontend.receive(ofdm_modulate(tx.grid[0], SMALL))
+                for _ in range(2)  # two identical antennas, no channel
+            ]
+        )
+        result = process_user(alloc, received)
+        assert result.crc_ok
+        assert np.array_equal(result.payload, payload)

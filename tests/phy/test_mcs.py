@@ -1,0 +1,90 @@
+"""Tests for link adaptation (MCS selection)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.mcs import (
+    McsThresholds,
+    select_layers,
+    select_modulation,
+    spectral_efficiency,
+)
+from repro.phy.params import Modulation
+
+
+class TestSelectModulation:
+    def test_regions(self):
+        assert select_modulation(5.0) is Modulation.QPSK
+        assert select_modulation(14.0) is Modulation.QAM16
+        assert select_modulation(21.9) is Modulation.QAM16
+        assert select_modulation(22.0) is Modulation.QAM64
+        assert select_modulation(40.0) is Modulation.QAM64
+
+    def test_monotone_in_snr(self):
+        orders = [
+            select_modulation(snr).bits_per_symbol for snr in np.linspace(-5, 40, 50)
+        ]
+        assert orders == sorted(orders)
+
+    def test_custom_thresholds(self):
+        custom = McsThresholds(qam16_snr_db=10.0, qam64_snr_db=18.0)
+        assert select_modulation(11.0, custom) is Modulation.QAM16
+        assert select_modulation(19.0, custom) is Modulation.QAM64
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            McsThresholds(qam16_snr_db=20.0, qam64_snr_db=15.0)
+
+    def test_selected_modulation_actually_decodes(self):
+        """End-to-end: the chosen modulation survives the chosen SNR."""
+        from repro.phy import (
+            ChannelModel,
+            UserAllocation,
+            process_user,
+            random_payload,
+            transmit_subframe,
+        )
+
+        for snr in (12.0, 18.0, 30.0):
+            rng = np.random.default_rng(int(snr))
+            mod = select_modulation(snr)
+            alloc = UserAllocation(num_prb=8, layers=1, modulation=mod)
+            payload = random_payload(alloc, rng)
+            tx = transmit_subframe(alloc, payload, rng)
+            real = ChannelModel(num_taps=1, snr_db=snr).realize(
+                1, alloc.num_subcarriers, rng
+            )
+            result = process_user(alloc, real.apply(tx.grid, rng))
+            assert result.crc_ok, f"{mod} failed at {snr} dB"
+
+
+class TestSelectLayers:
+    def test_low_snr_single_layer(self):
+        assert select_layers(5.0) == 1
+
+    def test_high_snr_max_layers(self):
+        assert select_layers(40.0) == 4
+
+    def test_monotone(self):
+        layers = [select_layers(snr) for snr in np.linspace(0, 40, 41)]
+        assert layers == sorted(layers)
+
+    def test_capped_by_antennas(self):
+        assert select_layers(40.0, num_rx_antennas=2) == 2
+        assert select_layers(40.0, num_rx_antennas=1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            select_layers(10.0, num_rx_antennas=0)
+        with pytest.raises(ValueError):
+            select_layers(10.0, per_layer_penalty_db=0.0)
+
+
+class TestSpectralEfficiency:
+    def test_values(self):
+        assert spectral_efficiency(Modulation.QPSK, 1) == 2
+        assert spectral_efficiency(Modulation.QAM64, 4) == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spectral_efficiency(Modulation.QPSK, 0)

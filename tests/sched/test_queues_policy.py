@@ -1,0 +1,123 @@
+"""Tests for work-stealing queues and victim selection."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.policy import RandomVictimPolicy
+from repro.sched.queues import GlobalQueue, WorkStealingDeque
+
+
+class TestWorkStealingDeque:
+    def test_owner_lifo(self):
+        dq = WorkStealingDeque()
+        dq.push(1)
+        dq.push(2)
+        dq.push(3)
+        assert dq.pop() == 3
+        assert dq.pop() == 2
+
+    def test_thief_fifo(self):
+        dq = WorkStealingDeque()
+        dq.push_all([1, 2, 3])
+        assert dq.steal() == 1
+        assert dq.steal() == 2
+
+    def test_owner_and_thief_opposite_ends(self):
+        dq = WorkStealingDeque()
+        dq.push_all([1, 2, 3])
+        assert dq.steal() == 1
+        assert dq.pop() == 3
+        assert dq.pop() == 2
+        assert dq.pop() is None
+
+    def test_empty_returns_none(self):
+        dq = WorkStealingDeque()
+        assert dq.pop() is None
+        assert dq.steal() is None
+
+    def test_len(self):
+        dq = WorkStealingDeque()
+        assert len(dq) == 0
+        dq.push_all([1, 2])
+        assert len(dq) == 2
+
+    def test_concurrent_steal_no_loss_no_duplication(self):
+        """Many thieves draining one deque see each item exactly once."""
+        dq = WorkStealingDeque()
+        n = 2000
+        dq.push_all(list(range(n)))
+        seen = []
+        lock = threading.Lock()
+
+        def thief():
+            while True:
+                item = dq.steal()
+                if item is None:
+                    return
+                with lock:
+                    seen.append(item)
+
+        threads = [threading.Thread(target=thief) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(seen) == list(range(n))
+
+
+class TestGlobalQueue:
+    def test_fifo_order(self):
+        gq = GlobalQueue()
+        gq.put_subframe(["a", "b"])
+        gq.put_subframe(["c"])
+        assert gq.get() == "a"
+        assert gq.get() == "b"
+        assert gq.get() == "c"
+        assert gq.get() is None
+
+    def test_len(self):
+        gq = GlobalQueue()
+        gq.put_subframe([1, 2, 3])
+        assert len(gq) == 3
+
+
+class TestRandomVictimPolicy:
+    def test_excludes_thief(self):
+        policy = RandomVictimPolicy(8, seed=0)
+        for thief in range(8):
+            order = policy.victim_order(thief)
+            assert thief not in order
+            assert sorted(order) == [w for w in range(8) if w != thief]
+
+    def test_deterministic_under_seed(self):
+        a = RandomVictimPolicy(8, seed=42)
+        b = RandomVictimPolicy(8, seed=42)
+        assert [a.victim_order(0) for _ in range(5)] == [
+            b.victim_order(0) for _ in range(5)
+        ]
+
+    def test_orders_vary(self):
+        policy = RandomVictimPolicy(16, seed=1)
+        orders = {tuple(policy.victim_order(0)) for _ in range(10)}
+        assert len(orders) > 1
+
+    def test_single_worker(self):
+        policy = RandomVictimPolicy(1, seed=0)
+        assert list(policy.victim_order(0)) == []
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            RandomVictimPolicy(0)
+        with pytest.raises(ValueError):
+            RandomVictimPolicy(4).victim_order(4)
+
+
+@given(n=st.integers(2, 32), thief=st.integers(0, 31), seed=st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_property_victim_order_is_permutation(n, thief, seed):
+    thief = thief % n
+    order = RandomVictimPolicy(n, seed=seed).victim_order(thief)
+    assert sorted(order) == [w for w in range(n) if w != thief]

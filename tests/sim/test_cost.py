@@ -1,0 +1,156 @@
+"""Tests for the calibrated cycle cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.params import ALL_MODULATIONS, Modulation
+from repro.sim.cost import CostModel, MachineSpec
+from repro.uplink.tasks import describe_user_tasks
+from repro.uplink.user import UserParameters
+
+
+def user(prb, layers=1, mod=Modulation.QPSK):
+    return UserParameters(0, prb, layers, mod)
+
+
+class TestMachineSpec:
+    def test_paper_defaults(self):
+        spec = MachineSpec()
+        assert spec.num_cores == 64
+        assert spec.num_workers == 62  # one core for drivers, one maintenance
+        assert spec.subframe_period_s == pytest.approx(5e-3)
+        assert spec.base_power_w == 14.0
+
+    def test_budget(self):
+        spec = MachineSpec()
+        assert spec.subframe_period_cycles == int(5e-3 * 700e6)
+        assert spec.cycles_per_subframe_budget == 62 * int(5e-3 * 700e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(num_workers=65)
+        with pytest.raises(ValueError):
+            MachineSpec(clock_hz=0)
+
+
+class TestCalibration:
+    def test_max_user_saturates_budget(self):
+        """The 200-PRB/4L/64QAM user consumes ~98 % of the worker budget."""
+        cost = CostModel()
+        activity = cost.user_activity(user(200, 4, Modulation.QAM64))
+        # Slightly above the saturation fraction because of per-task overhead.
+        assert 0.97 < activity < 1.01
+
+    def test_saturation_fraction_respected(self):
+        cost = CostModel(saturation_fraction=0.5, task_overhead_cycles=0)
+        activity = cost.user_activity(user(200, 4, Modulation.QAM64))
+        assert activity == pytest.approx(0.5, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(saturation_fraction=0.0)
+        with pytest.raises(ValueError):
+            CostModel(task_overhead_cycles=-1)
+
+
+class TestLinearity:
+    """Fig. 11's central property: activity linear in PRBs per config."""
+
+    @pytest.mark.parametrize("layers", [1, 2, 4])
+    @pytest.mark.parametrize("mod", ALL_MODULATIONS)
+    def test_cycles_affine_in_prbs(self, layers, mod):
+        cost = CostModel()
+        prbs = np.array([20, 60, 100, 140, 180])
+        cycles = np.array(
+            [cost.user_cycles(user(int(p), layers, mod)) for p in prbs], dtype=float
+        )
+        # Fit a line; residuals must vanish (affine: overhead is the intercept).
+        coeffs = np.polyfit(prbs, cycles, 1)
+        residuals = cycles - np.polyval(coeffs, prbs)
+        assert np.abs(residuals).max() < 1e-6 * cycles.max()
+        assert coeffs[0] > 0
+
+    def test_slope_increases_with_layers(self):
+        cost = CostModel()
+        slopes = []
+        for layers in (1, 2, 3, 4):
+            c1 = cost.user_cycles(user(100, layers))
+            c2 = cost.user_cycles(user(200, layers))
+            slopes.append(c2 - c1)
+        assert slopes == sorted(slopes)
+        assert slopes[-1] > 3.5 * slopes[0]  # roughly linear in layers
+
+    def test_slope_increases_with_modulation(self):
+        cost = CostModel()
+        slopes = []
+        for mod in ALL_MODULATIONS:
+            c1 = cost.user_cycles(user(100, 2, mod))
+            c2 = cost.user_cycles(user(200, 2, mod))
+            slopes.append(c2 - c1)
+        assert slopes == sorted(slopes)
+        assert slopes[2] > 1.2 * slopes[0]
+
+    def test_modulation_affects_only_finalize(self):
+        """Demapping is the only modulation-sensitive kernel (pass-through
+        turbo), so chest/combiner/symbol task costs must not change."""
+        cost = CostModel()
+        for mod in ALL_MODULATIONS:
+            chest, combiner, data, _ = describe_user_tasks(user(40, 2, mod))
+            assert cost.task_cycles(chest[0]) == cost.task_cycles(
+                describe_user_tasks(user(40, 2, Modulation.QPSK))[0][0]
+            )
+            assert cost.task_cycles(combiner) == cost.task_cycles(
+                describe_user_tasks(user(40, 2, Modulation.QPSK))[1]
+            )
+
+
+class TestTaskCycles:
+    def test_user_cycles_is_sum_of_tasks(self):
+        cost = CostModel()
+        u = user(30, 3, Modulation.QAM16)
+        chest, combiner, data, finalize = describe_user_tasks(u)
+        total = (
+            sum(cost.task_cycles(t) for t in chest)
+            + cost.task_cycles(combiner)
+            + sum(cost.task_cycles(t) for t in data)
+            + cost.task_cycles(finalize)
+        )
+        assert cost.user_cycles(u) == total
+
+    def test_unknown_kind_rejected(self):
+        from repro.uplink.tasks import TaskDescriptor
+
+        cost = CostModel()
+        bad = TaskDescriptor(
+            kind="mystery", user_id=0, num_prb=10, layers=1, bits_per_symbol=2, antennas=4
+        )
+        with pytest.raises(ValueError):
+            cost.task_cycles(bad)
+
+    def test_every_task_has_positive_cost(self):
+        cost = CostModel()
+        chest, combiner, data, finalize = describe_user_tasks(user(2, 1))
+        for task in [*chest, combiner, *data, finalize]:
+            assert cost.task_cycles(task) > 0
+
+    def test_subframe_cycles_sums_users(self):
+        cost = CostModel()
+        users = [user(10), user(20, 2, Modulation.QAM64)]
+        assert cost.subframe_cycles(users) == sum(
+            cost.user_cycles(u) for u in users
+        )
+
+
+@given(
+    prb=st.integers(1, 99),
+    layers=st.integers(1, 4),
+    mod=st.sampled_from(list(ALL_MODULATIONS)),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_more_prbs_more_cycles(prb, layers, mod):
+    cost = CostModel()
+    a = cost.user_cycles(user(2 * prb, layers, mod))
+    b = cost.user_cycles(user(2 * prb + 2, layers, mod))
+    assert b > a

@@ -1,0 +1,159 @@
+"""Tests for the mesh NoC and cache models and their simulator hooks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.params import Modulation
+from repro.sim.cost import CostModel, MachineSpec
+from repro.sim.machine import MachineSimulator, SimConfig
+from repro.sim.memory import CacheModel, CacheSpec
+from repro.sim.noc import MeshTopology, NocModel
+from repro.sim.trace import CoreState
+from repro.uplink.parameter_model import SteadyStateParameterModel
+from repro.uplink.tasks import describe_user_tasks
+from repro.uplink.user import UserParameters
+
+
+class TestMeshTopology:
+    def test_dimensions(self):
+        mesh = MeshTopology()
+        assert mesh.num_cores == 64
+        assert mesh.coordinates(0) == (0, 0)
+        assert mesh.coordinates(63) == (7, 7)
+        assert mesh.coordinates(9) == (1, 1)
+
+    def test_hops_manhattan(self):
+        mesh = MeshTopology()
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 7) == 7
+        assert mesh.hops(0, 63) == 14
+        assert mesh.hops(9, 18) == 2
+
+    def test_hops_symmetric(self):
+        mesh = MeshTopology()
+        for a, b in ((3, 44), (0, 63), (10, 11)):
+            assert mesh.hops(a, b) == mesh.hops(b, a)
+
+    def test_neighbours_sorted(self):
+        mesh = MeshTopology(rows=2, cols=2)
+        order = mesh.neighbours_by_distance(0)
+        assert order == [1, 2, 3]  # 1 hop, 1 hop, 2 hops
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeshTopology(rows=0)
+        with pytest.raises(ValueError):
+            MeshTopology().coordinates(64)
+
+
+class TestNocModel:
+    def test_penalty_grows_with_distance(self):
+        noc = NocModel()
+        near = noc.steal_penalty(0, 1)
+        far = noc.steal_penalty(0, 63)
+        assert far > near > noc.steal_base_cycles
+
+    def test_zero_distance_is_base_cost(self):
+        noc = NocModel()
+        assert noc.steal_penalty(5, 5) == noc.steal_base_cycles
+
+    def test_payload_scales_penalty(self):
+        noc = NocModel()
+        light = noc.steal_penalty(0, 63, payload_lines=0)
+        heavy = noc.steal_penalty(0, 63, payload_lines=100)
+        assert heavy > light
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NocModel(steal_base_cycles=-1)
+        with pytest.raises(ValueError):
+            NocModel().steal_penalty(0, 1, payload_lines=-1)
+
+
+class TestCacheModel:
+    def _task(self, kind, prb=40, layers=2):
+        user = UserParameters(0, prb, layers, Modulation.QAM16)
+        chest, combiner, data, finalize = describe_user_tasks(user)
+        return {"chest": chest[0], "combiner": combiner, "symbol": data[0], "finalize": finalize}[kind]
+
+    def test_footprints_ordered_by_data_volume(self):
+        cache = CacheModel()
+        chest = cache.task_footprint_bytes(self._task("chest"))
+        symbol = cache.task_footprint_bytes(self._task("symbol"))
+        finalize = cache.task_footprint_bytes(self._task("finalize"))
+        assert finalize > chest
+        assert finalize > symbol
+
+    def test_small_tasks_fit_in_l2(self):
+        cache = CacheModel()
+        tiny = self._task("chest", prb=4, layers=1)
+        assert cache.extra_cycles(tiny) == 0
+
+    def test_large_finalize_overflows(self):
+        cache = CacheModel()
+        big = self._task("finalize", prb=200, layers=4)
+        assert cache.extra_cycles(big) > 0
+
+    def test_payload_lines_positive(self):
+        cache = CacheModel()
+        assert cache.payload_lines(self._task("symbol")) >= 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CacheSpec(l1d_bytes=0)
+        with pytest.raises(ValueError):
+            CacheSpec(remote_line_cycles=-1)
+
+
+class TestSimulatorIntegration:
+    def _cost(self, cache=None):
+        return CostModel(
+            machine=MachineSpec(num_cores=10, num_workers=8), cache=cache
+        )
+
+    def test_cache_aware_cost_model_adds_cycles(self):
+        plain = self._cost()
+        cached = self._cost(cache=CacheModel())
+        user = UserParameters(0, 200, 4, Modulation.QAM64)
+        assert cached.user_cycles(user) > plain.user_cycles(user)
+
+    def test_noc_penalties_slow_stolen_work(self):
+        cost = self._cost()
+        model = SteadyStateParameterModel(40, 2, Modulation.QAM16)
+        base = MachineSimulator(cost, config=SimConfig(drain_margin_s=0.2)).run(
+            model, num_subframes=10
+        )
+        with_noc = MachineSimulator(
+            cost,
+            config=SimConfig(drain_margin_s=0.2),
+            noc=NocModel(topology=MeshTopology(rows=2, cols=5), steal_base_cycles=50_000),
+            cache=CacheModel(),
+        ).run(model, num_subframes=10)
+        assert with_noc.steals > 0
+        assert with_noc.trace.total_cycles(CoreState.COMPUTE) > base.trace.total_cycles(
+            CoreState.COMPUTE
+        )
+
+    def test_noc_results_still_complete_all_work(self):
+        cost = self._cost()
+        model = SteadyStateParameterModel(16, 2, Modulation.QPSK)
+        result = MachineSimulator(
+            cost,
+            config=SimConfig(drain_margin_s=0.2),
+            noc=NocModel(topology=MeshTopology(rows=2, cols=5)),
+            cache=CacheModel(),
+        ).run(model, num_subframes=12)
+        assert result.users_processed == 12
+
+
+@given(
+    src=st.integers(0, 63),
+    dst=st.integers(0, 63),
+    via=st.integers(0, 63),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_mesh_triangle_inequality(src, dst, via):
+    mesh = MeshTopology()
+    assert mesh.hops(src, dst) <= mesh.hops(src, via) + mesh.hops(via, dst)

@@ -1,0 +1,71 @@
+"""Tests for the timed dispatch driver (the maintenance-thread loop)."""
+
+import time
+
+import pytest
+
+from repro.phy.params import Modulation
+from repro.uplink.benchmark import BenchmarkConfig, BenchmarkDriver
+from repro.uplink.parameter_model import TraceParameterModel
+from repro.uplink.serial import SerialBenchmark
+from repro.uplink.subframe import SubframeFactory
+from repro.uplink.user import UserParameters
+from repro.uplink.verification import verify_against_serial
+
+
+def tiny_model():
+    return TraceParameterModel(
+        [
+            [UserParameters(0, 4, 1, Modulation.QPSK)],
+            [UserParameters(0, 6, 2, Modulation.QAM16)],
+        ]
+    )
+
+
+class TestBenchmarkConfig:
+    def test_defaults(self):
+        cfg = BenchmarkConfig()
+        assert cfg.delta_s == pytest.approx(5e-3)
+        assert cfg.num_workers == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(delta_s=0)
+        with pytest.raises(ValueError):
+            BenchmarkConfig(num_workers=0)
+
+
+class TestBenchmarkDriver:
+    def test_matches_serial_reference(self):
+        model = tiny_model()
+        factory = SubframeFactory(seed=0)
+        serial = SerialBenchmark(model, factory).run(4)
+        driver = BenchmarkDriver(
+            model, factory, BenchmarkConfig(delta_s=1e-3, num_workers=3)
+        )
+        parallel = driver.run(4)
+        assert verify_against_serial(serial, parallel).passed
+
+    def test_paces_dispatch(self):
+        """Six subframes at DELTA = 30 ms take at least 5 x 30 ms."""
+        driver = BenchmarkDriver(
+            tiny_model(),
+            SubframeFactory(seed=0),
+            BenchmarkConfig(delta_s=0.03, num_workers=2),
+        )
+        start = time.monotonic()
+        results = driver.run(6)
+        elapsed = time.monotonic() - start
+        assert len(results) == 6
+        assert elapsed >= 5 * 0.03
+
+    def test_rejects_zero_subframes(self):
+        with pytest.raises(ValueError):
+            BenchmarkDriver(tiny_model()).run(0)
+
+    def test_start_offset(self):
+        driver = BenchmarkDriver(
+            tiny_model(), SubframeFactory(seed=0), BenchmarkConfig(delta_s=1e-3)
+        )
+        results = driver.run(2, start=5)
+        assert [r.subframe_index for r in results] == [5, 6]

@@ -1,0 +1,124 @@
+"""Tests for subframe input data (pool + synthesized)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.params import CellConfig, Modulation
+from repro.uplink.subframe import (
+    DEFAULT_POOL_SIZE,
+    SubframeFactory,
+    assign_offsets,
+)
+from repro.uplink.user import UserParameters
+
+
+def users_fixture():
+    return [
+        UserParameters(0, 24, 2, Modulation.QAM16),
+        UserParameters(1, 8, 1, Modulation.QPSK),
+        UserParameters(2, 40, 4, Modulation.QAM64),
+    ]
+
+
+class TestAssignOffsets:
+    def test_contiguous_packing(self):
+        slices = assign_offsets(users_fixture(), CellConfig())
+        assert slices[0].subcarrier_offset == 0
+        assert slices[1].subcarrier_offset == slices[0].num_subcarriers
+        assert (
+            slices[2].subcarrier_offset
+            == slices[0].num_subcarriers + slices[1].num_subcarriers
+        )
+
+    def test_rejects_overflow(self):
+        too_many = [UserParameters(i, 200, 1, Modulation.QPSK) for i in range(2)]
+        with pytest.raises(ValueError):
+            assign_offsets(too_many, CellConfig())
+
+    def test_full_carrier_fits_exactly(self):
+        users = [UserParameters(0, 200, 1, Modulation.QPSK)]
+        slices = assign_offsets(users, CellConfig())
+        assert slices[0].num_subcarriers == 1200
+
+    def test_view_extracts_right_columns(self):
+        slices = assign_offsets(users_fixture(), CellConfig())
+        grid = np.arange(4 * 14 * 1200, dtype=float).reshape(4, 14, 1200)
+        view = slices[1].view(grid)
+        lo = slices[1].subcarrier_offset
+        assert view.shape == (4, 14, slices[1].num_subcarriers)
+        assert np.array_equal(view, grid[:, :, lo : lo + view.shape[2]])
+
+
+class TestPoolMode:
+    def test_pool_size_default(self):
+        assert DEFAULT_POOL_SIZE == 10
+
+    def test_pool_reused_round_robin(self):
+        factory = SubframeFactory(pool_size=3, seed=1)
+        users = users_fixture()
+        a = factory.from_pool(users, 0)
+        b = factory.from_pool(users, 3)
+        c = factory.from_pool(users, 1)
+        assert a.grid is b.grid  # same pooled buffer
+        assert a.grid is not c.grid
+
+    def test_pool_grids_are_unique(self):
+        """"assuring that all subframes being processed in parallel have
+        unique data" — pool entries must differ."""
+        factory = SubframeFactory(pool_size=4, seed=2)
+        users = users_fixture()
+        grids = [factory.from_pool(users, i).grid for i in range(4)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(grids[i], grids[j])
+
+    def test_grid_shape(self):
+        factory = SubframeFactory(seed=0)
+        sub = factory.from_pool(users_fixture(), 0)
+        assert sub.grid.shape == (4, 14, 1200)
+
+    def test_deterministic_across_factories(self):
+        a = SubframeFactory(seed=5).from_pool(users_fixture(), 2)
+        b = SubframeFactory(seed=5).from_pool(users_fixture(), 2)
+        assert np.array_equal(a.grid, b.grid)
+
+    def test_total_prb(self):
+        sub = SubframeFactory(seed=0).from_pool(users_fixture(), 0)
+        assert sub.total_prb == 24 + 8 + 40
+
+    def test_rejects_bad_pool_size(self):
+        with pytest.raises(ValueError):
+            SubframeFactory(pool_size=0)
+
+
+class TestSynthesize:
+    def test_expected_payloads_recorded(self):
+        factory = SubframeFactory(seed=3)
+        sub = factory.synthesize(users_fixture(), 0)
+        assert set(sub.expected_payloads) == {0, 1, 2}
+        for payload in sub.expected_payloads.values():
+            assert payload.size > 0
+            assert set(np.unique(payload)) <= {0, 1}
+
+    def test_unallocated_spectrum_is_silent(self):
+        factory = SubframeFactory(seed=3)
+        users = users_fixture()
+        sub = factory.synthesize(users, 0)
+        used = sum(u.allocation.num_subcarriers for u in users)
+        assert np.allclose(sub.grid[:, :, used:], 0.0)
+        assert not np.allclose(sub.grid[:, :, :used], 0.0)
+
+    def test_deterministic(self):
+        a = SubframeFactory(seed=4).synthesize(users_fixture(), 7)
+        b = SubframeFactory(seed=4).synthesize(users_fixture(), 7)
+        assert np.array_equal(a.grid, b.grid)
+
+    def test_different_subframes_differ(self):
+        factory = SubframeFactory(seed=4)
+        a = factory.synthesize(users_fixture(), 0)
+        b = factory.synthesize(users_fixture(), 1)
+        assert not np.array_equal(a.grid, b.grid)
+
+    def test_users_property(self):
+        sub = SubframeFactory(seed=0).synthesize(users_fixture(), 0)
+        assert sub.users == users_fixture()
