@@ -22,6 +22,9 @@ Subpackages
     resource-management policies.
 ``repro.experiments``
     Drivers that regenerate every figure and table of the evaluation.
+``repro.obs``
+    Structured event tracing, scheduler metrics, and runtime invariant
+    checking over both execution backends (``docs/observability.md``).
 """
 
 __version__ = "1.0.0"

@@ -14,6 +14,12 @@ Commands mirror the benchmark binary and the evaluation drivers:
 ``power-study``
     Run the Section VI study and print Tables I and II (with an ASCII
     rendering of Fig. 16).
+``trace``
+    Run the simulator with structured event tracing and the invariant
+    checker attached; export the event stream as JSONL.
+``metrics``
+    Run the simulator with the metrics collector attached and print the
+    scheduler-metrics summary (counters, gauges, histograms).
 """
 
 from __future__ import annotations
@@ -57,6 +63,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     study = sub.add_parser("power-study", help="Tables I-II, Figs. 13-16")
     _add_scale(study, 2_000)
+
+    def _add_obs_run(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--policy",
+            choices=["nonap", "idle", "nap", "nap+idle"],
+            default="nap+idle",
+            help="power-management policy to simulate (default nap+idle)",
+        )
+        subparser.add_argument(
+            "--workers", type=int, default=8, help="worker core count"
+        )
+
+    trace = sub.add_parser(
+        "trace", help="simulate with event tracing on, export JSONL"
+    )
+    _add_scale(trace, 100)
+    _add_obs_run(trace)
+    trace.add_argument(
+        "--out", default="trace.jsonl", help="output JSONL path"
+    )
+    trace.add_argument(
+        "--ring",
+        type=int,
+        default=None,
+        help="ring-buffer capacity (default: keep every event)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="simulate with metrics collection on, print summary"
+    )
+    _add_scale(metrics, 100)
+    _add_obs_run(metrics)
+    metrics.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
 
     report = sub.add_parser(
         "report", help="run every experiment, emit a JSON paper-vs-measured report"
@@ -168,6 +209,61 @@ def cmd_power_study(args) -> int:
     return 0
 
 
+def _run_observed_sim(args, observers):
+    """Shared driver for ``trace``/``metrics``: one observed simulator run."""
+    from .power import calibrate_from_cost_model
+    from .power.governor import make_policy
+    from .sim import CostModel, MachineSpec
+    from .sim.machine import MachineSimulator, SimConfig
+    from .uplink import RandomizedParameterModel
+
+    cost = CostModel(
+        machine=MachineSpec(num_cores=args.workers + 2, num_workers=args.workers)
+    )
+    estimator = calibrate_from_cost_model(cost)
+    policy = make_policy(args.policy.upper(), args.workers, estimator)
+    model = RandomizedParameterModel(total_subframes=args.subframes, seed=args.seed)
+    sim = MachineSimulator(
+        cost,
+        policy=policy,
+        config=SimConfig(drain_margin_s=0.2),
+        observers=observers,
+    )
+    return sim.run(model, num_subframes=args.subframes)
+
+
+def cmd_trace(args) -> int:
+    from .obs import EventRecorder, SchedulerInvariantChecker
+
+    recorder = EventRecorder(capacity=args.ring)
+    checker = SchedulerInvariantChecker(strict=False)
+    result = _run_observed_sim(args, [recorder, checker])
+    written = recorder.write_jsonl(args.out)
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(recorder.counts().items()))
+    print(f"policy {args.policy}: {args.subframes} subframes, "
+          f"{result.tasks_executed} tasks")
+    print(f"{written} events written to {args.out} "
+          f"({recorder.dropped} dropped by ring buffer)")
+    print(f"event counts: {counts}")
+    print(checker.summary())
+    return 0 if checker.ok else 1
+
+
+def cmd_metrics(args) -> int:
+    import json
+
+    from .experiments import format_metrics
+    from .obs import MetricsCollector
+
+    collector = MetricsCollector()
+    _run_observed_sim(args, [collector])
+    if args.json:
+        print(json.dumps(collector.registry.summary(), indent=2))
+    else:
+        print(format_metrics(collector.registry))
+    return 0
+
+
 def cmd_report(args) -> int:
     import json
 
@@ -186,6 +282,8 @@ _COMMANDS = {
     "calibrate": cmd_calibrate,
     "estimate": cmd_estimate,
     "power-study": cmd_power_study,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
     "report": cmd_report,
 }
 

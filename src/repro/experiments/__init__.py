@@ -10,6 +10,7 @@ from .runner import PAPER_VALUES, run_full_reproduction, write_report
 from .report import (
     format_calibration,
     format_estimation,
+    format_metrics,
     format_series,
     format_table1,
     format_table2,
@@ -32,6 +33,7 @@ __all__ = [
     "run_power_study",
     "format_calibration",
     "format_estimation",
+    "format_metrics",
     "format_series",
     "format_table1",
     "format_table2",

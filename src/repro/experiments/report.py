@@ -17,6 +17,7 @@ __all__ = [
     "format_table2",
     "format_workload_summary",
     "format_estimation",
+    "format_metrics",
     "format_series",
     "format_calibration",
 ]
@@ -93,6 +94,38 @@ def format_table2(study: PowerStudyResult) -> str:
             f"  {name:<12} {power:>10.1f} {vs_nonap * 100:>8.0f}% {vs_idle * 100:>7.0f}%   "
             f"{pw:>8.1f} {pn * 100:>13.0f}%"
         )
+    return "\n".join(lines)
+
+
+def format_metrics(registry) -> str:
+    """Scheduler metrics (:class:`repro.obs.MetricsRegistry`) as text.
+
+    Counters first, then gauge extremes, then histogram percentiles —
+    the same numbers ``repro metrics`` prints after a simulated run.
+    """
+    summary = registry.summary()
+    lines = ["Scheduler metrics"]
+    if summary["counters"]:
+        lines.append("  counters:")
+        for name, value in summary["counters"].items():
+            lines.append(f"    {name:<28} {value:>12}")
+    if summary["gauges"]:
+        lines.append("  gauges (last/min/max):")
+        for name, g in summary["gauges"].items():
+            lines.append(
+                f"    {name:<28} {g['value']:>12g} {g['min']:>10g} {g['max']:>10g}"
+            )
+    if summary["histograms"]:
+        lines.append("  histograms (count/mean/p50/p90/p99/max):")
+        for name, h in summary["histograms"].items():
+            if h["count"] == 0:
+                lines.append(f"    {name:<28} (empty)")
+                continue
+            lines.append(
+                f"    {name:<28} {h['count']:>8} {h['mean']:>10.3g} "
+                f"{h['p50']:>10.3g} {h['p90']:>10.3g} {h['p99']:>10.3g} "
+                f"{h['max']:>10.3g}"
+            )
     return "\n".join(lines)
 
 

@@ -1,0 +1,37 @@
+"""Observability and correctness tooling for both execution backends.
+
+Structured event tracing (``events``/``recorder``), scheduler metrics
+(``metrics``), and gem5-style runtime invariant checking (``invariants``)
+over :class:`repro.sim.machine.MachineSimulator` and
+:class:`repro.sched.threaded.ThreadedRuntime`. Attach observers via the
+``observers=`` constructor argument of either backend; set
+``REPRO_INVARIANTS=1`` to auto-attach a strict
+:class:`SchedulerInvariantChecker` to every simulator run. See
+``docs/observability.md`` for the event schema and CLI usage
+(``repro trace`` / ``repro metrics``).
+"""
+
+from .events import Event, EventKind
+from .recorder import EventRecorder, read_jsonl
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+)
+from .invariants import InvariantViolation, SchedulerInvariantChecker
+
+__all__ = [
+    "Counter",
+    "Event",
+    "EventKind",
+    "EventRecorder",
+    "Gauge",
+    "Histogram",
+    "InvariantViolation",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "SchedulerInvariantChecker",
+    "read_jsonl",
+]

@@ -1,0 +1,82 @@
+"""Typed scheduler event records.
+
+The simulator and the threaded runtime emit these through a hook that is
+``None`` when no observer is attached, so disabled tracing costs one
+attribute load and an identity check per emission site — no event objects
+are ever allocated (gem5-style "zero overhead when off" tracing).
+
+Timestamps are clock cycles for :class:`repro.sim.machine.MachineSimulator`
+events and ``time.monotonic_ns()`` for
+:class:`repro.sched.threaded.ThreadedRuntime` events; the ``clock`` field
+of the run-level metadata (see ``docs/observability.md``) disambiguates.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Event", "EventKind"]
+
+
+class EventKind(str, enum.Enum):
+    """What happened. Values double as the JSONL ``kind`` field."""
+
+    #: One subframe's users were pushed onto the global user queue.
+    DISPATCH = "dispatch"
+    #: The policy decided the active-worker target for a subframe (Eq. 5).
+    GOVERNOR = "governor"
+    #: A core started executing a task (parallel or serial stage).
+    TASK_START = "task-start"
+    #: A core finished a task.
+    TASK_FINISH = "task-finish"
+    #: A core took a task from another job's ready queue (thief FIFO).
+    STEAL = "steal"
+    #: A core moved between COMPUTE/SPIN/NAP/DISABLED states.
+    STATE_TRANSITION = "state-transition"
+    #: A napping core woke at a periodic boundary and looked for work.
+    WAKE_CHECK = "wake-check"
+    #: A core adopted a user from the global queue (became its user thread).
+    USER_START = "user-start"
+    #: A user's last stage completed.
+    USER_FINISH = "user-finish"
+
+
+class Event:
+    """One structured trace record.
+
+    Attributes
+    ----------
+    kind:
+        The :class:`EventKind`.
+    t:
+        Timestamp (simulator: clock cycles; threaded runtime: ns).
+    core:
+        Worker index the event concerns, or -1 for machine-level events.
+    data:
+        Kind-specific payload (see ``docs/observability.md`` for the
+        schema), or ``None``.
+    """
+
+    __slots__ = ("kind", "t", "core", "data")
+
+    def __init__(
+        self,
+        kind: EventKind,
+        t: int,
+        core: int = -1,
+        data: dict | None = None,
+    ) -> None:
+        self.kind = kind
+        self.t = t
+        self.core = core
+        self.data = data
+
+    def to_dict(self) -> dict:
+        """Flat dict for JSONL export (payload keys inlined)."""
+        record = {"kind": self.kind.value, "t": int(self.t), "core": self.core}
+        if self.data:
+            record.update(self.data)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event({self.kind.value}, t={self.t}, core={self.core}, {self.data})"

@@ -1,0 +1,303 @@
+"""Scheduler invariant checking over the structured event stream.
+
+Every power/activity figure flows through the simulator's core-state
+accounting, so silent state corruption (a core in two idle sets, a napping
+core executing work, a lost user) skews downstream statistics without
+failing any functional assertion. The checker subscribes to the
+:class:`~repro.obs.events.Event` stream of one
+:class:`~repro.sim.machine.MachineSimulator` run and validates, at every
+event:
+
+* the three idle structures (``_idle_spin``, ``_idle_nap``, ``_disabled``)
+  are pairwise disjoint;
+* set membership matches per-core state: a registered spinner is in SPIN
+  and not busy, a registered napper is in NAP and not busy, a disabled
+  core is in DISABLED, not busy, and holds no job;
+* a busy (executing) core is in COMPUTE and in no idle set — a NAP or
+  DISABLED core never executes;
+* a task starts only on a core in COMPUTE that is in no idle set.
+
+At each dispatch (a quiescent point between engine callbacks) and at run
+end it additionally checks conservation:
+
+* tasks: started - finished == number of currently busy cores;
+* users: dispatched == finished + queued + in-flight jobs;
+
+and at run end:
+
+* :meth:`repro.sim.trace.OccupancyTrace.check_conservation` holds (every
+  window's occupancies sum to the worker cycle budget);
+* no subframe completes before its own dispatch, and completion cycles
+  of completed, non-empty subframes are monotone in dispatch order up to
+  a slack of max(``completion_slack_cycles``, worst observed latency
+  minus DELTA) — under backlog a later, lighter subframe legitimately
+  finishes earlier by up to the straddling subframe's excess latency.
+
+Set ``REPRO_INVARIANTS=1`` to auto-attach a strict checker to every
+simulator run (used by the CI invariants job).
+"""
+
+from __future__ import annotations
+
+from ..sim.trace import CoreState
+
+__all__ = ["InvariantViolation", "SchedulerInvariantChecker"]
+
+
+class InvariantViolation(AssertionError):
+    """A scheduler state invariant did not hold."""
+
+
+class SchedulerInvariantChecker:
+    """Validates simulator scheduling state on every emitted event.
+
+    Parameters
+    ----------
+    strict:
+        Raise :class:`InvariantViolation` on the first violation (default).
+        With ``strict=False`` violations are collected in ``violations``
+        for inspection and the run continues.
+    completion_slack_cycles:
+        Allowed completion-order inversion between overlapping subframes;
+        defaults to one dispatch interval (DELTA) at bind time.
+    max_violations:
+        Stop recording after this many (non-strict mode) to bound memory.
+    """
+
+    def __init__(
+        self,
+        strict: bool = True,
+        completion_slack_cycles: int | None = None,
+        max_violations: int = 1000,
+    ) -> None:
+        self.strict = strict
+        self.completion_slack_cycles = completion_slack_cycles
+        self.max_violations = max_violations
+        self.violations: list[str] = []
+        self.events_checked = 0
+        self._sim = None
+        self._reset_counters()
+
+    def _reset_counters(self) -> None:
+        self._tasks_started = 0
+        self._tasks_finished = 0
+        self._users_dispatched = 0
+        self._users_adopted = 0
+        self._users_finished = 0
+        self._steals = 0
+        self._sf_users: dict[int, int] = {}
+
+    # ------------------------------------------------------------ observer
+    def on_run_start(self, sim) -> None:
+        self._sim = sim
+        self._reset_counters()
+        self.violations.clear()
+        self.events_checked = 0
+        if self.completion_slack_cycles is None:
+            self.completion_slack_cycles = sim.machine.subframe_period_cycles
+
+    def __call__(self, event) -> None:
+        from .events import EventKind  # local: hot path, avoid cycles
+
+        self.events_checked += 1
+        if self._sim is None:
+            # Not bound to a MachineSimulator run (e.g. attached to the
+            # threaded runtime, which has no introspectable idle sets):
+            # tally events, skip state checks.
+            return
+        kind = event.kind
+        if kind is EventKind.TASK_START:
+            self._tasks_started += 1
+            self._check_task_start(event)
+        elif kind is EventKind.TASK_FINISH:
+            self._tasks_finished += 1
+        elif kind is EventKind.STEAL:
+            self._steals += 1
+        elif kind is EventKind.USER_START:
+            self._users_adopted += 1
+        elif kind is EventKind.USER_FINISH:
+            self._users_finished += 1
+        elif kind is EventKind.DISPATCH:
+            users = event.data.get("users", 0) if event.data else 0
+            self._users_dispatched += users
+            self._sf_users[event.data["subframe"]] = users
+            self._check_conservation(event.t)
+        self._check_state(event.t)
+
+    def on_run_end(self, sim, result) -> None:
+        self._check_state(self._engine_now())
+        self._check_conservation(self._engine_now())
+        if not result.trace.check_conservation(atol_cycles=2.0):
+            self._record(
+                "occupancy-trace conservation failed: some window's state "
+                "occupancies do not sum to the worker cycle budget"
+            )
+        self._check_completion_order(sim)
+
+    # ------------------------------------------------------------- checks
+    def check_now(self) -> None:
+        """Run the full state check on demand (outside the event stream)."""
+        if self._sim is None:
+            raise RuntimeError("checker is not bound to a simulator run")
+        self._check_state(self._engine_now())
+        self._check_conservation(self._engine_now())
+
+    def _engine_now(self) -> int:
+        return self._sim._engine.now if self._sim._engine else 0
+
+    def _record(self, message: str) -> None:
+        if len(self.violations) < self.max_violations:
+            self.violations.append(message)
+        if self.strict:
+            raise InvariantViolation(message)
+
+    def _check_state(self, t: int) -> None:
+        sim = self._sim
+        spin = sim._idle_spin
+        nap = sim._idle_nap
+        disabled = sim._disabled
+        if not spin.isdisjoint(nap):
+            self._record(
+                f"t={t}: idle sets overlap: cores {sorted(spin & nap.keys())} "
+                "are in both _idle_spin and _idle_nap"
+            )
+        if not spin.isdisjoint(disabled):
+            self._record(
+                f"t={t}: idle sets overlap: cores {sorted(spin & disabled)} "
+                "are in both _idle_spin and _disabled"
+            )
+        if not disabled.isdisjoint(nap):
+            self._record(
+                f"t={t}: idle sets overlap: cores {sorted(disabled & nap.keys())} "
+                "are in both _disabled and _idle_nap"
+            )
+        for index in spin:
+            core = sim._cores[index]
+            if core.state is not CoreState.SPIN or core.busy:
+                self._record(
+                    f"t={t}: core {index} registered in _idle_spin but is "
+                    f"{core.state.value}{' and busy' if core.busy else ''}"
+                )
+        for index in nap:
+            core = sim._cores[index]
+            if core.state is not CoreState.NAP or core.busy:
+                self._record(
+                    f"t={t}: core {index} registered in _idle_nap but is "
+                    f"{core.state.value}{' and busy' if core.busy else ''}"
+                )
+        for index in disabled:
+            core = sim._cores[index]
+            if core.state is not CoreState.DISABLED or core.busy:
+                self._record(
+                    f"t={t}: core {index} registered in _disabled but is "
+                    f"{core.state.value}{' and busy' if core.busy else ''}"
+                )
+            elif core.job is not None:
+                self._record(f"t={t}: disabled core {index} still owns a job")
+        for core in sim._cores:
+            if core.busy and core.state is not CoreState.COMPUTE:
+                self._record(
+                    f"t={t}: core {core.index} is executing while in state "
+                    f"{core.state.value} (NAP/DISABLED cores must never execute)"
+                )
+
+    def _check_task_start(self, event) -> None:
+        sim = self._sim
+        core = sim._cores[event.core]
+        if core.state is not CoreState.COMPUTE:
+            self._record(
+                f"t={event.t}: task started on core {event.core} in state "
+                f"{core.state.value}"
+            )
+        if (
+            event.core in sim._idle_spin
+            or event.core in sim._idle_nap
+            or event.core in sim._disabled
+        ):
+            self._record(
+                f"t={event.t}: task started on core {event.core} while it is "
+                "still registered in an idle set"
+            )
+
+    def _check_conservation(self, t: int) -> None:
+        sim = self._sim
+        busy = sum(1 for core in sim._cores if core.busy)
+        in_flight = self._tasks_started - self._tasks_finished
+        if in_flight != busy:
+            self._record(
+                f"t={t}: task conservation violated: started "
+                f"{self._tasks_started} - finished {self._tasks_finished} = "
+                f"{in_flight} in flight, but {busy} cores are busy"
+            )
+        jobs_held = sum(1 for core in sim._cores if core.job is not None)
+        queued = len(sim._user_queue)
+        if self._users_dispatched != self._users_finished + queued + jobs_held:
+            self._record(
+                f"t={t}: user conservation violated: dispatched "
+                f"{self._users_dispatched} != finished {self._users_finished} "
+                f"+ queued {queued} + in-flight {jobs_held}"
+            )
+        if self._users_adopted != self._users_finished + jobs_held:
+            self._record(
+                f"t={t}: adopted users {self._users_adopted} != finished "
+                f"{self._users_finished} + in-flight {jobs_held}"
+            )
+
+    def _check_completion_order(self, sim) -> None:
+        # An inversion between subframes j < i is provably bounded by
+        # lat[j] - (i - j) * DELTA: subframe i cannot complete before its
+        # own dispatch, and j completed lat[j] after its dispatch. Under
+        # overload (latency > DELTA) legitimate inversions therefore grow
+        # with the backlog, so widen the slack to the observed worst-case
+        # latency minus one DELTA; anything beyond that is corrupted
+        # completion bookkeeping, not queueing.
+        delta = sim.machine.subframe_period_cycles
+        completed = [
+            index
+            for index in range(sim._num_subframes)
+            # Skip empty subframes (completion pinned to dispatch) and
+            # subframes truncated by the horizon (never completed).
+            if self._sf_users.get(index, 0) != 0
+            and sim._pending_users[index] == 0
+        ]
+        slack = self.completion_slack_cycles or 0
+        max_latency = max(
+            (
+                int(sim._complete_cycle[i]) - int(sim._dispatch_cycle[i])
+                for i in completed
+            ),
+            default=0,
+        )
+        slack = max(slack, max_latency - delta)
+        running_max = None
+        running_index = -1
+        for index in completed:
+            complete = int(sim._complete_cycle[index])
+            if complete < int(sim._dispatch_cycle[index]):
+                self._record(
+                    f"subframe {index} completed at {complete}, before its "
+                    f"own dispatch at {int(sim._dispatch_cycle[index])}"
+                )
+            if running_max is not None and complete + slack < running_max:
+                self._record(
+                    f"subframe {index} completed at {complete}, more than "
+                    f"{slack} cycles before earlier subframe {running_index} "
+                    f"(completed {running_max}): completion order violated"
+                )
+            if running_max is None or complete > running_max:
+                running_max = complete
+                running_index = index
+
+    # -------------------------------------------------------------- report
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        head = (
+            f"invariant checker: {self.events_checked} events checked, "
+            f"{len(self.violations)} violation(s)"
+        )
+        if not self.violations:
+            return head
+        return "\n".join([head, *("  " + v for v in self.violations[:20])])

@@ -1,0 +1,203 @@
+"""Scheduler metrics: counters, gauges, histograms, and a collector.
+
+The :class:`MetricsCollector` observer folds the event stream into a
+:class:`MetricsRegistry` — steal latency, queue depth, per-core
+utilization, subframe latency percentiles — surfaced by the ``repro
+metrics`` CLI subcommand and renderable with
+:func:`repro.experiments.report.format_metrics`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .events import Event, EventKind
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsCollector",
+    "MetricsRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value, remembering its extremes."""
+
+    __slots__ = ("name", "value", "max", "min")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max = float("-inf")
+        self.min = float("inf")
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.max = max(self.max, self.value)
+        self.min = min(self.min, self.value)
+
+
+class Histogram:
+    """Stores observations; summarizes as count/mean/percentiles."""
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def mean(self) -> float:
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        return float(np.percentile(self._values, p)) if self._values else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self._values:
+            return {"count": 0}
+        arr = np.asarray(self._values)
+        return {
+            "count": int(arr.size),
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p90": float(np.percentile(arr, 90)),
+            "p99": float(np.percentile(arr, 99)),
+            "max": float(arr.max()),
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name)
+        return histogram
+
+    def summary(self) -> dict:
+        """Nested plain-data summary (JSON-serializable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {
+                n: {"value": g.value, "max": g.max, "min": g.min}
+                for n, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                n: h.summary() for n, h in sorted(self.histograms.items())
+            },
+        }
+
+
+class MetricsCollector:
+    """Observer that folds scheduler events into a registry.
+
+    After a :meth:`~repro.sim.machine.MachineSimulator.run` it exposes:
+
+    * counters: subframes/users dispatched, users finished, tasks
+      started/finished, steals, wake checks (and hits), state transitions;
+    * histograms: queue depth at dispatch, task cycles, steal wait cycles
+      (stage opening to steal), per-core utilization, subframe latency;
+    * ``per_core_utilization``: COMPUTE fraction of the horizon per core.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.per_core_utilization: list[float] = []
+        self._busy_cycles: np.ndarray | None = None
+
+    # ------------------------------------------------------------ observer
+    def on_run_start(self, sim) -> None:
+        self._busy_cycles = np.zeros(sim.machine.num_workers, dtype=np.int64)
+        self.per_core_utilization = []
+
+    def __call__(self, event: Event) -> None:
+        reg = self.registry
+        kind = event.kind
+        data = event.data or {}
+        if kind is EventKind.TASK_START:
+            reg.counter("tasks_started").inc()
+        elif kind is EventKind.TASK_FINISH:
+            reg.counter("tasks_finished").inc()
+            cycles = data.get("cycles", 0)
+            reg.histogram("task_cycles").observe(cycles)
+            if self._busy_cycles is not None and event.core >= 0:
+                self._busy_cycles[event.core] += cycles
+        elif kind is EventKind.STEAL:
+            reg.counter("steals").inc()
+            if "wait" in data:
+                reg.histogram("steal_wait_cycles").observe(data["wait"])
+        elif kind is EventKind.DISPATCH:
+            reg.counter("subframes_dispatched").inc()
+            reg.counter("users_dispatched").inc(data.get("users", 0))
+            depth = data.get("queue_depth")
+            if depth is not None:
+                reg.gauge("queue_depth").set(depth)
+                reg.histogram("queue_depth").observe(depth)
+        elif kind is EventKind.USER_START:
+            reg.counter("users_adopted").inc()
+        elif kind is EventKind.USER_FINISH:
+            reg.counter("users_finished").inc()
+        elif kind is EventKind.WAKE_CHECK:
+            reg.counter("wake_checks").inc()
+            if data.get("took_work"):
+                reg.counter("wake_hits").inc()
+        elif kind is EventKind.STATE_TRANSITION:
+            reg.counter(f"transitions_to_{data.get('to', '?')}").inc()
+        elif kind is EventKind.GOVERNOR:
+            reg.histogram("governor_target_workers").observe(
+                data.get("target", 0)
+            )
+
+    def on_run_end(self, sim, result) -> None:
+        horizon = getattr(sim, "_horizon", 0)
+        if self._busy_cycles is not None and horizon > 0:
+            self.per_core_utilization = (self._busy_cycles / horizon).tolist()
+            hist = self.registry.histogram("core_utilization")
+            for value in self.per_core_utilization:
+                hist.observe(value)
+        latency_ms = np.asarray(result.subframe_latency_s) * 1e3
+        hist = self.registry.histogram("subframe_latency_ms")
+        for value in latency_ms:
+            hist.observe(float(value))

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..obs.events import Event, EventKind
 from ..phy.chest import ChestConfig
 from ..uplink.serial import SubframeResult
 from ..uplink.subframe import SubframeInput, UserSlice
@@ -87,6 +88,13 @@ class ThreadedRuntime:
         Forwarded to the per-user receiver chain.
     steal_seed:
         Seed for the random victim policy.
+    observers:
+        Optional event observers (see :mod:`repro.obs`). Events carry
+        ``time.monotonic_ns()`` timestamps and are emitted from worker
+        threads — observers must tolerate concurrent calls (the built-in
+        :class:`~repro.obs.recorder.EventRecorder` appends are atomic
+        under the GIL). With no observer attached, emission sites cost one
+        identity check.
     """
 
     def __init__(
@@ -95,6 +103,7 @@ class ThreadedRuntime:
         config: ChestConfig | None = None,
         codec=None,
         steal_seed: int = 0,
+        observers=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -119,6 +128,19 @@ class ThreadedRuntime:
         self._all_done.set()
         self._shutdown = threading.Event()
         self._threads: list[threading.Thread] = []
+        self.observers = list(observers) if observers is not None else []
+        if not self.observers:
+            self._emit = None
+        elif len(self.observers) == 1:
+            self._emit = self.observers[0]
+        else:
+            fanout = tuple(self.observers)
+
+            def emit(event, _observers=fanout):
+                for observer in _observers:
+                    observer(event)
+
+            self._emit = emit
 
     # ------------------------------------------------------------------ API
     def start(self) -> None:
@@ -153,6 +175,18 @@ class ThreadedRuntime:
         with self._outstanding_lock:
             self._outstanding += 1
             self._all_done.clear()
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.DISPATCH,
+                    time.monotonic_ns(),
+                    -1,
+                    {
+                        "subframe": subframe.subframe_index,
+                        "users": len(subframe.slices),
+                    },
+                )
+            )
         if not subframe.slices:
             self._finish_subframe(pending)
             return
@@ -165,7 +199,12 @@ class ThreadedRuntime:
         self._all_done.wait()
 
     def run(self, subframes: list[SubframeInput]) -> list[SubframeResult]:
-        """Convenience: start, submit all, drain, stop; returns results."""
+        """Convenience: start, submit all, drain, stop; returns results.
+
+        ``drain()`` (and ``stop()`` via it) already blocks until every
+        submitted subframe completed, so the final ``collect_results()``
+        cannot lose in-flight work here.
+        """
         owns_threads = not self._threads
         if owns_threads:
             self.start()
@@ -179,7 +218,9 @@ class ThreadedRuntime:
         return self.collect_results()
 
     def collect_results(self) -> list[SubframeResult]:
-        """Drain and return completed subframe results, ordered by index."""
+        """Drain outstanding work, then return and clear the completed
+        subframe results, ordered by subframe index."""
+        self.drain()
         with self._completed_lock:
             results = sorted(self._completed, key=lambda r: r.subframe_index)
             self._completed.clear()
@@ -203,13 +244,54 @@ class ThreadedRuntime:
             if not self._find_and_run_work(worker_id):
                 time.sleep(0.0002)  # idle back-off (the NONAP busy-spin)
 
+    def _run_task(
+        self, worker_id: int, task: Callable[[], None], stolen: bool
+    ) -> None:
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.TASK_START,
+                    time.monotonic_ns(),
+                    worker_id,
+                    {"stolen": stolen},
+                )
+            )
+        task()
+        self._stats.tasks_executed[worker_id] += 1
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.TASK_FINISH,
+                    time.monotonic_ns(),
+                    worker_id,
+                    {"stolen": stolen},
+                )
+            )
+
+    def _steal_task(self, worker_id: int) -> Callable[[], None] | None:
+        """Try every victim once; returns the stolen task, if any."""
+        for victim in self._policy.victim_order(worker_id):
+            task = self._locals[victim].steal()
+            if task is not None:
+                self._stats.steals[worker_id] += 1
+                if self._emit is not None:
+                    self._emit(
+                        Event(
+                            EventKind.STEAL,
+                            time.monotonic_ns(),
+                            worker_id,
+                            {"victim": victim},
+                        )
+                    )
+                return task
+        return None
+
     def _find_and_run_work(self, worker_id: int) -> bool:
         """One scheduling step; returns False when no work was found."""
         # 1. Local tasks first.
         task = self._locals[worker_id].pop()
         if task is not None:
-            task()
-            self._stats.tasks_executed[worker_id] += 1
+            self._run_task(worker_id, task, stolen=False)
             return True
         # 2. Global user queue beats stealing.
         entry = self._global.get()
@@ -218,13 +300,10 @@ class ThreadedRuntime:
             self._process_user(worker_id, pending, user_slice)
             return True
         # 3. Steal.
-        for victim in self._policy.victim_order(worker_id):
-            task = self._locals[victim].steal()
-            if task is not None:
-                self._stats.steals[worker_id] += 1
-                task()
-                self._stats.tasks_executed[worker_id] += 1
-                return True
+        task = self._steal_task(worker_id)
+        if task is not None:
+            self._run_task(worker_id, task, stolen=True)
+            return True
         return False
 
     def _process_user(
@@ -232,6 +311,18 @@ class ThreadedRuntime:
     ) -> None:
         """Become the user thread for one user (Section IV-C)."""
         self._stats.users_processed[worker_id] += 1
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.USER_START,
+                    time.monotonic_ns(),
+                    worker_id,
+                    {
+                        "subframe": pending.subframe.subframe_index,
+                        "user": user_slice.user.user_id,
+                    },
+                )
+            )
         job = UserJob(
             user_slice, pending.subframe.grid, config=self.config, codec=self.codec
         )
@@ -239,6 +330,18 @@ class ThreadedRuntime:
         job.run_combiner()
         self._run_stage(worker_id, job.data_tasks())
         result = job.finalize()
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.USER_FINISH,
+                    time.monotonic_ns(),
+                    worker_id,
+                    {
+                        "subframe": pending.subframe.subframe_index,
+                        "user": user_slice.user.user_id,
+                    },
+                )
+            )
         with pending.lock:
             pending.result.user_results.append(result)
             pending.remaining_users -= 1
@@ -264,8 +367,7 @@ class ThreadedRuntime:
             task = self._locals[worker_id].pop()
             if task is None:
                 break
-            task()
-            self._stats.tasks_executed[worker_id] += 1
+            self._run_task(worker_id, task, stolen=False)
         # Other workers may still hold stolen tasks; help elsewhere while
         # waiting ("the user thread waits until the results from all tasks
         # become available").
@@ -273,11 +375,8 @@ class ThreadedRuntime:
 
     def _help_once(self, worker_id: int) -> bool:
         """Steal one task from somewhere while blocked on a join."""
-        for victim in self._policy.victim_order(worker_id):
-            task = self._locals[victim].steal()
-            if task is not None:
-                self._stats.steals[worker_id] += 1
-                task()
-                self._stats.tasks_executed[worker_id] += 1
-                return True
+        task = self._steal_task(worker_id)
+        if task is not None:
+            self._run_task(worker_id, task, stolen=True)
+            return True
         return False

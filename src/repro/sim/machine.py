@@ -29,11 +29,13 @@ charged analytically by the power model from NAP occupancy.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.events import Event, EventKind
 from ..uplink.parameter_model import ParameterModel
 from ..uplink.tasks import describe_user_tasks
 from ..uplink.user import UserParameters
@@ -96,6 +98,7 @@ class _Job:
         "user_core",
         "continuation_pending",
         "steal_lines",
+        "stage_opened_at",
     )
 
     def __init__(
@@ -140,11 +143,14 @@ class _Job:
                 ("ser", finalize_cycles),
             ]
         self.stage_index = -1
-        self.ready: list[int] = []
+        # Owner pops from the right (LIFO), thieves pop from the left
+        # (FIFO) — a deque keeps both ends O(1) on the hot steal path.
+        self.ready: deque[int] = deque()
         self.steal_lines = 0
         self.outstanding = 0
         self.user_core: "_Core | None" = None
         self.continuation_pending = False
+        self.stage_opened_at = 0
 
 
 class _Core:
@@ -199,6 +205,14 @@ class MachineSimulator:
         ``target_active_workers(users, subframe_index)``.
     config:
         Simulator knobs.
+    observers:
+        Optional event observers (see :mod:`repro.obs`): callables
+        receiving every :class:`~repro.obs.events.Event`, with optional
+        ``on_run_start(sim)`` / ``on_run_end(sim, result)`` hooks. When no
+        observer is attached the tracing hook is ``None`` and emission
+        sites cost a single identity check (no event allocation). Setting
+        the ``REPRO_INVARIANTS`` environment variable auto-attaches a
+        strict :class:`~repro.obs.invariants.SchedulerInvariantChecker`.
     """
 
     def __init__(
@@ -209,6 +223,7 @@ class MachineSimulator:
         noc=None,
         cache=None,
         slot_pipelined: bool = False,
+        observers=None,
     ) -> None:
         self.cost = cost
         self.machine = cost.machine
@@ -224,6 +239,14 @@ class MachineSimulator:
         #: slot 0, then slot 1) instead of the default whole-subframe
         #: stages — an ablation on the Fig. 5 structure.
         self.slot_pipelined = slot_pipelined
+        #: Attached event observers (see :mod:`repro.obs`).
+        self.observers = list(observers) if observers is not None else []
+        self._emit = None
+
+    def attach_observer(self, observer):
+        """Attach an event observer for subsequent runs; returns it."""
+        self.observers.append(observer)
+        return observer
 
     # ------------------------------------------------------------------ run
     def run(
@@ -271,6 +294,12 @@ class MachineSimulator:
         self._num_subframes = num_subframes
         self._antennas = 4
 
+        observers = self._resolve_observers()
+        for observer in observers:
+            hook = getattr(observer, "on_run_start", None)
+            if hook is not None:
+                hook(self)
+
         for i in range(num_subframes):
             users = model.uplink_parameters(start + i)
             when = i * delta
@@ -285,7 +314,7 @@ class MachineSimulator:
         self._finalize_trace(horizon)
 
         latency = (self._complete_cycle - self._dispatch_cycle) / clock
-        return SimResult(
+        result = SimResult(
             trace=self._trace,
             machine=machine,
             config=cfg,
@@ -296,6 +325,35 @@ class MachineSimulator:
             steals=self._steals,
             users_processed=self._users_processed,
         )
+        for observer in observers:
+            hook = getattr(observer, "on_run_end", None)
+            if hook is not None:
+                hook(self, result)
+        return result
+
+    def _resolve_observers(self) -> list:
+        """Observers for this run; sets the (None-when-off) emit hook."""
+        observers = list(self.observers)
+        if os.environ.get("REPRO_INVARIANTS", "") not in ("", "0"):
+            from ..obs.invariants import SchedulerInvariantChecker
+
+            if not any(
+                isinstance(o, SchedulerInvariantChecker) for o in observers
+            ):
+                observers.append(SchedulerInvariantChecker(strict=True))
+        if not observers:
+            self._emit = None
+        elif len(observers) == 1:
+            self._emit = observers[0]
+        else:
+            fanout = tuple(observers)
+
+            def emit(event, _observers=fanout):
+                for observer in _observers:
+                    observer(event)
+
+            self._emit = emit
+        return observers
 
     # --------------------------------------------------------------- events
     def _make_dispatch(self, index: int, users: list[UserParameters]):
@@ -309,6 +367,15 @@ class MachineSimulator:
             target = self.policy.target_active_workers(users, self._start_index + index)
             target = max(1, min(self.machine.num_workers, int(target)))
             self._active_trace[index] = target
+            if self._emit is not None:
+                self._emit(
+                    Event(
+                        EventKind.GOVERNOR,
+                        t,
+                        -1,
+                        {"subframe": index, "target": target},
+                    )
+                )
             self._set_active_workers(target, t)
             for user in users:
                 self._user_queue.append(
@@ -319,6 +386,19 @@ class MachineSimulator:
                         self._antennas,
                         cache=self.cache,
                         slot_pipelined=self.slot_pipelined,
+                    )
+                )
+            if self._emit is not None:
+                self._emit(
+                    Event(
+                        EventKind.DISPATCH,
+                        t,
+                        -1,
+                        {
+                            "subframe": index,
+                            "users": len(users),
+                            "queue_depth": len(self._user_queue),
+                        },
                     )
                 )
             self._distribute_work(t)
@@ -367,8 +447,18 @@ class MachineSimulator:
         if core.state is state:
             return
         self._trace.add_segment(core.state, core.state_since, t)
+        previous = core.state
         core.state = state
         core.state_since = t
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.STATE_TRANSITION,
+                    t,
+                    core.index,
+                    {"from": previous.value, "to": state.value},
+                )
+            )
 
     def _has_stealable_work(self) -> bool:
         if self._user_queue:
@@ -382,7 +472,11 @@ class MachineSimulator:
 
         A spinner that declines the available work (e.g. a user thread
         waiting on stolen results cannot adopt a new user) is set aside for
-        the rest of the pass so the loop always makes progress.
+        the rest of the pass so the loop always makes progress. Only cores
+        that _go_idle actually returned to the spin set are deferred — a
+        decliner that napped or disabled itself instead must not be
+        re-registered as a spinner (it would end up in two idle sets at
+        once, corrupting the occupancy accounting).
         """
         progress = True
         while progress and self._has_stealable_work():
@@ -393,7 +487,7 @@ class MachineSimulator:
                 self._idle_spin.discard(index)
                 if self._seek_work(self._cores[index], t):
                     progress = True
-                else:
+                elif index in self._idle_spin:
                     # _go_idle put it back; keep it out of this pass.
                     self._idle_spin.discard(index)
                     deferred.append(index)
@@ -416,7 +510,16 @@ class MachineSimulator:
                 return
             self._idle_nap.pop(core.index, None)
             self._set_state(core, CoreState.SPIN, t)
-            self._seek_work(core, t)
+            took_work = self._seek_work(core, t)
+            if self._emit is not None:
+                self._emit(
+                    Event(
+                        EventKind.WAKE_CHECK,
+                        t,
+                        core.index,
+                        {"took_work": took_work},
+                    )
+                )
 
         return wake
 
@@ -468,6 +571,20 @@ class MachineSimulator:
         if victim is not None:
             victim_job, cycles = victim
             self._steals += 1
+            if self._emit is not None:
+                owner = victim_job.user_core
+                self._emit(
+                    Event(
+                        EventKind.STEAL,
+                        t,
+                        core.index,
+                        {
+                            "victim": owner.index if owner is not None else -1,
+                            "subframe": victim_job.subframe_index,
+                            "wait": t - victim_job.stage_opened_at,
+                        },
+                    )
+                )
             self._execute_task(core, victim_job, cycles, t, stolen=True)
             return True
         # 4. Nothing to do.
@@ -486,13 +603,22 @@ class MachineSimulator:
                     return None
                 self._jobs_with_ready.rotate(-1)
                 continue
-            return job, job.ready.pop(0)
+            return job, job.ready.popleft()
         return None
 
     def _start_job(self, core: _Core, job: _Job, t: int) -> None:
         self._users_processed += 1
         core.job = job
         job.user_core = core
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.USER_START,
+                    t,
+                    core.index,
+                    {"subframe": job.subframe_index, "user": job.user.user_id},
+                )
+            )
         if not self._owner_advance(core, job, t):
             self._seek_work(core, t)
 
@@ -506,8 +632,34 @@ class MachineSimulator:
             cycles += self.noc.steal_penalty(
                 core.index, job.user_core.index, payload_lines=job.steal_lines
             )
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.TASK_START,
+                    t,
+                    core.index,
+                    {
+                        "cycles": cycles,
+                        "stolen": stolen,
+                        "subframe": job.subframe_index,
+                    },
+                )
+            )
 
         def finish(end: int) -> None:
+            if self._emit is not None:
+                self._emit(
+                    Event(
+                        EventKind.TASK_FINISH,
+                        end,
+                        core.index,
+                        {
+                            "cycles": cycles,
+                            "stolen": stolen,
+                            "subframe": job.subframe_index,
+                        },
+                    )
+                )
             self._task_finished(core, job, end)
 
         self._engine.schedule(t + cycles, finish)
@@ -547,11 +699,12 @@ class MachineSimulator:
         stage = job.stages[job.stage_index]
         if stage[0] == "par":
             _, cycles_list, lines = stage
-            job.ready = list(cycles_list)
+            job.ready = deque(cycles_list)
             job.steal_lines = lines
             job.outstanding = len(job.ready)
             if not job.ready:  # degenerate empty fan-out
                 return self._advance_stage(job, t)
+            job.stage_opened_at = t
             self._jobs_with_ready.append(job)
             return "par"
         return "ser"
@@ -580,8 +733,35 @@ class MachineSimulator:
         self._set_state(core, CoreState.COMPUTE, t)
         self._tasks_executed += 1
         cycles = stage[1]
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.TASK_START,
+                    t,
+                    core.index,
+                    {
+                        "cycles": cycles,
+                        "stolen": False,
+                        "serial": True,
+                        "subframe": job.subframe_index,
+                    },
+                )
+            )
 
         def finish(end: int) -> None:
+            if self._emit is not None:
+                self._emit(
+                    Event(
+                        EventKind.TASK_FINISH,
+                        end,
+                        core.index,
+                        {
+                            "cycles": cycles,
+                            "serial": True,
+                            "subframe": job.subframe_index,
+                        },
+                    )
+                )
             core.busy = False
             if not self._owner_advance(core, job, end):
                 self._seek_work(core, end)
@@ -598,6 +778,19 @@ class MachineSimulator:
         self._pending_users[index] -= 1
         if self._pending_users[index] == 0:
             self._complete_cycle[index] = t
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.USER_FINISH,
+                    t,
+                    core.index,
+                    {
+                        "subframe": index,
+                        "user": job.user.user_id,
+                        "pending": int(self._pending_users[index]),
+                    },
+                )
+            )
 
     def _finalize_trace(self, horizon: int) -> None:
         for core in self._cores:

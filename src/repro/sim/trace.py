@@ -55,11 +55,15 @@ class OccupancyTrace:
         """Record that one core was in ``state`` during [start, end) cycles."""
         if end < start:
             raise ValueError("segment must not end before it starts")
-        if end == start:
-            return
         horizon = self.window_cycles * self.num_windows
         start = min(start, horizon)
         end = min(end, horizon)
+        # Re-check emptiness *after* clamping: a segment lying entirely
+        # at/past the horizon collapses to start == end == horizon, and
+        # falling through would index window ``num_windows`` (one past the
+        # last) in the single-window branch below.
+        if end <= start:
+            return
         row = list(CoreState).index(state)
         first = start // self.window_cycles
         last = (end - 1) // self.window_cycles

@@ -59,7 +59,15 @@ class TestRenderSeries:
 class TestCli:
     def test_parser_has_all_commands(self):
         parser = build_parser()
-        for command in ("quickstart", "workload", "calibrate", "estimate", "power-study"):
+        for command in (
+            "quickstart",
+            "workload",
+            "calibrate",
+            "estimate",
+            "power-study",
+            "trace",
+            "metrics",
+        ):
             args = parser.parse_args(
                 [command] if command in ("quickstart", "calibrate") else [command, "--subframes", "400"]
             )
@@ -84,3 +92,50 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Fig. 12" in out
         assert "measured" in out
+
+    def test_trace_writes_valid_jsonl(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "trace",
+                "--policy",
+                "nap+idle",
+                "--subframes",
+                "40",
+                "--out",
+                str(out_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "events written" in out
+        assert "0 violation(s)" in out
+        rows = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert rows, "trace must contain events"
+        kinds = {row["kind"] for row in rows}
+        assert {"dispatch", "governor", "task-start", "task-finish"} <= kinds
+        assert all("t" in row and "core" in row for row in rows)
+
+    def test_trace_ring_buffer_caps_output(self, capsys, tmp_path):
+        out_path = tmp_path / "ring.jsonl"
+        assert main(
+            ["trace", "--subframes", "30", "--ring", "100", "--out", str(out_path)]
+        ) == 0
+        assert len(out_path.read_text().splitlines()) == 100
+        assert "dropped by ring buffer" in capsys.readouterr().out
+
+    def test_metrics_prints_summary(self, capsys):
+        assert main(["metrics", "--policy", "idle", "--subframes", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Scheduler metrics" in out
+        assert "tasks_finished" in out
+        assert "subframe_latency_ms" in out
+
+    def test_metrics_json_output(self, capsys):
+        import json
+
+        assert main(["metrics", "--subframes", "20", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["counters"]["subframes_dispatched"] == 20
+        assert "subframe_latency_ms" in summary["histograms"]

@@ -1,0 +1,172 @@
+"""Tests for the observability toolkit: events, recorder, metrics, checker."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Event,
+    EventKind,
+    EventRecorder,
+    InvariantViolation,
+    MetricsCollector,
+    MetricsRegistry,
+    SchedulerInvariantChecker,
+    read_jsonl,
+)
+
+
+def ev(kind, t=0, core=-1, **data):
+    return Event(kind, t, core, data or None)
+
+
+class TestEvent:
+    def test_to_dict_flattens_payload(self):
+        event = ev(EventKind.STEAL, t=120, core=3, victim=1, wait=40)
+        assert event.to_dict() == {
+            "kind": "steal",
+            "t": 120,
+            "core": 3,
+            "victim": 1,
+            "wait": 40,
+        }
+
+    def test_kind_serializes_as_plain_string(self):
+        payload = json.dumps(ev(EventKind.DISPATCH).to_dict())
+        assert '"dispatch"' in payload
+
+
+class TestEventRecorder:
+    def test_records_and_counts(self):
+        rec = EventRecorder()
+        rec(ev(EventKind.TASK_START))
+        rec(ev(EventKind.TASK_FINISH))
+        rec(ev(EventKind.TASK_START))
+        assert len(rec) == 3
+        assert rec.counts() == {"task-start": 2, "task-finish": 1}
+        assert len(rec.filter(EventKind.TASK_START)) == 2
+
+    def test_ring_buffer_drops_oldest(self):
+        rec = EventRecorder(capacity=2)
+        for t in range(5):
+            rec(ev(EventKind.WAKE_CHECK, t=t))
+        assert len(rec) == 2
+        assert rec.dropped == 3
+        assert [e.t for e in rec] == [3, 4]
+
+    def test_kind_filter_at_capture(self):
+        rec = EventRecorder(kinds={EventKind.STEAL})
+        rec(ev(EventKind.STEAL))
+        rec(ev(EventKind.TASK_START))
+        assert [e.kind for e in rec] == [EventKind.STEAL]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        rec = EventRecorder()
+        rec(ev(EventKind.DISPATCH, t=0, subframe=0, users=3))
+        rec(ev(EventKind.TASK_FINISH, t=99, core=1, cycles=42))
+        path = tmp_path / "trace.jsonl"
+        assert rec.write_jsonl(path) == 2
+        rows = read_jsonl(path)
+        assert rows[0]["kind"] == "dispatch" and rows[0]["users"] == 3
+        assert rows[1]["core"] == 1 and rows[1]["cycles"] == 42
+
+    def test_clear_resets(self):
+        rec = EventRecorder()
+        rec(ev(EventKind.GOVERNOR))
+        rec.clear()
+        assert len(rec) == 0 and rec.dropped == 0
+
+
+class TestMetricsRegistry:
+    def test_counter_is_monotone(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2)
+        assert reg.counter("c").value == 3
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_tracks_extremes(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        for v in (3, 9, 1):
+            g.set(v)
+        assert (g.value, g.min, g.max) == (1, 1, 9)
+
+    def test_histogram_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.count == 100
+        assert h.mean() == pytest.approx(50.5)
+        assert h.percentile(50) == pytest.approx(50.5)
+        summary = h.summary()
+        assert summary["max"] == 100
+        assert summary["p90"] == pytest.approx(90.1)
+
+    def test_summary_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(2.5)
+        reg.histogram("c").observe(1.0)
+        json.dumps(reg.summary())
+
+    def test_empty_histogram_summary(self):
+        assert MetricsRegistry().histogram("x").summary() == {"count": 0}
+
+
+class TestMetricsCollector:
+    def test_folds_events_into_registry(self):
+        collector = MetricsCollector()
+        collector(ev(EventKind.DISPATCH, t=0, subframe=0, users=4, queue_depth=4))
+        collector(ev(EventKind.TASK_START, t=1, core=0, cycles=10))
+        collector(ev(EventKind.TASK_FINISH, t=11, core=0, cycles=10))
+        collector(ev(EventKind.STEAL, t=5, core=1, victim=0, wait=5))
+        collector(ev(EventKind.WAKE_CHECK, t=6, core=2, took_work=True))
+        counters = collector.registry.summary()["counters"]
+        assert counters["users_dispatched"] == 4
+        assert counters["tasks_finished"] == 1
+        assert counters["steals"] == 1
+        assert counters["wake_hits"] == 1
+        assert collector.registry.histogram("steal_wait_cycles").count == 1
+
+
+class TestSchedulerInvariantChecker:
+    def test_detects_overlapping_idle_sets(self, monkeypatch):
+        """check_now must flag a core in both _idle_spin and _disabled."""
+        from repro.sim.machine import MachineSimulator, SimConfig
+        from repro.sim.cost import CostModel, MachineSpec
+        from repro.uplink.parameter_model import SteadyStateParameterModel
+        from repro.phy.params import Modulation
+
+        cost = CostModel(machine=MachineSpec(num_cores=6, num_workers=4))
+        checker = SchedulerInvariantChecker(strict=False)
+        sim = MachineSimulator(
+            cost, config=SimConfig(drain_margin_s=0.1), observers=[checker]
+        )
+        sim.run(SteadyStateParameterModel(4, 1, Modulation.QPSK), num_subframes=2)
+        assert checker.ok
+        # Corrupt the final state and re-check explicitly.
+        sim._idle_spin.add(0)
+        sim._disabled.add(0)
+        checker.check_now()
+        assert not checker.ok
+        assert any("_idle_spin and _disabled" in v for v in checker.violations)
+        # A strict checker bound to the same corrupted simulator raises.
+        strict = SchedulerInvariantChecker(strict=True)
+        strict.on_run_start(sim)
+        with pytest.raises(InvariantViolation, match="idle sets overlap"):
+            strict.check_now()
+
+    def test_unbound_checker_only_counts(self):
+        """Before on_run_start binds a simulator, events are tallied only."""
+        checker = SchedulerInvariantChecker(strict=True)
+        checker(ev(EventKind.TASK_START, core=0))
+        assert checker.events_checked == 1
+        assert checker.ok
+
+    def test_summary_mentions_counts(self):
+        checker = SchedulerInvariantChecker(strict=False)
+        checker(ev(EventKind.TASK_START))
+        assert "1 events checked" in checker.summary()

@@ -117,6 +117,47 @@ class TestThreadedRuntime:
         for x, y in zip(a, b):
             assert x.equals(y)
 
+    def test_collect_results_drains_outstanding_work(self):
+        """collect_results must block on in-flight subframes, not race them.
+
+        Regression: the old implementation returned whatever had completed
+        so far, losing subframes submitted but not yet finished.
+        """
+        model, factory, subframes = make_subframes(num=4)
+        serial = SerialBenchmark(model, factory).run(4)
+        runtime = ThreadedRuntime(num_workers=3)
+        runtime.start()
+        try:
+            for sub in subframes:
+                runtime.submit(sub)
+            # No explicit drain(): collect_results must do it itself.
+            parallel = runtime.collect_results()
+        finally:
+            runtime.stop()
+        assert len(parallel) == 4
+        assert verify_against_serial(serial, parallel).passed
+
+    def test_event_stream_matches_stats(self):
+        from repro.obs import EventRecorder
+
+        _, _, subframes = make_subframes(num=3)
+        recorder = EventRecorder()
+        runtime = ThreadedRuntime(num_workers=4, observers=[recorder])
+        runtime.run(subframes)
+        counts = recorder.counts()
+        assert counts["dispatch"] == 3
+        assert counts["task-start"] == runtime.stats.total_tasks
+        assert counts["task-finish"] == runtime.stats.total_tasks
+        assert counts.get("steal", 0) == runtime.stats.total_steals
+        assert counts["user-start"] == counts["user-finish"]
+        assert counts["user-finish"] == sum(runtime.stats.users_processed)
+        # Timestamps are monotonic-clock nanoseconds, strictly positive.
+        assert all(e.t > 0 for e in recorder)
+
+    def test_no_observers_disables_emit_hook(self):
+        runtime = ThreadedRuntime(num_workers=2)
+        assert runtime._emit is None
+
     def test_synthesized_subframes_decode_correctly_in_parallel(self):
         users = [
             UserParameters(0, 8, 1, Modulation.QAM16),

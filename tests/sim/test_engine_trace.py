@@ -96,6 +96,22 @@ class TestOccupancyTrace:
         trace.add_segment(CoreState.COMPUTE, 42, 42)
         assert trace.total_cycles(CoreState.COMPUTE) == 0
 
+    def test_segment_entirely_past_horizon_ignored(self):
+        """A segment at/past the horizon must be dropped, not IndexError.
+
+        Regression: clamping mapped [500, 600) on a 5x100 trace to
+        [500, 500), and the single-window branch then indexed window 5.
+        """
+        trace = self._trace()  # horizon = 500 cycles
+        trace.add_segment(CoreState.SPIN, 500, 600)
+        trace.add_segment(CoreState.SPIN, 750, 900)
+        assert trace.total_cycles(CoreState.SPIN) == 0
+
+    def test_segment_starting_at_horizon_boundary_ignored(self):
+        trace = self._trace()
+        trace.add_segment(CoreState.NAP, 500, 500)
+        assert trace.total_cycles(CoreState.NAP) == 0
+
     def test_rejects_negative_segment(self):
         with pytest.raises(ValueError):
             self._trace().add_segment(CoreState.COMPUTE, 10, 5)

@@ -1,0 +1,190 @@
+"""Invariant-checker validation over all four power-management policies.
+
+Two jobs: prove the checker stays silent on the (fixed) scheduler for
+every policy, and prove it would have caught the historical idle-set
+double-membership bug in ``_distribute_work`` (a core left in
+``_idle_spin`` after ``_go_idle`` had already moved it to ``_idle_nap``
+or ``_disabled``).
+"""
+
+import pytest
+
+from repro.obs import (
+    EventRecorder,
+    InvariantViolation,
+    MetricsCollector,
+    SchedulerInvariantChecker,
+)
+from repro.power.estimator import calibrate_from_cost_model
+from repro.power.governor import make_policy
+from repro.sim.cost import CostModel, MachineSpec
+from repro.sim.machine import MachineSimulator, SimConfig
+from repro.uplink.parameter_model import RandomizedParameterModel
+
+POLICIES = ["NONAP", "IDLE", "NAP", "NAP+IDLE"]
+NUM_WORKERS = 8
+NUM_SUBFRAMES = 60
+
+
+def build_sim(policy_name, observers=None):
+    cost = CostModel(
+        machine=MachineSpec(num_cores=NUM_WORKERS + 2, num_workers=NUM_WORKERS)
+    )
+    estimator = calibrate_from_cost_model(cost)
+    return MachineSimulator(
+        cost,
+        policy=make_policy(policy_name, NUM_WORKERS, estimator),
+        config=SimConfig(drain_margin_s=0.2),
+        observers=observers,
+    )
+
+
+def run_checked(policy_name, strict=False):
+    checker = SchedulerInvariantChecker(strict=strict)
+    recorder = EventRecorder()
+    sim = build_sim(policy_name, observers=[recorder, checker])
+    model = RandomizedParameterModel(total_subframes=NUM_SUBFRAMES, seed=7)
+    result = sim.run(model, num_subframes=NUM_SUBFRAMES)
+    return result, checker, recorder
+
+
+class TestCheckerCleanOnAllPolicies:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_zero_violations_on_randomized_workload(self, policy):
+        result, checker, recorder = run_checked(policy)
+        assert checker.ok, checker.summary()
+        assert checker.events_checked == len(recorder)
+        # Event stream is internally consistent with the run counters.
+        counts = recorder.counts()
+        assert counts["task-start"] == counts["task-finish"] == result.tasks_executed
+        assert counts["user-finish"] == result.users_processed
+        assert counts.get("steal", 0) == result.steals
+        assert counts["dispatch"] == NUM_SUBFRAMES
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_occupancy_trace_conserves_core_time(self, policy):
+        result, checker, _ = run_checked(policy)
+        assert result.trace.check_conservation(atol_cycles=2.0)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_strict_mode_does_not_raise_on_fixed_scheduler(self, policy):
+        run_checked(policy, strict=True)  # InvariantViolation would escape
+
+
+class TestDequeSwapPreservesSchedule:
+    """``_Job.ready`` moved from list.pop(0)/pop() to a deque.
+
+    Owner still pops newest (LIFO), thieves still take oldest (FIFO), so
+    a fixed-seed run must reproduce the exact pre-change counters. NONAP
+    and IDLE are untouched by the idle-set fix, so their counters pin the
+    deque change alone.
+    """
+
+    # Captured on the pre-change scheduler (list-based ready queues),
+    # same config/seed as run_checked().
+    EXPECTED = {"NONAP": (6772, 2326, 370), "IDLE": (6772, 1589, 370)}
+
+    @pytest.mark.parametrize("policy", sorted(EXPECTED))
+    def test_fixed_seed_counters_unchanged(self, policy):
+        result, _, _ = run_checked(policy)
+        expected_tasks, expected_steals, expected_users = self.EXPECTED[policy]
+        assert result.tasks_executed == expected_tasks
+        assert result.steals == expected_steals
+        assert result.users_processed == expected_users
+
+
+def buggy_distribute_work(self, t):
+    """The pre-fix ``_distribute_work``: re-registers every deferred core
+    in ``_idle_spin`` even when ``_seek_work`` declined because the core
+    just went to NAP/DISABLED via ``_go_idle`` — creating idle-set
+    double membership."""
+    progress = True
+    while progress and self._has_stealable_work():
+        progress = False
+        deferred = []
+        while self._has_stealable_work() and self._idle_spin:
+            index = min(self._idle_spin)
+            self._idle_spin.discard(index)
+            if self._seek_work(self._cores[index], t):
+                progress = True
+            else:
+                deferred.append(index)
+        self._idle_spin.update(deferred)
+    if self._has_stealable_work() and self._idle_nap:
+        for index, nap_start in list(self._idle_nap.items()):
+            core = self._cores[index]
+            if core.wake_scheduled:
+                continue
+            periods = (t - nap_start) // self._wake_period_cycles + 1
+            core.wake_scheduled = True
+            self._engine.schedule(
+                nap_start + periods * self._wake_period_cycles,
+                self._make_wake(core),
+            )
+
+
+class TestCheckerCatchesHistoricalBug:
+    @pytest.mark.parametrize("policy", ["NAP", "NAP+IDLE"])
+    def test_non_strict_checker_flags_double_membership(self, monkeypatch, policy):
+        monkeypatch.setattr(
+            MachineSimulator, "_distribute_work", buggy_distribute_work
+        )
+        _, checker, _ = run_checked(policy)
+        assert not checker.ok
+        assert any("_idle_spin and _disabled" in v for v in checker.violations)
+
+    def test_strict_checker_raises_on_double_membership(self, monkeypatch):
+        monkeypatch.setattr(
+            MachineSimulator, "_distribute_work", buggy_distribute_work
+        )
+        with pytest.raises(InvariantViolation, match="idle sets overlap"):
+            run_checked("NAP+IDLE", strict=True)
+
+    @pytest.mark.parametrize("policy", ["NONAP", "IDLE"])
+    def test_spin_only_policies_unaffected_by_old_code(self, monkeypatch, policy):
+        """The bug needed _go_idle to move a declining core out of the spin
+        set; NONAP/IDLE decliners legitimately return to _idle_spin."""
+        monkeypatch.setattr(
+            MachineSimulator, "_distribute_work", buggy_distribute_work
+        )
+        _, checker, _ = run_checked(policy)
+        assert checker.ok, checker.summary()
+
+
+class TestEnvVarAutoAttach:
+    def test_repro_invariants_attaches_strict_checker(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INVARIANTS", "1")
+        monkeypatch.setattr(
+            MachineSimulator, "_distribute_work", buggy_distribute_work
+        )
+        sim = build_sim("NAP+IDLE")
+        model = RandomizedParameterModel(total_subframes=10, seed=7)
+        with pytest.raises(InvariantViolation):
+            sim.run(model, num_subframes=10)
+
+    def test_unset_or_zero_does_not_attach(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INVARIANTS", "0")
+        sim = build_sim("NONAP")
+        model = RandomizedParameterModel(total_subframes=5, seed=7)
+        sim.run(model, num_subframes=5)
+        assert sim.observers == []
+        assert sim._emit is None
+
+
+class TestMetricsOverSimulator:
+    def test_collector_agrees_with_sim_counters(self):
+        collector = MetricsCollector()
+        sim = build_sim("IDLE", observers=[collector])
+        model = RandomizedParameterModel(total_subframes=20, seed=3)
+        result = sim.run(model, num_subframes=20)
+        counters = collector.registry.summary()["counters"]
+        assert counters["tasks_finished"] == result.tasks_executed
+        assert counters["steals"] == result.steals
+        assert counters["users_finished"] == result.users_processed
+        assert counters["subframes_dispatched"] == 20
+        # Per-core utilization covers every worker and lies in [0, 1].
+        assert len(collector.per_core_utilization) == NUM_WORKERS
+        assert all(0.0 <= u <= 1.0 for u in collector.per_core_utilization)
+        assert (
+            collector.registry.histogram("subframe_latency_ms").count == 20
+        )

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.sim",
     "repro.power",
     "repro.experiments",
+    "repro.obs",
 ]
 
 
