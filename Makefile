@@ -1,0 +1,37 @@
+# Local entry points that mirror the CI jobs exactly
+# (.github/workflows/ci.yml). `make test` is the tier-1 gate; `make lint`
+# is the static-analysis gate. ruff/mypy are optional-dependency extras
+# (`pip install -e .[lint]`) and are skipped with a hint when absent so
+# `make lint` works in the minimal environment too.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-invariants lint repro-lint ruff mypy all
+
+all: test lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-invariants:
+	REPRO_INVARIANTS=1 $(PYTHON) -m pytest -x -q tests/sim tests/obs tests/power tests/experiments
+
+lint: repro-lint ruff mypy
+
+repro-lint:
+	$(PYTHON) -m repro lint src
+
+ruff:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro/analysis src/repro/obs; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[lint])"; \
+	fi
+
+mypy:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy src/repro/analysis src/repro/obs; \
+	else \
+		echo "mypy not installed; skipping (pip install -e .[lint])"; \
+	fi

@@ -1,0 +1,60 @@
+"""Baseline files: adopt the linter on a tree with pre-existing findings.
+
+A baseline is a JSON list of finding fingerprints (rule, path, message —
+deliberately no line number, so unrelated edits that shift lines do not
+resurrect baselined findings). ``repro lint --baseline FILE`` filters
+matching findings; ``--update-baseline`` rewrites the file from the
+current findings so the debt can only shrink deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """A set of accepted finding fingerprints."""
+
+    def __init__(self, entries: Iterable[tuple[str, str, str]] = ()) -> None:
+        self.entries: set[tuple[str, str, str]] = set(entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> Baseline:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}"
+            )
+        return cls(
+            (e["rule"], e["path"], e["message"]) for e in data.get("entries", [])
+        )
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> Baseline:
+        return cls(f.fingerprint() for f in findings)
+
+    def save(self, path: str | Path) -> None:
+        records = [
+            {"rule": rule, "path": file_path, "message": message}
+            for rule, file_path, message in sorted(self.entries)
+        ]
+        Path(path).write_text(
+            json.dumps({"version": _VERSION, "entries": records}, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)

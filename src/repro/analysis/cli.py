@@ -1,0 +1,98 @@
+"""Implementation of the ``repro lint`` subcommand.
+
+Exit codes (stable, CI depends on them):
+
+* ``0`` — no findings (after suppressions and baseline), or
+  ``--update-baseline`` / ``--list-rules`` ran;
+* ``1`` — at least one finding;
+* ``2`` — usage error (nonexistent path, unknown rule id, bad baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+from .baseline import Baseline
+from .driver import LintResult, LintUsageError, lint_paths
+from .registry import default_rules, rule_catalogue
+
+__all__ = ["run_lint", "result_to_json"]
+
+
+def result_to_json(result: LintResult) -> dict[str, Any]:
+    """The ``--format json`` document (and its schema, in one place)."""
+    return {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "findings": [f.to_dict() for f in result.findings],
+    }
+
+
+def _print_text(result: LintResult) -> None:
+    for finding in result.findings:
+        print(finding.render())
+    tail = (
+        f"{result.files_checked} file(s) checked, "
+        f"{len(result.findings)} finding(s)"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if extras:
+        tail += f" ({', '.join(extras)})"
+    print(tail)
+
+
+def run_lint(args) -> int:
+    """Drive one lint run from parsed CLI arguments."""
+    if getattr(args, "list_rules", False):
+        for rule_id, severity, description in rule_catalogue():
+            print(f"{rule_id} [{severity}] {description}")
+        return 0
+
+    select = None
+    if getattr(args, "select", None):
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+
+    baseline = None
+    baseline_path = getattr(args, "baseline", None)
+    update_baseline = getattr(args, "update_baseline", False)
+    if baseline_path and not update_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro lint: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        rules = default_rules(select)
+        result = lint_paths(args.paths, rules=rules, baseline=baseline)
+    except (LintUsageError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro lint: {message}", file=sys.stderr)
+        return 2
+
+    if update_baseline:
+        if not baseline_path:
+            print(
+                "repro lint: --update-baseline requires --baseline PATH",
+                file=sys.stderr,
+            )
+            return 2
+        Baseline.from_findings(result.findings).save(baseline_path)
+        count = len(result.findings)
+        noun = "entry" if count == 1 else "entries"
+        print(f"baseline written to {baseline_path} ({count} {noun})")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(result_to_json(result), indent=2))
+    else:
+        _print_text(result)
+    return 0 if result.ok else 1

@@ -1,0 +1,159 @@
+"""Per-file analysis context: parsed AST, comments, imports, scope.
+
+Rules never touch the filesystem — the driver builds one
+:class:`ModuleContext` per linted file and hands it to every per-file
+rule. The context also resolves the two comment-driven conventions:
+
+* ``# repro-lint: disable=REP101,REP203`` — suppress those rules on the
+  commented line (or, when the comment is a standalone line, on the next
+  code line);
+* ``# repro-lint: disable-file=REP201`` — suppress a rule for the whole
+  file;
+* ``# repro-lint: deterministic-scope`` — opt a file that is not under a
+  deterministic package into the REP2xx determinism rules (used by test
+  fixtures and by modules outside ``repro.sim``/``phy``/``uplink`` that
+  still promise replayability).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ModuleContext", "module_name_for"]
+
+_DISABLE_RE = re.compile(r"repro-lint:\s*disable=([A-Z0-9, ]+)")
+_DISABLE_FILE_RE = re.compile(r"repro-lint:\s*disable-file=([A-Z0-9, ]+)")
+_DETERMINISTIC_PRAGMA = "repro-lint: deterministic-scope"
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, walking up while ``__init__.py`` marks a package.
+
+    ``src/repro/sim/machine.py`` -> ``repro.sim.machine``; a loose file in
+    a scratch directory is just its stem.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass
+class ModuleContext:
+    """Everything the rules need to know about one source file."""
+
+    path: Path
+    relpath: str
+    module: str
+    source: str
+    tree: ast.Module
+    #: line number -> comment text (leading ``#`` stripped).
+    comments: dict[int, str] = field(default_factory=dict)
+    #: local alias -> fully qualified dotted name, from import statements.
+    import_aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str, source: str) -> ModuleContext:
+        tree = ast.parse(source, filename=str(path))
+        ctx = cls(
+            path=path,
+            relpath=relpath,
+            module=module_name_for(path),
+            source=source,
+            tree=tree,
+            comments=_collect_comments(source),
+        )
+        ctx.import_aliases = _collect_import_aliases(tree)
+        return ctx
+
+    # ------------------------------------------------------------ pragmas
+    def suppressed_rules(self, line: int) -> frozenset[str]:
+        """Rule IDs inline-suppressed for findings on ``line``."""
+        rules: set[str] = set()
+        for source_line in (line, line - 1):
+            comment = self.comments.get(source_line)
+            if comment is None:
+                continue
+            if source_line == line - 1 and self._line_has_code(source_line):
+                continue  # trailing comment on the previous statement
+            match = _DISABLE_RE.search(comment)
+            if match:
+                rules.update(
+                    r.strip() for r in match.group(1).split(",") if r.strip()
+                )
+        return frozenset(rules)
+
+    def file_suppressed_rules(self) -> frozenset[str]:
+        """Rule IDs suppressed for the whole file."""
+        rules: set[str] = set()
+        for comment in self.comments.values():
+            match = _DISABLE_FILE_RE.search(comment)
+            if match:
+                rules.update(
+                    r.strip() for r in match.group(1).split(",") if r.strip()
+                )
+        return frozenset(rules)
+
+    def has_deterministic_pragma(self) -> bool:
+        return any(
+            _DETERMINISTIC_PRAGMA in comment for comment in self.comments.values()
+        )
+
+    def _line_has_code(self, line: int) -> bool:
+        text = self.source.splitlines()[line - 1] if line >= 1 else ""
+        stripped = text.strip()
+        return bool(stripped) and not stripped.startswith("#")
+
+    # ------------------------------------------------------------ imports
+    def qualified_name(self, node: ast.expr) -> str | None:
+        """Resolve ``np.random.default_rng`` -> ``numpy.random.default_rng``.
+
+        Follows the file's import aliases for the base name; returns
+        ``None`` for expressions that are not plain dotted names.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.insert(0, node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.import_aliases.get(node.id, node.id)
+        return ".".join([base, *parts]) if parts else base
+
+
+def _collect_comments(source: str) -> dict[int, str]:
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string.lstrip("#").strip()
+    except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
+        pass
+    return comments
+
+
+def _collect_import_aliases(tree: ast.Module) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else local
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            prefix = ("." * node.level) + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{prefix}.{alias.name}" if prefix else alias.name
+    return aliases

@@ -20,6 +20,10 @@ Commands mirror the benchmark binary and the evaluation drivers:
 ``metrics``
     Run the simulator with the metrics collector attached and print the
     scheduler-metrics summary (counters, gauges, histograms).
+``lint``
+    Run the project's AST-based static analyzers (lock discipline,
+    sim determinism, obs schema consistency — see
+    ``docs/static_analysis.md``) over the given paths.
 """
 
 from __future__ import annotations
@@ -105,6 +109,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(report, 2_000)
     report.add_argument(
         "--output", default="reproduction_report.json", help="output JSON path"
+    )
+
+    lint = sub.add_parser(
+        "lint", help="run the repro static analyzers (REP* rules)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default text)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="JSON baseline of accepted findings to filter out",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
     )
     return parser
 
@@ -276,6 +316,12 @@ def cmd_report(args) -> int:
     return 0 if all(report["shape_checks"].values()) else 1
 
 
+def cmd_lint(args) -> int:
+    from .analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "workload": cmd_workload,
@@ -285,6 +331,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "report": cmd_report,
+    "lint": cmd_lint,
 }
 
 

@@ -27,7 +27,7 @@ class WorkStealingDeque(Generic[T]):
     """A lock-protected work-stealing deque."""
 
     def __init__(self) -> None:
-        self._items: deque[T] = deque()
+        self._items: deque[T] = deque()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def push(self, item: T) -> None:
@@ -68,7 +68,7 @@ class GlobalQueue(Generic[T]):
     """
 
     def __init__(self) -> None:
-        self._items: deque[T] = deque()
+        self._items: deque[T] = deque()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def put_subframe(self, users: list[T]) -> None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, ClassVar
 
 from ..obs.events import Event, EventKind
 from ..phy.chest import ChestConfig
@@ -31,26 +31,43 @@ __all__ = ["ThreadedRuntime", "RuntimeStats"]
 
 @dataclass
 class RuntimeStats:
-    """Counters describing one run (useful for scheduling tests)."""
+    """Counters describing one run (useful for scheduling tests).
+
+    Worker threads update the per-worker slots concurrently and callers
+    may sum them mid-run, so every access goes through ``lock`` (the
+    ``_GUARDED_BY`` map below is enforced statically by ``repro lint``'s
+    REP101 rule).
+    """
+
+    _GUARDED_BY: ClassVar[dict[str, str]] = {
+        "tasks_executed": "lock",
+        "steals": "lock",
+        "users_processed": "lock",
+    }
 
     tasks_executed: list[int] = field(default_factory=list)
     steals: list[int] = field(default_factory=list)
     users_processed: list[int] = field(default_factory=list)
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def total_tasks(self) -> int:
-        return sum(self.tasks_executed)
+        with self.lock:
+            return sum(self.tasks_executed)
 
     @property
     def total_steals(self) -> int:
-        return sum(self.steals)
+        with self.lock:
+            return sum(self.steals)
 
 
 class _Latch:
     """Counts task completions so the user thread can join a stage."""
 
     def __init__(self, count: int) -> None:
-        self._count = count
+        self._count = count  # guarded-by: _lock
         self._lock = threading.Lock()
         self._event = threading.Event()
         if count == 0:
@@ -72,8 +89,8 @@ class _Latch:
 @dataclass
 class _PendingSubframe:
     subframe: SubframeInput
-    remaining_users: int
-    result: SubframeResult
+    remaining_users: int  # guarded-by: lock
+    result: SubframeResult  # guarded-by: lock
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -120,9 +137,9 @@ class ThreadedRuntime:
             steals=[0] * num_workers,
             users_processed=[0] * num_workers,
         )
-        self._completed: list[SubframeResult] = []
+        self._completed: list[SubframeResult] = []  # guarded-by: _completed_lock
         self._completed_lock = threading.Lock()
-        self._outstanding = 0
+        self._outstanding = 0  # guarded-by: _outstanding_lock
         self._outstanding_lock = threading.Lock()
         self._all_done = threading.Event()
         self._all_done.set()
@@ -232,8 +249,12 @@ class ThreadedRuntime:
 
     # ------------------------------------------------------------ internals
     def _finish_subframe(self, pending: _PendingSubframe) -> None:
+        # Safe without pending.lock: we run either before any worker saw
+        # the subframe (empty submit) or after the last worker observed
+        # remaining_users hit 0 under pending.lock, which orders this read
+        # after every result append.
         with self._completed_lock:
-            self._completed.append(pending.result)
+            self._completed.append(pending.result)  # repro-lint: disable=REP101
         with self._outstanding_lock:
             self._outstanding -= 1
             if self._outstanding == 0:
@@ -257,7 +278,8 @@ class ThreadedRuntime:
                 )
             )
         task()
-        self._stats.tasks_executed[worker_id] += 1
+        with self._stats.lock:
+            self._stats.tasks_executed[worker_id] += 1
         if self._emit is not None:
             self._emit(
                 Event(
@@ -273,7 +295,8 @@ class ThreadedRuntime:
         for victim in self._policy.victim_order(worker_id):
             task = self._locals[victim].steal()
             if task is not None:
-                self._stats.steals[worker_id] += 1
+                with self._stats.lock:
+                    self._stats.steals[worker_id] += 1
                 if self._emit is not None:
                     self._emit(
                         Event(
@@ -310,7 +333,8 @@ class ThreadedRuntime:
         self, worker_id: int, pending: _PendingSubframe, user_slice: UserSlice
     ) -> None:
         """Become the user thread for one user (Section IV-C)."""
-        self._stats.users_processed[worker_id] += 1
+        with self._stats.lock:
+            self._stats.users_processed[worker_id] += 1
         if self._emit is not None:
             self._emit(
                 Event(

@@ -1,0 +1,41 @@
+"""Shared fixtures for the static-analysis tests."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_paths
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Write a dedented source snippet to a temp file and lint it."""
+
+    def run(source, name="fixture.py", select=None):
+        from repro.analysis import default_rules
+
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        rules = default_rules(select) if select is not None else None
+        return lint_paths([path], rules=rules)
+
+    return run
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write several named snippets into one directory and lint it."""
+
+    def run(files, select=None):
+        from repro.analysis import default_rules
+
+        for name, source in files.items():
+            path = tmp_path / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        rules = default_rules(select) if select is not None else None
+        return lint_paths([tmp_path], rules=rules)
+
+    return run
+

@@ -1,0 +1,139 @@
+"""``repro lint`` CLI: exit codes, JSON output, baseline, dogfooding."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, Finding
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN = """
+    def add(a, b):
+        return a + b
+"""
+
+VIOLATION = """
+    # repro-lint: deterministic-scope
+    import time
+
+    def now():
+        return time.time()
+"""
+
+
+@pytest.fixture
+def fixture_file(tmp_path):
+    def write(source, name="fixture.py"):
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return path
+
+    return write
+
+
+def test_clean_tree_exits_zero(fixture_file, capsys):
+    path = fixture_file(CLEAN)
+    assert main(["lint", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "1 file(s) checked, 0 finding(s)" in out
+
+
+def test_violation_exits_one(fixture_file, capsys):
+    path = fixture_file(VIOLATION)
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "REP201" in out
+
+
+def test_bad_path_exits_two(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "does_not_exist")]) == 2
+    assert "no such file or directory" in capsys.readouterr().err
+
+
+def test_unknown_rule_exits_two(fixture_file, capsys):
+    path = fixture_file(CLEAN)
+    assert main(["lint", str(path), "--select", "REP999"]) == 2
+    assert "REP999" in capsys.readouterr().err
+
+
+def test_syntax_error_is_a_finding(fixture_file, capsys):
+    path = fixture_file("def broken(:\n")
+    assert main(["lint", str(path)]) == 1
+    assert "REP001" in capsys.readouterr().out
+
+
+def test_json_output_round_trips(fixture_file, capsys):
+    path = fixture_file(VIOLATION)
+    assert main(["lint", str(path), "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == 1
+    assert document["files_checked"] == 1
+    findings = [Finding.from_dict(record) for record in document["findings"]]
+    assert [f.rule_id for f in findings] == ["REP201"]
+    assert findings[0].to_dict() == document["findings"][0]
+
+
+def test_list_rules_mentions_every_family(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REP101", "REP102", "REP201", "REP202", "REP203", "REP301"):
+        assert rule_id in out
+
+
+def test_baseline_update_then_filter(fixture_file, tmp_path, capsys):
+    path = fixture_file(VIOLATION)
+    baseline_path = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "lint",
+                str(path),
+                "--baseline",
+                str(baseline_path),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    assert len(Baseline.load(baseline_path)) == 1
+    capsys.readouterr()
+    # Same tree with the baseline applied: clean.
+    assert main(["lint", str(path), "--baseline", str(baseline_path)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # A new violation is still reported.
+    path.write_text(
+        path.read_text(encoding="utf-8")
+        + "\n\ndef later():\n    return time.monotonic()\n",
+        encoding="utf-8",
+    )
+    assert main(["lint", str(path), "--baseline", str(baseline_path)]) == 1
+
+
+def test_update_baseline_without_path_exits_two(fixture_file, capsys):
+    path = fixture_file(CLEAN)
+    assert main(["lint", str(path), "--update-baseline"]) == 2
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_corrupt_baseline_exits_two(fixture_file, tmp_path, capsys):
+    path = fixture_file(CLEAN)
+    bad = tmp_path / "baseline.json"
+    bad.write_text('{"version": 99}', encoding="utf-8")
+    assert main(["lint", str(path), "--baseline", str(bad)]) == 2
+
+
+def test_file_level_suppression(fixture_file):
+    source = "# repro-lint: disable-file=REP201\n" + textwrap.dedent(VIOLATION)
+    path = fixture_file(source)
+    assert main(["lint", str(path)]) == 0
+
+
+def test_dogfood_src_is_clean(capsys, monkeypatch):
+    # The acceptance gate: the shipped tree lints clean with the shipped
+    # suppressions (run from the repo root exactly as CI does).
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint", "src"]) == 0

@@ -1,0 +1,167 @@
+"""REP101/REP102 lock-discipline rule: passing and failing fixtures."""
+
+def rule_ids(result):
+    return [f.rule_id for f in result.findings]
+
+GUARDED_COMMENT_OK = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._value = 0  # guarded-by: _lock
+            self._lock = threading.Lock()
+
+        def bump(self):
+            with self._lock:
+                self._value += 1
+
+        def read(self):
+            with self._lock:
+                return self._value
+"""
+
+GUARDED_COMMENT_BAD = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._value = 0  # guarded-by: _lock
+            self._lock = threading.Lock()
+
+        def bump(self):
+            self._value += 1
+"""
+
+GUARDED_MAP_OK = """
+    import threading
+
+    class Stats:
+        _GUARDED_BY = {"hits": "lock"}
+
+        def __init__(self):
+            self.hits = []
+            self.lock = threading.Lock()
+
+        def total(self):
+            with self.lock:
+                return sum(self.hits)
+"""
+
+GUARDED_MAP_BAD = """
+    import threading
+
+    class Stats:
+        _GUARDED_BY = {"hits": "lock"}
+
+        def __init__(self):
+            self.hits = []
+            self.lock = threading.Lock()
+
+        def total(self):
+            return sum(self.hits)
+"""
+
+CROSS_OBJECT_BAD = """
+    import threading
+    from dataclasses import dataclass, field
+
+    @dataclass
+    class Pending:
+        remaining: int  # guarded-by: lock
+        lock: threading.Lock = field(default_factory=threading.Lock)
+
+    class Runtime:
+        def finish(self, pending):
+            pending.remaining -= 1
+
+        def finish_locked(self, pending):
+            with pending.lock:
+                pending.remaining -= 1
+"""
+
+CLOSURE_ESCAPES_LOCK = """
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._data = []  # guarded-by: _lock
+            self._lock = threading.Lock()
+
+        def deferred(self):
+            with self._lock:
+                def later():
+                    return self._data[-1]
+            return later
+"""
+
+UNKNOWN_LOCK = """
+    class Broken:
+        def __init__(self):
+            self._value = 0  # guarded-by: _lok
+"""
+
+SUPPRESSED = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._value = 0  # guarded-by: _lock
+            self._lock = threading.Lock()
+
+        def read_racy(self):
+            # Deliberate: monotonic flag read, staleness is acceptable.
+            return self._value  # repro-lint: disable=REP101
+"""
+
+
+def test_guarded_comment_under_lock_passes(lint_snippet):
+    assert lint_snippet(GUARDED_COMMENT_OK).ok
+
+
+def test_guarded_comment_outside_lock_fails(lint_snippet):
+    result = lint_snippet(GUARDED_COMMENT_BAD)
+    assert rule_ids(result) == ["REP101"]
+    assert "self._value" in result.findings[0].message
+    assert "with self._lock:" in result.findings[0].message
+
+
+def test_guarded_map_under_lock_passes(lint_snippet):
+    assert lint_snippet(GUARDED_MAP_OK).ok
+
+
+def test_guarded_map_outside_lock_fails(lint_snippet):
+    result = lint_snippet(GUARDED_MAP_BAD)
+    assert rule_ids(result) == ["REP101"]
+
+
+def test_init_assignments_are_exempt(lint_snippet):
+    # Both fixtures assign the guarded attribute inside __init__ without
+    # the lock; only the non-__init__ access may be flagged.
+    result = lint_snippet(GUARDED_COMMENT_BAD)
+    assert len(result.findings) == 1
+    assert result.findings[0].line > 7
+
+
+def test_cross_object_receiver_is_checked(lint_snippet):
+    result = lint_snippet(CROSS_OBJECT_BAD)
+    assert rule_ids(result) == ["REP101"]
+    assert "pending.remaining" in result.findings[0].message
+
+
+def test_lock_does_not_leak_into_closures(lint_snippet):
+    # The closure body runs after the with-block exits, so holding the
+    # lock at definition time must not legitimise the access.
+    result = lint_snippet(CLOSURE_ESCAPES_LOCK)
+    assert rule_ids(result) == ["REP101"]
+
+
+def test_unknown_lock_attribute_is_flagged(lint_snippet):
+    result = lint_snippet(UNKNOWN_LOCK, select=["REP102"])
+    assert rule_ids(result) == ["REP102"]
+    assert "_lok" in result.findings[0].message
+
+
+def test_inline_suppression_silences_rep101(lint_snippet):
+    result = lint_snippet(SUPPRESSED)
+    assert result.ok
+    assert result.suppressed == 1
