@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-invariants lint repro-lint ruff mypy all
+.PHONY: test test-invariants bench bench-smoke lint repro-lint ruff mypy all
 
 all: test lint
 
@@ -16,6 +16,13 @@ test:
 
 test-invariants:
 	REPRO_INVARIANTS=1 $(PYTHON) -m pytest -x -q tests/sim tests/obs tests/power tests/experiments
+
+bench:
+	$(PYTHON) -m repro bench --scale default
+
+bench-smoke:
+	$(PYTHON) -m repro bench --scale smoke --out BENCH_smoke.json \
+		--compare benchmarks/baseline_smoke.json --deterministic-only
 
 lint: repro-lint ruff mypy
 

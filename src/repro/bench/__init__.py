@@ -1,0 +1,34 @@
+"""The ``repro bench`` regression harness.
+
+Runs a pinned scenario matrix — serial reference, simulator under NONAP
+and NAP+IDLE, threaded runtime — with the profiling layer attached, and
+writes a machine-readable ``BENCH_<rev>.json`` report (throughput,
+per-kernel breakdown, deadline-miss rate, observability overhead).
+``compare_reports`` diffs two reports and flags regressions; the CI
+``bench-smoke`` job gates on the committed ``benchmarks/baseline_smoke.json``.
+See ``docs/observability.md`` for the report schema.
+"""
+
+from .harness import (
+    SCALES,
+    SCHEMA_VERSION,
+    BenchScale,
+    default_report_path,
+    git_revision,
+    run_bench,
+    validate_bench_report,
+    write_bench_report,
+)
+from .compare import compare_reports
+
+__all__ = [
+    "SCALES",
+    "SCHEMA_VERSION",
+    "BenchScale",
+    "compare_reports",
+    "default_report_path",
+    "git_revision",
+    "run_bench",
+    "validate_bench_report",
+    "write_bench_report",
+]

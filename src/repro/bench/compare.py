@@ -1,0 +1,113 @@
+"""Baseline comparison for ``repro bench --compare``.
+
+Two regression classes with separate thresholds:
+
+* **deterministic** (simulator scenarios only) — kernel cycle totals,
+  total subframe cycles, and deadline-miss rate are bit-reproducible for
+  a given seed/scale, so they compare across machines: any growth beyond
+  ``det_threshold`` (default 10 %) is a real cost/scheduling regression,
+  however fast the host. CI compares only these (``--deterministic-only``)
+  because its runners' wall clock is not comparable to the baseline host.
+* **wall-clock** — ``throughput_sf_per_s`` per scenario must not drop by
+  more than ``threshold`` (default 30 %); meaningful on the same host,
+  e.g. a developer comparing against yesterday's ``BENCH_<rev>.json``.
+  An injected 2× slowdown (50 % throughput drop) is always flagged.
+"""
+
+from __future__ import annotations
+
+from .harness import validate_bench_report
+
+__all__ = ["compare_reports"]
+
+
+def _wall_regressions(
+    name: str, base: dict, cand: dict, threshold: float
+) -> list[str]:
+    base_tp = base.get("throughput_sf_per_s") or 0.0
+    cand_tp = cand.get("throughput_sf_per_s") or 0.0
+    if base_tp > 0 and cand_tp < base_tp * (1.0 - threshold):
+        return [
+            f"{name}: throughput {cand_tp:.3g} sf/s is "
+            f"{(1 - cand_tp / base_tp) * 100:.0f}% below baseline "
+            f"{base_tp:.3g} sf/s (threshold {threshold * 100:.0f}%)"
+        ]
+    return []
+
+
+def _deterministic_regressions(
+    name: str, base: dict, cand: dict, det_threshold: float
+) -> list[str]:
+    problems: list[str] = []
+    base_det = base.get("deterministic")
+    cand_det = cand.get("deterministic")
+    if not base_det or not cand_det:
+        return problems
+    for key in ("total_subframe_cycles",):
+        b, c = base_det.get(key), cand_det.get(key)
+        if b and c and c > b * (1.0 + det_threshold):
+            problems.append(
+                f"{name}: {key} grew {c / b:.2f}x "
+                f"(baseline {b:.4g}, now {c:.4g})"
+            )
+    base_kernels = base_det.get("kernel_cycles") or {}
+    cand_kernels = cand_det.get("kernel_cycles") or {}
+    for kernel, b in base_kernels.items():
+        c = cand_kernels.get(kernel)
+        if c is None:
+            problems.append(f"{name}: kernel {kernel!r} missing from report")
+        elif b and c > b * (1.0 + det_threshold):
+            problems.append(
+                f"{name}: kernel {kernel!r} cycles grew {c / b:.2f}x "
+                f"(baseline {b}, now {c})"
+            )
+    b_miss = base_det.get("deadline_miss_rate", 0.0)
+    c_miss = cand_det.get("deadline_miss_rate", 0.0)
+    if c_miss > b_miss + 0.02:
+        problems.append(
+            f"{name}: deadline-miss rate rose from {b_miss:.3f} to "
+            f"{c_miss:.3f}"
+        )
+    return problems
+
+
+def compare_reports(
+    baseline: dict,
+    candidate: dict,
+    threshold: float = 0.30,
+    det_threshold: float = 0.10,
+    deterministic_only: bool = False,
+) -> list[str]:
+    """Regression messages comparing ``candidate`` against ``baseline``.
+
+    An empty list means no regression. Schema/scale mismatches are
+    reported as problems too (callers exit nonzero either way).
+    """
+    problems: list[str] = []
+    for label, report in (("baseline", baseline), ("candidate", candidate)):
+        issues = validate_bench_report(report)
+        if issues:
+            return [f"{label} report invalid: {issue}" for issue in issues]
+    if baseline.get("scale") != candidate.get("scale"):
+        return [
+            f"scale mismatch: baseline {baseline.get('scale')!r} vs "
+            f"candidate {candidate.get('scale')!r} — not comparable"
+        ]
+    if baseline.get("seed") != candidate.get("seed"):
+        problems.append(
+            f"seed mismatch: baseline {baseline.get('seed')} vs candidate "
+            f"{candidate.get('seed')} — deterministic comparison unreliable"
+        )
+    base_scenarios = baseline.get("scenarios", {})
+    cand_scenarios = candidate.get("scenarios", {})
+    for name, base in base_scenarios.items():
+        cand = cand_scenarios.get(name)
+        if cand is None:
+            problems.append(f"scenario {name!r} missing from candidate")
+            continue
+        problems.extend(
+            _deterministic_regressions(name, base, cand, det_threshold)
+        )
+        if not deterministic_only:
+            problems.extend(_wall_regressions(name, base, cand, threshold))
+    return problems

@@ -16,10 +16,18 @@ Commands mirror the benchmark binary and the evaluation drivers:
     rendering of Fig. 16).
 ``trace``
     Run the simulator with structured event tracing and the invariant
-    checker attached; export the event stream as JSONL.
+    checker attached; export the event stream as JSONL or as a Chrome
+    ``trace_event`` timeline (``--format chrome``, loadable in Perfetto).
+    With ``--from FILE`` convert an existing JSONL trace instead of
+    running a simulation — unknown event kinds are tolerated.
 ``metrics``
     Run the simulator with the metrics collector attached and print the
     scheduler-metrics summary (counters, gauges, histograms).
+``bench``
+    Run the pinned benchmark scenario matrix (serial reference, threaded
+    runtime, simulator under NONAP and NAP+IDLE) with profiling attached
+    and write a machine-readable ``BENCH_<rev>.json``; ``--compare``
+    exits nonzero on regression against a baseline report.
 ``lint``
     Run the project's AST-based static analyzers (lock discipline,
     sim determinism, obs schema consistency — see
@@ -80,18 +88,32 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     trace = sub.add_parser(
-        "trace", help="simulate with event tracing on, export JSONL"
+        "trace", help="simulate with event tracing on, export JSONL or Chrome trace"
     )
     _add_scale(trace, 100)
     _add_obs_run(trace)
     trace.add_argument(
-        "--out", default="trace.jsonl", help="output JSONL path"
+        "--out", default=None, help="output path (default trace.jsonl / trace.json)"
     )
     trace.add_argument(
         "--ring",
         type=int,
         default=None,
         help="ring-buffer capacity (default: keep every event)",
+    )
+    trace.add_argument(
+        "--format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help="jsonl event stream or Chrome trace_event JSON for Perfetto",
+    )
+    trace.add_argument(
+        "--from",
+        dest="from_path",
+        default=None,
+        metavar="FILE",
+        help="convert an existing JSONL trace instead of running a simulation "
+        "(unknown event kinds are tolerated)",
     )
 
     metrics = sub.add_parser(
@@ -101,6 +123,59 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_run(metrics)
     metrics.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    bench = sub.add_parser(
+        "bench", help="run the pinned benchmark matrix, write BENCH_<rev>.json"
+    )
+    bench.add_argument(
+        "--scale",
+        choices=["smoke", "default", "paper"],
+        default="default",
+        help="pinned scenario-matrix size (default: default)",
+    )
+    bench.add_argument("--seed", type=int, default=0, help="workload seed")
+    bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="report path (default BENCH_<git rev>.json)",
+    )
+    bench.add_argument(
+        "--scenario",
+        action="append",
+        choices=["serial", "threaded", "sim-nonap", "sim-nap-idle"],
+        default=None,
+        metavar="NAME",
+        help="run a subset of the matrix (repeatable; default: all four)",
+    )
+    bench.add_argument(
+        "--no-overhead",
+        action="store_true",
+        help="skip the observability-overhead measurement",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline report; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="wall-clock throughput regression threshold (default 0.30)",
+    )
+    bench.add_argument(
+        "--det-threshold",
+        type=float,
+        default=0.10,
+        help="deterministic (cycle-count) regression threshold (default 0.10)",
+    )
+    bench.add_argument(
+        "--deterministic-only",
+        action="store_true",
+        help="compare only machine-independent metrics (for CI)",
     )
 
     report = sub.add_parser(
@@ -273,17 +348,62 @@ def _run_observed_sim(args, observers):
 
 
 def cmd_trace(args) -> int:
-    from .obs import EventRecorder, SchedulerInvariantChecker
+    from collections import Counter
+
+    from .obs import (
+        EventRecorder,
+        SchedulerInvariantChecker,
+        read_jsonl,
+        write_chrome_trace,
+    )
+
+    if args.from_path is not None:
+        # Convert an existing JSONL trace. Records stay plain dicts all the
+        # way through, so kinds written by newer (or older) revisions that
+        # this build does not know are passed through, not rejected.
+        records = read_jsonl(args.from_path)
+        out = args.out or "trace.json"
+        if args.format != "chrome":
+            print("--from requires --format chrome (JSONL->JSONL is a copy)")
+            return 2
+        written = write_chrome_trace(out, records, clock="cycles")
+        kinds = Counter(str(r.get("kind", "?")) for r in records)
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        print(f"{len(records)} events read from {args.from_path}")
+        print(f"event counts: {counts}")
+        print(f"{written} Chrome trace events written to {out}")
+        return 0
 
     recorder = EventRecorder(capacity=args.ring)
     checker = SchedulerInvariantChecker(strict=False)
     result = _run_observed_sim(args, [recorder, checker])
-    written = recorder.write_jsonl(args.out)
-    counts = ", ".join(f"{k}={v}" for k, v in sorted(recorder.counts().items()))
     print(f"policy {args.policy}: {args.subframes} subframes, "
           f"{result.tasks_executed} tasks")
-    print(f"{written} events written to {args.out} "
-          f"({recorder.dropped} dropped by ring buffer)")
+    if args.format == "chrome":
+        from .obs import gating_events_from_active_workers
+
+        out = args.out or "trace.json"
+        machine = result.machine
+        gating = gating_events_from_active_workers(
+            result.active_workers, machine.subframe_period_cycles
+        )
+        written = write_chrome_trace(
+            out,
+            recorder.events,
+            clock="cycles",
+            clock_hz=machine.clock_hz,
+            extra=gating,
+            metadata={"policy": args.policy, "subframes": args.subframes},
+        )
+        print(f"{written} Chrome trace events written to {out} "
+              f"({recorder.dropped} dropped by ring buffer); "
+              f"load in Perfetto or chrome://tracing")
+    else:
+        out = args.out or "trace.jsonl"
+        written = recorder.write_jsonl(out)
+        print(f"{written} events written to {out} "
+              f"({recorder.dropped} dropped by ring buffer)")
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(recorder.counts().items()))
     print(f"event counts: {counts}")
     print(checker.summary())
     return 0 if checker.ok else 1
@@ -301,6 +421,82 @@ def cmd_metrics(args) -> int:
         print(json.dumps(collector.registry.summary(), indent=2))
     else:
         print(format_metrics(collector.registry))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import json
+
+    from .bench import (
+        compare_reports,
+        default_report_path,
+        run_bench,
+        validate_bench_report,
+        write_bench_report,
+    )
+
+    baseline = None
+    if args.compare is not None:
+        try:
+            with open(args.compare, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.compare}: {exc}")
+            return 2
+        issues = validate_bench_report(baseline)
+        if issues:
+            for issue in issues:
+                print(f"baseline invalid: {issue}")
+            return 2
+
+    scenarios = tuple(args.scenario) if args.scenario else None
+    report = run_bench(
+        scale=args.scale,
+        seed=args.seed,
+        scenarios=scenarios,
+        include_overhead=not args.no_overhead,
+    )
+    issues = validate_bench_report(report)
+    if issues:
+        for issue in issues:
+            print(f"report invalid: {issue}")
+        return 2
+
+    out = args.out or default_report_path()
+    write_bench_report(report, out)
+    print(f"bench scale={args.scale} seed={args.seed} rev={report['revision']}")
+    for name, scenario in report["scenarios"].items():
+        line = (f"  {name:>12}: {scenario['throughput_sf_per_s']:9.1f} sf/s "
+                f"({scenario['wall_s']:.3f} s wall)")
+        det = scenario.get("deterministic")
+        if det:
+            line += f", deadline-miss {det['deadline_miss_rate'] * 100:.1f}%"
+        top = max(
+            scenario["kernel_breakdown"].items(),
+            key=lambda kv: kv[1]["share"],
+            default=None,
+        )
+        if top:
+            line += f", top kernel {top[0]} ({top[1]['share'] * 100:.0f}%)"
+        print(line)
+    if report.get("obs_overhead_pct") is not None:
+        print(f"  observability overhead: {report['obs_overhead_pct']:.1f}%")
+    print(f"report written to {out}")
+
+    if baseline is not None:
+        regressions = compare_reports(
+            baseline,
+            report,
+            threshold=args.threshold,
+            det_threshold=args.det_threshold,
+            deterministic_only=args.deterministic_only,
+        )
+        if regressions:
+            print(f"REGRESSION vs {args.compare}:")
+            for problem in regressions:
+                print(f"  {problem}")
+            return 1
+        print(f"no regression vs {args.compare}")
     return 0
 
 
@@ -330,6 +526,7 @@ _COMMANDS = {
     "power-study": cmd_power_study,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "bench": cmd_bench,
     "report": cmd_report,
     "lint": cmd_lint,
 }

@@ -1,14 +1,16 @@
 """Observability and correctness tooling for both execution backends.
 
 Structured event tracing (``events``/``recorder``), scheduler metrics
-(``metrics``), and gem5-style runtime invariant checking (``invariants``)
+(``metrics``), hierarchical profiling spans with per-kernel breakdowns
+(``profiling``), Chrome ``trace_event``/Perfetto timeline export
+(``timeline``), and gem5-style runtime invariant checking (``invariants``)
 over :class:`repro.sim.machine.MachineSimulator` and
 :class:`repro.sched.threaded.ThreadedRuntime`. Attach observers via the
 ``observers=`` constructor argument of either backend; set
 ``REPRO_INVARIANTS=1`` to auto-attach a strict
 :class:`SchedulerInvariantChecker` to every simulator run. See
 ``docs/observability.md`` for the event schema and CLI usage
-(``repro trace`` / ``repro metrics``).
+(``repro trace`` / ``repro metrics`` / ``repro bench``).
 """
 
 from .events import Event, EventKind
@@ -21,6 +23,12 @@ from .metrics import (
     MetricsRegistry,
 )
 from .invariants import InvariantViolation, SchedulerInvariantChecker
+from .profiling import KernelStats, Profiler, Span
+from .timeline import (
+    chrome_trace_events,
+    gating_events_from_active_workers,
+    write_chrome_trace,
+)
 
 __all__ = [
     "Counter",
@@ -30,8 +38,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "InvariantViolation",
+    "KernelStats",
     "MetricsCollector",
     "MetricsRegistry",
+    "Profiler",
     "SchedulerInvariantChecker",
+    "Span",
+    "chrome_trace_events",
+    "gating_events_from_active_workers",
     "read_jsonl",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,356 @@
+"""Chrome ``trace_event`` export of the per-core task timeline.
+
+Converts a structured event stream (live :class:`~repro.obs.events.Event`
+objects or JSONL records loaded with :func:`~repro.obs.recorder.read_jsonl`)
+into the Trace Event Format consumed by Perfetto and ``chrome://tracing``:
+
+* **scheduler process (pid 1)** — one thread row per core: executed tasks
+  as complete (``X``) slices named after their Fig. 5 kernel, user spans
+  and join-level kernel spans nested around them, steal/wake-check
+  instants;
+* **power-states process (pid 2)** — one row per core showing
+  compute/spin/nap/disabled segments from ``state-transition`` events
+  (the nap/wake timeline of Section V-B);
+* **gating process (pid 3)** — the analytic power-gating model's
+  ``powered_cores`` counter and group on/off toggles, synthesized from a
+  run's per-subframe active-core trace (Eqs. 6-7);
+* **machine process (pid 0)** — subframe spans as async slices, the
+  dispatch ``queue_depth`` and governor ``target_workers`` counters.
+
+Records with *unknown* event kinds (e.g. a JSONL trace written by a newer
+schema) are never an error: they are rendered as generic instant events so
+old traces and future traces both stay loadable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..power.gating import PowerGatingModel, PowerGatingParams
+from .events import Event, EventKind
+
+__all__ = [
+    "chrome_trace_events",
+    "gating_events_from_active_workers",
+    "write_chrome_trace",
+]
+
+#: Process ids of the exported rows (stable so diffs stay comparable).
+_PID_MACHINE = 0
+_PID_SCHED = 1
+_PID_POWER = 2
+_PID_GATING = 3
+
+_DEFAULT_CLOCK_HZ = 700e6
+
+
+def _normalize(record: Any) -> tuple[str, int, int, dict]:
+    """(kind, t, core, payload) from an Event or a JSONL dict."""
+    if isinstance(record, Event):
+        return record.kind.value, record.t, record.core, record.data or {}
+    kind = str(record.get("kind", "?"))
+    t = int(record.get("t", 0))
+    core = int(record.get("core", -1))
+    data = {k: v for k, v in record.items() if k not in ("kind", "t", "core")}
+    return kind, t, core, data
+
+
+class _TraceBuilder:
+    """Folds normalized records into Chrome trace events."""
+
+    def __init__(self, to_us) -> None:
+        self.to_us = to_us
+        self.out: list[dict] = []
+        self.cores: set[int] = set()
+        self.max_t = 0
+        self._open_tasks: dict[int, tuple[int, dict]] = {}
+        self._open_spans: dict[int, list[tuple[str, int, dict]]] = {}
+        self._open_users: dict[tuple[int, int], tuple[int, int]] = {}
+        self._core_state: dict[int, tuple[int, str]] = {}
+
+    # -------------------------------------------------------------- pieces
+    def _slice(
+        self, pid: int, tid: int, name: str, begin: int, end: int, args: dict
+    ) -> None:
+        self.out.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "name": name,
+                "cat": "repro",
+                "ts": self.to_us(begin),
+                "dur": max(0.0, self.to_us(end) - self.to_us(begin)),
+                "args": args,
+            }
+        )
+
+    def _instant(self, pid: int, tid: int, name: str, t: int, args: dict) -> None:
+        self.out.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": tid,
+                "name": name,
+                "cat": "repro",
+                "ts": self.to_us(t),
+                "args": args,
+            }
+        )
+
+    def _counter(self, pid: int, name: str, t: int, values: dict) -> None:
+        self.out.append(
+            {
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "name": name,
+                "ts": self.to_us(t),
+                "args": values,
+            }
+        )
+
+    # -------------------------------------------------------------- events
+    def add(self, kind: str, t: int, core: int, data: dict) -> None:
+        self.max_t = max(self.max_t, t)
+        if core >= 0:
+            self.cores.add(core)
+        if kind == "task-start":
+            self._open_tasks[core] = (t, data)
+        elif kind == "task-finish":
+            self._task_finish(t, core, data)
+        elif kind == "span-begin":
+            self._open_spans.setdefault(core, []).append(
+                (data.get("name", "span"), t, data)
+            )
+        elif kind == "span-end":
+            self._span_end(t, core, data)
+        elif kind == "user-start":
+            key = (data.get("subframe", -1), data.get("user", -1))
+            self._open_users[key] = (t, core)
+        elif kind == "user-finish":
+            key = (data.get("subframe", -1), data.get("user", -1))
+            opened = self._open_users.pop(key, None)
+            if opened is not None:
+                begin, begin_core = opened
+                self._slice(
+                    _PID_SCHED, begin_core, f"user {key[1]}", begin, t, data
+                )
+        elif kind == "state-transition":
+            self._state_transition(t, core, data)
+        elif kind == "dispatch":
+            self._dispatch(t, data)
+        elif kind == "governor":
+            self._counter(
+                _PID_MACHINE, "target_workers", t,
+                {"target": data.get("target", 0)},
+            )
+        elif kind == "steal":
+            self._instant(_PID_SCHED, core, "steal", t, data)
+        elif kind == "wake-check":
+            self._instant(_PID_POWER, core, "wake-check", t, data)
+        elif kind == "gating":
+            self._counter(
+                _PID_GATING, "powered_cores", t,
+                {"powered": data.get("powered", 0)},
+            )
+            self._instant(_PID_GATING, 0, "gating-toggle", t, data)
+        else:
+            # Unknown/new kind (newer schema than this exporter): keep the
+            # trace loadable instead of failing.
+            self._instant(_PID_MACHINE, 0, kind, t, data)
+
+    def _task_finish(self, t: int, core: int, data: dict) -> None:
+        opened = self._open_tasks.pop(core, None)
+        if opened is not None:
+            begin, begin_data = opened
+        elif "cycles" in data:
+            begin = t - int(data["cycles"])
+            begin_data = data
+        else:
+            return  # unpaired finish (ring-buffer tail): drop
+        name = begin_data.get("kernel") or data.get("kernel") or "task"
+        args = {
+            k: begin_data[k]
+            for k in ("subframe", "stolen", "serial", "cycles")
+            if k in begin_data
+        }
+        self._slice(_PID_SCHED, core, name, begin, t, args)
+
+    def _span_end(self, t: int, core: int, data: dict) -> None:
+        stack = self._open_spans.get(core)
+        if not stack:
+            return
+        name = data.get("name", "span")
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][0] == name:
+                _, begin, begin_data = stack.pop(i)
+                break
+        else:
+            return
+        cat = data.get("cat") or begin_data.get("cat") or "kernel"
+        if cat == "subframe":
+            index = data.get("subframe", -1)
+            self._async(index, name, begin, t)
+        else:
+            self._slice(
+                _PID_SCHED, core, f"{name} stage", begin, t, begin_data
+            )
+
+    def _async(self, index: int, name: str, begin: int, end: int) -> None:
+        for ph, ts in (("b", begin), ("e", end)):
+            self.out.append(
+                {
+                    "ph": ph,
+                    "pid": _PID_MACHINE,
+                    "tid": 0,
+                    "id": index,
+                    "name": name,
+                    "cat": "subframe",
+                    "ts": self.to_us(ts),
+                }
+            )
+
+    def _state_transition(self, t: int, core: int, data: dict) -> None:
+        previous = self._core_state.get(core)
+        begin, state = previous if previous is not None else (0, data.get("from", "?"))
+        self._slice(_PID_POWER, core, state, begin, t, {})
+        self._core_state[core] = (t, data.get("to", "?"))
+
+    def _dispatch(self, t: int, data: dict) -> None:
+        self._instant(
+            _PID_MACHINE, 0, f"dispatch sf{data.get('subframe', '?')}", t, data
+        )
+        if "queue_depth" in data:
+            self._counter(
+                _PID_MACHINE, "queue_depth", t, {"depth": data["queue_depth"]}
+            )
+
+    # ------------------------------------------------------------ finalize
+    def finish(self) -> list[dict]:
+        for core, (begin, state) in sorted(self._core_state.items()):
+            if self.max_t > begin:
+                self._slice(_PID_POWER, core, state, begin, self.max_t, {})
+        names = {
+            _PID_MACHINE: "machine (dispatch + subframes)",
+            _PID_SCHED: "scheduler (per-core tasks)",
+            _PID_POWER: "power-states (per-core)",
+            _PID_GATING: "power-gating (analytic)",
+        }
+        meta: list[dict] = [
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": label},
+            }
+            for pid, label in names.items()
+        ]
+        for core in sorted(self.cores):
+            for pid in (_PID_SCHED, _PID_POWER):
+                meta.append(
+                    {
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": core,
+                        "name": "thread_name",
+                        "args": {"name": f"core {core}"},
+                    }
+                )
+        return meta + self.out
+
+
+def chrome_trace_events(
+    records: Iterable[Any],
+    clock: str = "cycles",
+    clock_hz: float = _DEFAULT_CLOCK_HZ,
+) -> list[dict]:
+    """Convert an event stream into a list of Chrome trace events.
+
+    ``clock`` is ``"cycles"`` (simulator timestamps, converted at
+    ``clock_hz``) or ``"ns"`` (threaded-runtime ``monotonic_ns``
+    timestamps). Unknown event kinds become generic instants — never an
+    error.
+    """
+    if clock == "cycles":
+        def to_us(t: int) -> float:
+            return t / clock_hz * 1e6
+    elif clock == "ns":
+        def to_us(t: int) -> float:
+            return t / 1e3
+    else:
+        raise ValueError(f"unknown clock {clock!r} (use 'cycles' or 'ns')")
+    builder = _TraceBuilder(to_us)
+    for record in records:
+        kind, t, core, data = _normalize(record)
+        builder.add(kind, t, core, data)
+    return builder.finish()
+
+
+def gating_events_from_active_workers(
+    active_workers: np.ndarray,
+    subframe_period_cycles: int,
+    params: PowerGatingParams | None = None,
+) -> list[Event]:
+    """Synthesize ``gating`` events from a run's active-core trace.
+
+    Applies the analytic Eqs. 6-7 pipeline to ``SimResult.active_workers``
+    and emits one :class:`Event` per subframe where the powered-core count
+    changes (groups toggling on/off), timestamped at the subframe boundary.
+    """
+    model = PowerGatingModel(params)
+    trace = model.evaluate(np.asarray(active_workers))
+    group = model.params.group_size
+    events: list[Event] = []
+    previous = None
+    for index, powered in enumerate(trace.powered):
+        powered = int(powered)
+        if powered == previous:
+            continue
+        events.append(
+            Event(
+                EventKind.GATING,
+                index * subframe_period_cycles,
+                -1,
+                {
+                    "subframe": index,
+                    "powered": powered,
+                    "groups_on": powered // group,
+                    "delta": powered - (previous or 0),
+                },
+            )
+        )
+        previous = powered
+    return events
+
+
+def write_chrome_trace(
+    path: Any,
+    records: Iterable[Any],
+    clock: str = "cycles",
+    clock_hz: float = _DEFAULT_CLOCK_HZ,
+    extra: Iterable[Any] = (),
+    metadata: dict | None = None,
+) -> int:
+    """Write a ``{"traceEvents": [...]}`` JSON file; returns event count.
+
+    ``extra`` takes additional records sharing the same clock (e.g. the
+    synthesized gating events). The file loads directly in Perfetto /
+    ``chrome://tracing``.
+    """
+    trace_events = chrome_trace_events(
+        [*records, *extra], clock=clock, clock_hz=clock_hz
+    )
+    document = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": clock, "clock_hz": clock_hz, **(metadata or {})},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+    return len(trace_events)

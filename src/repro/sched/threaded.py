@@ -112,6 +112,12 @@ class ThreadedRuntime:
         :class:`~repro.obs.recorder.EventRecorder` appends are atomic
         under the GIL). With no observer attached, emission sites cost one
         identity check.
+    emit_spans:
+        When observers are attached, also emit hierarchical profiling
+        spans (``SPAN_BEGIN``/``SPAN_END`` per subframe and per Fig. 5
+        kernel stage). ``False`` keeps task/user/steal tracing but drops
+        the span edges — the "spans disabled" baseline that
+        ``benchmarks/test_obs_overhead.py`` bounds the span cost against.
     """
 
     def __init__(
@@ -121,6 +127,7 @@ class ThreadedRuntime:
         codec=None,
         steal_seed: int = 0,
         observers=None,
+        emit_spans: bool = True,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -145,6 +152,7 @@ class ThreadedRuntime:
         self._all_done.set()
         self._shutdown = threading.Event()
         self._threads: list[threading.Thread] = []
+        self.emit_spans = emit_spans
         self.observers = list(observers) if observers is not None else []
         if not self.observers:
             self._emit = None
@@ -193,10 +201,11 @@ class ThreadedRuntime:
             self._outstanding += 1
             self._all_done.clear()
         if self._emit is not None:
+            now = time.monotonic_ns()
             self._emit(
                 Event(
                     EventKind.DISPATCH,
-                    time.monotonic_ns(),
+                    now,
                     -1,
                     {
                         "subframe": subframe.subframe_index,
@@ -204,6 +213,19 @@ class ThreadedRuntime:
                     },
                 )
             )
+            if self.emit_spans:
+                self._emit(
+                    Event(
+                        EventKind.SPAN_BEGIN,
+                        now,
+                        -1,
+                        {
+                            "name": f"subframe {subframe.subframe_index}",
+                            "cat": "subframe",
+                            "subframe": subframe.subframe_index,
+                        },
+                    )
+                )
         if not subframe.slices:
             self._finish_subframe(pending)
             return
@@ -253,6 +275,20 @@ class ThreadedRuntime:
         # the subframe (empty submit) or after the last worker observed
         # remaining_users hit 0 under pending.lock, which orders this read
         # after every result append.
+        if self._emit is not None and self.emit_spans:
+            index = pending.subframe.subframe_index
+            self._emit(
+                Event(
+                    EventKind.SPAN_END,
+                    time.monotonic_ns(),
+                    -1,
+                    {
+                        "name": f"subframe {index}",
+                        "cat": "subframe",
+                        "subframe": index,
+                    },
+                )
+            )
         with self._completed_lock:
             self._completed.append(pending.result)  # repro-lint: disable=REP101
         with self._outstanding_lock:
@@ -268,13 +304,15 @@ class ThreadedRuntime:
     def _run_task(
         self, worker_id: int, task: Callable[[], None], stolen: bool
     ) -> None:
+        kernel = None
         if self._emit is not None:
+            kernel = getattr(task, "kernel", None)
             self._emit(
                 Event(
                     EventKind.TASK_START,
                     time.monotonic_ns(),
                     worker_id,
-                    {"stolen": stolen},
+                    {"stolen": stolen, "kernel": kernel},
                 )
             )
         task()
@@ -286,9 +324,20 @@ class ThreadedRuntime:
                     EventKind.TASK_FINISH,
                     time.monotonic_ns(),
                     worker_id,
-                    {"stolen": stolen},
+                    {"stolen": stolen, "kernel": kernel},
                 )
             )
+
+    def _span(self, worker_id: int, kind: EventKind, name: str, data: dict) -> None:
+        """Emit one profiling-span edge from a worker thread."""
+        self._emit(
+            Event(
+                kind,
+                time.monotonic_ns(),
+                worker_id,
+                {"name": name, "cat": "kernel", **data},
+            )
+        )
 
     def _steal_task(self, worker_id: int) -> Callable[[], None] | None:
         """Try every victim once; returns the stolen task, if any."""
@@ -350,10 +399,32 @@ class ThreadedRuntime:
         job = UserJob(
             user_slice, pending.subframe.grid, config=self.config, codec=self.codec
         )
-        self._run_stage(worker_id, job.chest_tasks())
+        # Each Fig. 5 stage is bracketed by a kernel span on the user
+        # thread (fork to join for the parallel stages); the per-task
+        # events inside carry the same kernel label so both the join-level
+        # and task-level views attribute time to the same kernels.
+        ids = {
+            "subframe": pending.subframe.subframe_index,
+            "user": user_slice.user.user_id,
+        }
+        emitting = self._emit is not None and self.emit_spans
+        if emitting:
+            self._span(worker_id, EventKind.SPAN_BEGIN, "chest", ids)
+        self._run_stage(worker_id, job.chest_tasks(), kernel="chest")
+        if emitting:
+            self._span(worker_id, EventKind.SPAN_END, "chest", ids)
+            self._span(worker_id, EventKind.SPAN_BEGIN, "combiner", ids)
         job.run_combiner()
-        self._run_stage(worker_id, job.data_tasks())
+        if emitting:
+            self._span(worker_id, EventKind.SPAN_END, "combiner", ids)
+            self._span(worker_id, EventKind.SPAN_BEGIN, "symbol", ids)
+        self._run_stage(worker_id, job.data_tasks(), kernel="symbol")
+        if emitting:
+            self._span(worker_id, EventKind.SPAN_END, "symbol", ids)
+            self._span(worker_id, EventKind.SPAN_BEGIN, "finalize", ids)
         result = job.finalize()
+        if emitting:
+            self._span(worker_id, EventKind.SPAN_END, "finalize", ids)
         if self._emit is not None:
             self._emit(
                 Event(
@@ -373,7 +444,12 @@ class ThreadedRuntime:
         if done:
             self._finish_subframe(pending)
 
-    def _run_stage(self, worker_id: int, tasks: list[Callable[[], None]]) -> None:
+    def _run_stage(
+        self,
+        worker_id: int,
+        tasks: list[Callable[[], None]],
+        kernel: str | None = None,
+    ) -> None:
         """Push a stage's tasks locally, process until empty, join."""
         latch = _Latch(len(tasks))
 
@@ -384,6 +460,7 @@ class ThreadedRuntime:
                 finally:
                     latch.count_down()
 
+            run.kernel = kernel
             return run
 
         self._locals[worker_id].push_all([wrap(t) for t in tasks])

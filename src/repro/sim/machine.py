@@ -99,6 +99,7 @@ class _Job:
         "continuation_pending",
         "steal_lines",
         "stage_opened_at",
+        "stage_kind",
     )
 
     def __init__(
@@ -119,30 +120,34 @@ class _Job:
         finalize_cycles = cost.task_cycles(finalize)
         chest_lines = cache.payload_lines(chest[0]) if cache is not None else 0
         data_lines = cache.payload_lines(data[0]) if cache is not None else 0
-        # The stage program: ("par", [task cycles...], steal lines) fans out
-        # to thieves; ("ser", cycles) runs on the user thread. The default
-        # is the paper's whole-subframe sequence; slot-pipelined splits
-        # channel estimation / combining / demodulation per slot.
+        # The stage program: ("par", [task cycles...], steal lines, kernel)
+        # fans out to thieves; ("ser", cycles, kernel) runs on the user
+        # thread. The trailing kernel name (one of
+        # :data:`repro.uplink.tasks.KERNEL_KINDS`) labels the stage's
+        # task events for the profiling layer. The default is the paper's
+        # whole-subframe sequence; slot-pipelined splits channel
+        # estimation / combining / demodulation per slot.
         if not slot_pipelined:
             self.stages: list[tuple] = [
-                ("par", chest_cycles, chest_lines),
-                ("ser", combiner_cycles),
-                ("par", symbol_cycles, data_lines),
-                ("ser", finalize_cycles),
+                ("par", chest_cycles, chest_lines, "chest"),
+                ("ser", combiner_cycles, "combiner"),
+                ("par", symbol_cycles, data_lines, "symbol"),
+                ("ser", finalize_cycles, "finalize"),
             ]
         else:
             half_comb = combiner_cycles // 2
             half_data = len(symbol_cycles) // 2
             self.stages = [
-                ("par", [c // 2 for c in chest_cycles], chest_lines),
-                ("ser", half_comb),
-                ("par", symbol_cycles[:half_data], data_lines),
-                ("par", [c - c // 2 for c in chest_cycles], chest_lines),
-                ("ser", combiner_cycles - half_comb),
-                ("par", symbol_cycles[half_data:], data_lines),
-                ("ser", finalize_cycles),
+                ("par", [c // 2 for c in chest_cycles], chest_lines, "chest"),
+                ("ser", half_comb, "combiner"),
+                ("par", symbol_cycles[:half_data], data_lines, "symbol"),
+                ("par", [c - c // 2 for c in chest_cycles], chest_lines, "chest"),
+                ("ser", combiner_cycles - half_comb, "combiner"),
+                ("par", symbol_cycles[half_data:], data_lines, "symbol"),
+                ("ser", finalize_cycles, "finalize"),
             ]
         self.stage_index = -1
+        self.stage_kind = ""
         # Owner pops from the right (LIFO), thieves pop from the left
         # (FIFO) — a deque keeps both ends O(1) on the hot steal path.
         self.ready: deque[int] = deque()
@@ -632,6 +637,7 @@ class MachineSimulator:
             cycles += self.noc.steal_penalty(
                 core.index, job.user_core.index, payload_lines=job.steal_lines
             )
+        kernel = job.stage_kind
         if self._emit is not None:
             self._emit(
                 Event(
@@ -641,6 +647,7 @@ class MachineSimulator:
                     {
                         "cycles": cycles,
                         "stolen": stolen,
+                        "kernel": kernel,
                         "subframe": job.subframe_index,
                     },
                 )
@@ -656,6 +663,7 @@ class MachineSimulator:
                         {
                             "cycles": cycles,
                             "stolen": stolen,
+                            "kernel": kernel,
                             "subframe": job.subframe_index,
                         },
                     )
@@ -697,8 +705,9 @@ class MachineSimulator:
         if job.stage_index >= len(job.stages):
             return "done"
         stage = job.stages[job.stage_index]
+        job.stage_kind = stage[-1]
         if stage[0] == "par":
-            _, cycles_list, lines = stage
+            _, cycles_list, lines, _kind = stage
             job.ready = deque(cycles_list)
             job.steal_lines = lines
             job.outstanding = len(job.ready)
@@ -733,6 +742,7 @@ class MachineSimulator:
         self._set_state(core, CoreState.COMPUTE, t)
         self._tasks_executed += 1
         cycles = stage[1]
+        kernel = stage[2]
         if self._emit is not None:
             self._emit(
                 Event(
@@ -743,6 +753,7 @@ class MachineSimulator:
                         "cycles": cycles,
                         "stolen": False,
                         "serial": True,
+                        "kernel": kernel,
                         "subframe": job.subframe_index,
                     },
                 )
@@ -758,6 +769,7 @@ class MachineSimulator:
                         {
                             "cycles": cycles,
                             "serial": True,
+                            "kernel": kernel,
                             "subframe": job.subframe_index,
                         },
                     )

@@ -46,7 +46,14 @@ from ..phy.transmitter import data_symbol_indices
 from .subframe import UserSlice
 from .user import UserParameters
 
-__all__ = ["TaskDescriptor", "describe_user_tasks", "UserJob"]
+__all__ = ["KERNEL_KINDS", "TaskDescriptor", "describe_user_tasks", "UserJob"]
+
+#: The four per-user kernels of Fig. 5, in stage order. This is the
+#: canonical attribution key set for the profiling layer: both backends
+#: label their task/span events with one of these names, and
+#: :meth:`repro.obs.profiling.Profiler.kernel_breakdown` reports in this
+#: order.
+KERNEL_KINDS: tuple[str, ...] = ("chest", "combiner", "symbol", "finalize")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,201 @@
+"""Tests for the ``repro bench`` regression harness."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    SCALES,
+    SCHEMA_VERSION,
+    BenchScale,
+    compare_reports,
+    default_report_path,
+    git_revision,
+    run_bench,
+    validate_bench_report,
+    write_bench_report,
+)
+
+#: One tiny matrix shared by the whole module (runs every backend once).
+TINY = BenchScale("smoke", 20, 1, 2, 4, 2)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_bench(TINY, seed=0, include_overhead=False)
+
+
+class TestRunBench:
+    def test_report_validates(self, report):
+        assert validate_bench_report(report) == []
+        assert report["schema"] == SCHEMA_VERSION
+        assert set(report["scenarios"]) == {
+            "serial", "threaded", "sim-nonap", "sim-nap-idle"
+        }
+
+    def test_sim_scenarios_carry_deterministic_block(self, report):
+        for name in ("sim-nonap", "sim-nap-idle"):
+            det = report["scenarios"][name]["deterministic"]
+            assert det["tasks_executed"] > 0
+            assert set(det["kernel_cycles"]) == {
+                "chest", "combiner", "symbol", "finalize"
+            }
+            assert 0.0 <= det["deadline_miss_rate"] <= 1.0
+
+    def test_deterministic_block_reproducible(self, report):
+        again = run_bench(
+            TINY, seed=0, scenarios=("sim-nonap",), include_overhead=False
+        )
+        assert (again["scenarios"]["sim-nonap"]["deterministic"]
+                == report["scenarios"]["sim-nonap"]["deterministic"])
+
+    def test_scenario_subset_and_unknowns(self):
+        partial = run_bench(
+            TINY, seed=0, scenarios=("serial",), include_overhead=False
+        )
+        assert list(partial["scenarios"]) == ["serial"]
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_bench(TINY, scenarios=("warp-drive",))
+        with pytest.raises(ValueError, match="unknown scale"):
+            run_bench("galactic")
+
+    def test_write_report_round_trips(self, report, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_bench_report(report, path)
+        loaded = json.loads(path.read_text())
+        assert validate_bench_report(loaded) == []
+        assert loaded["revision"] == report["revision"]
+
+    def test_default_report_path_uses_revision(self):
+        assert default_report_path() == f"BENCH_{git_revision()}.json"
+
+    def test_known_scales_are_pinned(self):
+        assert set(SCALES) == {"smoke", "default", "paper"}
+        assert SCALES["paper"].sim_subframes == 68_000
+
+
+class TestValidate:
+    def test_rejects_non_dict_and_bad_schema(self):
+        assert validate_bench_report([]) == ["report is not a JSON object"]
+        assert any("schema" in p for p in validate_bench_report({}))
+
+    def test_flags_sim_scenario_without_deterministic(self, report):
+        broken = copy.deepcopy(report)
+        del broken["scenarios"]["sim-nonap"]["deterministic"]
+        assert any("deterministic" in p for p in validate_bench_report(broken))
+
+    def test_flags_missing_kernel_breakdown(self, report):
+        broken = copy.deepcopy(report)
+        del broken["scenarios"]["serial"]["kernel_breakdown"]
+        assert any("kernel_breakdown" in p
+                   for p in validate_bench_report(broken))
+
+
+class TestCompare:
+    def test_identical_reports_pass(self, report):
+        assert compare_reports(report, copy.deepcopy(report)) == []
+
+    def test_injected_2x_slowdown_is_flagged(self, report):
+        slow = copy.deepcopy(report)
+        for scenario in slow["scenarios"].values():
+            scenario["wall_s"] *= 2.0
+            scenario["throughput_sf_per_s"] /= 2.0
+        problems = compare_reports(report, slow)
+        assert problems, "a 2x slowdown must be flagged"
+        assert any("throughput" in p for p in problems)
+        # ... but not when only deterministic metrics are compared (the
+        # deterministic block did not change).
+        assert compare_reports(report, slow, deterministic_only=True) == []
+
+    def test_deterministic_cycle_growth_is_flagged(self, report):
+        bloated = copy.deepcopy(report)
+        det = bloated["scenarios"]["sim-nonap"]["deterministic"]
+        det["kernel_cycles"] = {
+            k: int(v * 1.5) for k, v in det["kernel_cycles"].items()
+        }
+        det["total_subframe_cycles"] *= 1.5
+        problems = compare_reports(report, bloated, deterministic_only=True)
+        assert any("kernel" in p for p in problems)
+        assert any("total_subframe_cycles" in p for p in problems)
+
+    def test_missed_deadlines_are_flagged(self, report):
+        missing = copy.deepcopy(report)
+        det = missing["scenarios"]["sim-nap-idle"]["deterministic"]
+        det["deadline_miss_rate"] = det["deadline_miss_rate"] + 0.10
+        problems = compare_reports(report, missing, deterministic_only=True)
+        assert any("deadline-miss" in p for p in problems)
+
+    def test_scale_mismatch_is_fatal(self, report):
+        other = copy.deepcopy(report)
+        other["scale"] = "paper"
+        problems = compare_reports(report, other)
+        assert problems and "not comparable" in problems[0]
+
+    def test_invalid_baseline_reported(self, report):
+        problems = compare_reports({"schema": "bogus"}, report)
+        assert problems and problems[0].startswith("baseline report invalid")
+
+
+class TestBenchCli:
+    def _run(self, argv):
+        from repro.cli import main
+
+        return main(argv)
+
+    @pytest.fixture(scope="class")
+    def cli_report_path(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench") / "BENCH_cli.json"
+        code = self._run([
+            "bench", "--scale", "smoke", "--seed", "0",
+            "--scenario", "sim-nonap", "--no-overhead",
+            "--out", str(out),
+        ])
+        assert code == 0
+        return out
+
+    def test_cli_writes_valid_report(self, cli_report_path):
+        report = json.loads(cli_report_path.read_text())
+        assert validate_bench_report(report) == []
+        assert report["scale"] == "smoke"
+
+    def test_cli_compare_clean_exits_zero(self, cli_report_path, tmp_path):
+        out = tmp_path / "BENCH_again.json"
+        code = self._run([
+            "bench", "--scale", "smoke", "--seed", "0",
+            "--scenario", "sim-nonap", "--no-overhead",
+            "--out", str(out), "--compare", str(cli_report_path),
+            "--deterministic-only",
+        ])
+        assert code == 0
+
+    def test_cli_compare_regression_exits_nonzero(self, cli_report_path,
+                                                  tmp_path):
+        # Inflate the baseline's expectations so the fresh run looks 2x
+        # slower (equivalently: candidate regressed 2x against baseline).
+        baseline = json.loads(cli_report_path.read_text())
+        scenario = baseline["scenarios"]["sim-nonap"]
+        scenario["throughput_sf_per_s"] *= 2.0
+        det = scenario["deterministic"]
+        det["kernel_cycles"] = {
+            k: int(v / 2) for k, v in det["kernel_cycles"].items()
+        }
+        det["total_subframe_cycles"] /= 2.0
+        fast_baseline = tmp_path / "BENCH_fast.json"
+        fast_baseline.write_text(json.dumps(baseline))
+        out = tmp_path / "BENCH_slow.json"
+        code = self._run([
+            "bench", "--scale", "smoke", "--seed", "0",
+            "--scenario", "sim-nonap", "--no-overhead",
+            "--out", str(out), "--compare", str(fast_baseline),
+        ])
+        assert code == 1
+
+    def test_cli_bad_baseline_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = self._run([
+            "bench", "--scale", "smoke", "--no-overhead",
+            "--out", str(tmp_path / "r.json"), "--compare", str(bad),
+        ])
+        assert code == 2

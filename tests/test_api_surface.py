@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.power",
     "repro.experiments",
     "repro.obs",
+    "repro.bench",
 ]
 
 
