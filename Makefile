@@ -7,12 +7,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-invariants bench bench-smoke lint repro-lint ruff mypy all
+.PHONY: test test-slow test-invariants bench bench-smoke lint repro-lint ruff mypy all
 
 all: test lint
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-slow:
+	$(PYTHON) -m pytest -m slow -q tests/differential tests/properties
 
 test-invariants:
 	REPRO_INVARIANTS=1 $(PYTHON) -m pytest -x -q tests/sim tests/obs tests/power tests/experiments

@@ -1,9 +1,14 @@
 """Scenario matrix and report writer behind ``repro bench``.
 
-Four pinned scenarios cover both backends and both paper policies:
+Five pinned scenarios cover the execution backends and both paper
+policies:
 
 * ``serial`` — the Section IV-A serial reference over synthesized
   subframes, each Fig. 5 kernel timed with ``perf_counter_ns``;
+* ``vectorized`` — the batched fast path (``repro.uplink.vectorized``)
+  over the *same* subframes, per-stage wall-clock attributed through the
+  injected ``stage_timer`` and verified bit-exact against the serial
+  results in the same run (the ``bit_exact_vs_serial`` field);
 * ``threaded`` — the Pthreads-twin runtime with the
   :class:`~repro.obs.profiling.Profiler` attached (wall-clock kernels);
 * ``sim-nonap`` / ``sim-nap-idle`` — the timing simulator under the two
@@ -21,6 +26,7 @@ from __future__ import annotations
 import json
 import subprocess
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -44,7 +50,7 @@ __all__ = [
 SCHEMA_VERSION = "repro-bench/1"
 
 #: Scenario names in matrix order.
-SCENARIOS = ("serial", "threaded", "sim-nonap", "sim-nap-idle")
+SCENARIOS = ("serial", "vectorized", "threaded", "sim-nonap", "sim-nap-idle")
 
 
 @dataclass(frozen=True)
@@ -157,6 +163,52 @@ def run_serial_scenario(scale: BenchScale, seed: int) -> dict:
         "wall_s": wall_s,
         "throughput_sf_per_s": len(subframes) / wall_s if wall_s else 0.0,
         "kernel_breakdown": _breakdown_from_totals(totals),
+    }
+
+
+def run_vectorized_scenario(scale: BenchScale, seed: int) -> dict:
+    """The batched fast path, stage-timed and verified against serial.
+
+    The per-kernel wall clock comes from a ``stage_timer`` factory passed
+    into :func:`repro.uplink.vectorized.process_subframe_vectorized` — the
+    vectorized module itself never reads the host clock (it stays
+    determinism-lint clean); the bench harness owns all timing. Every
+    subframe's results are also recomputed on the serial reference and
+    compared bit-for-bit, so the report carries its own equivalence proof.
+    """
+    from ..uplink.serial import process_subframe_serial
+    from ..uplink.vectorized import process_subframe_vectorized
+
+    subframes = _functional_subframes(scale, seed)
+    totals: dict[str, list[int]] = {k: [0, 0] for k in KERNEL_KINDS}
+
+    @contextmanager
+    def stage_timer(kernel: str, batch: int):
+        begin = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            totals[kernel][0] += time.perf_counter_ns() - begin
+            totals[kernel][1] += 1
+
+    start = time.perf_counter()
+    results = [
+        process_subframe_vectorized(subframe, stage_timer=stage_timer)
+        for subframe in subframes
+    ]
+    wall_s = time.perf_counter() - start
+    bit_exact = all(
+        result.equals(process_subframe_serial(subframe))
+        for result, subframe in zip(results, subframes)
+    )
+    return {
+        "backend": "vectorized",
+        "subframes": len(subframes),
+        "users": sum(len(s.slices) for s in subframes),
+        "wall_s": wall_s,
+        "throughput_sf_per_s": len(subframes) / wall_s if wall_s else 0.0,
+        "kernel_breakdown": _breakdown_from_totals(totals),
+        "bit_exact_vs_serial": bit_exact,
     }
 
 
@@ -296,6 +348,7 @@ def run_bench(
         raise ValueError(f"unknown scenario(s): {sorted(unknown)}")
     runners: dict[str, Callable[[], dict]] = {
         "serial": lambda: run_serial_scenario(scale, seed),
+        "vectorized": lambda: run_vectorized_scenario(scale, seed),
         "threaded": lambda: run_threaded_scenario(scale, seed),
         "sim-nonap": lambda: run_sim_scenario(scale, seed, "NONAP"),
         "sim-nap-idle": lambda: run_sim_scenario(scale, seed, "NAP+IDLE"),

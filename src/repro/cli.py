@@ -5,6 +5,11 @@ Commands mirror the benchmark binary and the evaluation drivers:
 ``quickstart``
     Decode one synthesized subframe serially and on the thread runtime,
     verify both agree (Section IV-D).
+``run``
+    Decode a stretch of randomized-workload subframes on a selected
+    backend (``--backend serial|vectorized|threaded``); ``--verify``
+    recomputes everything on the serial reference and requires bit-exact
+    agreement.
 ``workload``
     Print the Figs. 7-9 workload-trace summary of the randomized model.
 ``calibrate``
@@ -60,6 +65,34 @@ def build_parser() -> argparse.ArgumentParser:
     quick = sub.add_parser("quickstart", help="decode one subframe, verify runtimes")
     quick.add_argument("--workers", type=int, default=4)
     quick.add_argument("--seed", type=int, default=42)
+
+    run = sub.add_parser(
+        "run", help="decode randomized subframes on a selected backend"
+    )
+    run.add_argument(
+        "--backend",
+        choices=["serial", "vectorized", "threaded"],
+        default="serial",
+        help="execution backend (default serial)",
+    )
+    run.add_argument(
+        "--subframes", type=int, default=8, help="number of subframes (default 8)"
+    )
+    run.add_argument("--seed", type=int, default=0, help="workload seed")
+    run.add_argument(
+        "--users",
+        type=int,
+        default=4,
+        help="MAX_USERS of the randomized model (default 4)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=4, help="threads (threaded backend only)"
+    )
+    run.add_argument(
+        "--verify",
+        action="store_true",
+        help="recompute on the serial reference and require bit-exact agreement",
+    )
 
     workload = sub.add_parser("workload", help="Figs. 7-9 workload summary")
     _add_scale(workload, 6_800)
@@ -144,10 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--scenario",
         action="append",
-        choices=["serial", "threaded", "sim-nonap", "sim-nap-idle"],
+        choices=["serial", "vectorized", "threaded", "sim-nonap", "sim-nap-idle"],
         default=None,
         metavar="NAME",
-        help="run a subset of the matrix (repeatable; default: all four)",
+        help="run a subset of the matrix (repeatable; default: all five)",
     )
     bench.add_argument(
         "--no-overhead",
@@ -253,6 +286,62 @@ def cmd_quickstart(args) -> int:
     report = verify_against_serial([serial], parallel)
     print(report)
     return 0 if report.passed else 1
+
+
+def cmd_run(args) -> int:
+    import time
+
+    from .uplink import (
+        RandomizedParameterModel,
+        SubframeFactory,
+        process_subframe,
+        process_subframe_serial,
+    )
+
+    model = RandomizedParameterModel(
+        total_subframes=max(2, args.subframes),
+        seed=args.seed,
+        max_users=args.users,
+    )
+    factory = SubframeFactory(seed=args.seed)
+    subframes = [
+        factory.synthesize(model.uplink_parameters(i), i)
+        for i in range(args.subframes)
+    ]
+    start = time.perf_counter()
+    if args.backend == "threaded":
+        from .sched import ThreadedRuntime
+
+        results = ThreadedRuntime(num_workers=args.workers).run(subframes)
+    else:
+        results = [
+            process_subframe(subframe, backend=args.backend)
+            for subframe in subframes
+        ]
+    wall_s = time.perf_counter() - start
+    num_users = sum(len(r.user_results) for r in results)
+    crc_ok = sum(1 for r in results for u in r.user_results if u.crc_ok)
+    throughput = len(results) / wall_s if wall_s else 0.0
+    print(
+        f"backend={args.backend}: {len(results)} subframes, "
+        f"{num_users} users, CRC OK {crc_ok}/{num_users}, "
+        f"{wall_s:.3f} s wall ({throughput:.1f} sf/s)"
+    )
+    if not args.verify:
+        return 0
+    by_index = {r.subframe_index: r for r in results}
+    mismatches = [
+        subframe.subframe_index
+        for subframe in subframes
+        if not process_subframe_serial(subframe).equals(
+            by_index[subframe.subframe_index]
+        )
+    ]
+    if mismatches:
+        print(f"VERIFY FAILED: subframes {mismatches} differ from serial")
+        return 1
+    print(f"verify: all {len(subframes)} subframes bit-exact vs serial")
+    return 0
 
 
 def cmd_workload(args) -> int:
@@ -520,6 +609,7 @@ def cmd_lint(args) -> int:
 
 _COMMANDS = {
     "quickstart": cmd_quickstart,
+    "run": cmd_run,
     "workload": cmd_workload,
     "calibrate": cmd_calibrate,
     "estimate": cmd_estimate,

@@ -13,8 +13,15 @@ from .params import (
     CellConfig,
     Modulation,
 )
+from .batched import (
+    batched_chest,
+    batched_combine_symbols,
+    batched_combiner_weights,
+    batched_soft_demap,
+)
 from .chain import KernelTrace, UserResult, process_user
 from .channel import ChannelModel, ChannelRealization
+from .dtypes import COMPLEX_DTYPE, REAL_DTYPE, ensure_complex, ensure_real
 from .transmitter import UserAllocation, payload_capacity, random_payload, transmit_subframe
 from .turbo import PassThroughTurbo, TurboCodec
 
@@ -30,6 +37,14 @@ __all__ = [
     "KernelTrace",
     "UserResult",
     "process_user",
+    "batched_chest",
+    "batched_combine_symbols",
+    "batched_combiner_weights",
+    "batched_soft_demap",
+    "COMPLEX_DTYPE",
+    "REAL_DTYPE",
+    "ensure_complex",
+    "ensure_real",
     "ChannelModel",
     "ChannelRealization",
     "UserAllocation",

@@ -2,7 +2,12 @@
 
 Implements the gCRC24A, gCRC24B, gCRC16 and gCRC8 generator polynomials used
 by LTE transport-channel processing, both as a straightforward bitwise
-shift-register and as a byte-table-driven variant used on hot paths. The
+shift-register and as a vectorized variant used on hot paths: the CRC is
+linear over GF(2), so the register after an ``n``-bit message is the XOR of
+``x^(width + n - 1 - i) mod g(x)`` over the set bit positions ``i``. The
+remainders of ``x^k`` are cached per polynomial (grown on demand), turning
+each CRC into one ``np.bitwise_xor.reduce`` — identical results to the
+bitwise reference, which ``compute_bitwise`` keeps as the oracle. The
 receiver chain attaches CRC24A to each user's transport block and checks it
 after (pass-through) turbo decoding, as in Fig. 3 of the paper.
 """
@@ -27,25 +32,40 @@ class CrcPolynomial:
     name: str
     width: int
     poly: int
-    _table: np.ndarray = field(init=False, repr=False, compare=False)
+    _remainders: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "_table", self._build_table())
+        # x^0 mod g(x) = 1; grown on demand by _remainders_upto.
+        seed = np.array([1], dtype=np.uint64)
+        seed.setflags(write=False)
+        object.__setattr__(self, "_remainders", seed)
 
-    def _build_table(self) -> np.ndarray:
-        """Precompute the CRC of every byte value for table-driven updates."""
-        table = np.zeros(256, dtype=np.uint64)
+    def _remainders_upto(self, count: int) -> np.ndarray:
+        """``x^k mod g(x)`` for ``k in [0, count)``, cached and grown on demand.
+
+        Growth is geometric so repeated CRCs over ever-longer messages stay
+        amortized O(1) per bit. Concurrent growth from the thread runtime is
+        benign: the extension is deterministic, so racing writers install
+        identical arrays and readers only ever see a complete snapshot.
+        """
+        cached = self._remainders
+        if cached.size >= count:
+            return cached
+        target = max(count, 2 * cached.size)
+        grown = np.empty(target, dtype=np.uint64)
+        grown[: cached.size] = cached
         top = 1 << (self.width - 1)
         mask = (1 << self.width) - 1
-        for byte in range(256):
-            reg = byte << (self.width - 8)
-            for _ in range(8):
-                if reg & top:
-                    reg = ((reg << 1) ^ self.poly) & mask
-                else:
-                    reg = (reg << 1) & mask
-            table[byte] = reg
-        return table
+        reg = int(cached[-1])
+        for k in range(cached.size, target):
+            if reg & top:
+                reg = ((reg << 1) ^ self.poly) & mask
+            else:
+                reg = (reg << 1) & mask
+            grown[k] = reg
+        grown.setflags(write=False)
+        object.__setattr__(self, "_remainders", grown)
+        return grown
 
     def compute_bitwise(self, bits: np.ndarray) -> int:
         """Reference bitwise CRC over a 0/1 bit array (MSB-first order)."""
@@ -62,29 +82,19 @@ class CrcPolynomial:
         return reg
 
     def compute(self, bits: np.ndarray) -> int:
-        """Table-driven CRC over a 0/1 bit array (MSB-first order).
+        """Vectorized CRC over a 0/1 bit array (MSB-first order).
 
-        Bit arrays whose length is not a byte multiple are processed with a
-        bitwise tail, so the result always matches :meth:`compute_bitwise`.
+        Exploits GF(2) linearity: the register equals the XOR of
+        ``x^(width + n - 1 - i) mod g(x)`` over set bit positions ``i``.
+        Always matches :meth:`compute_bitwise` exactly.
         """
         bits = _as_bits(bits)
-        n_whole = (bits.size // 8) * 8
-        reg = 0
-        mask = (1 << self.width) - 1
-        if n_whole:
-            packed = np.packbits(bits[:n_whole].astype(np.uint8))
-            shift = self.width - 8
-            for byte in packed:
-                idx = ((reg >> shift) ^ int(byte)) & 0xFF
-                reg = ((reg << 8) ^ int(self._table[idx])) & mask
-        top = 1 << (self.width - 1)
-        for bit in bits[n_whole:]:
-            reg ^= int(bit) << (self.width - 1)
-            if reg & top:
-                reg = ((reg << 1) ^ self.poly) & mask
-            else:
-                reg = (reg << 1) & mask
-        return reg
+        set_positions = np.flatnonzero(bits)
+        if not set_positions.size:
+            return 0
+        remainders = self._remainders_upto(self.width + bits.size)
+        exponents = self.width + (bits.size - 1) - set_positions
+        return int(np.bitwise_xor.reduce(remainders[exponents]))
 
     def to_bits(self, value: int) -> np.ndarray:
         """Expand a CRC register value to a bit array (MSB first)."""

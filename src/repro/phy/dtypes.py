@@ -1,0 +1,66 @@
+"""Canonical numeric dtypes for the PHY kernels.
+
+Every Fig. 5 kernel computes in double precision: ``complex128`` for
+samples/weights/channel estimates and ``float64`` for noise variances and
+LLRs. The serial chain historically relied on ``np.asarray(..,
+dtype=np.complex128)`` calls sprinkled through each kernel; the batched
+backend stacks many tasks into one array, so a single input with a
+different dtype (a ``complex64`` capture buffer, or a platform
+``longdouble``) would silently change the working precision of the whole
+batch and break bit-exactness with the serial reference.
+
+These helpers pin the working dtypes in one place. ``ensure_complex`` /
+``ensure_real`` *coerce* (up- or down-cast) to the canonical dtype — they
+never let the batch compute in whatever precision the input happened to
+carry — and raise on non-numeric inputs instead of producing ``object``
+arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["COMPLEX_DTYPE", "REAL_DTYPE", "ensure_complex", "ensure_real"]
+
+#: Canonical complex working dtype of every PHY kernel.
+COMPLEX_DTYPE = np.dtype(np.complex128)
+
+#: Canonical real working dtype (noise variances, LLRs, windows).
+REAL_DTYPE = np.dtype(np.float64)
+
+
+def ensure_complex(array: np.ndarray) -> np.ndarray:
+    """Return ``array`` as :data:`COMPLEX_DTYPE`, copying only if needed.
+
+    Inputs of any real or complex dtype are coerced — including *higher*
+    precision ones (``complex256``), which would otherwise silently upcast
+    a whole batched computation and de-synchronize it from the serial
+    reference. Non-numeric dtypes raise ``TypeError``.
+    """
+    array = np.asarray(array)
+    if array.dtype == COMPLEX_DTYPE:
+        return array
+    if array.dtype.kind not in "biufc":
+        raise TypeError(
+            f"expected a numeric array, got dtype {array.dtype!r}"
+        )
+    return array.astype(COMPLEX_DTYPE)
+
+
+def ensure_real(array: np.ndarray) -> np.ndarray:
+    """Return ``array`` as :data:`REAL_DTYPE`, copying only if needed.
+
+    Complex inputs raise (dropping an imaginary part silently is a bug);
+    every real numeric dtype — ``float32`` and ``longdouble`` included —
+    is coerced to the canonical double precision.
+    """
+    array = np.asarray(array)
+    if array.dtype == REAL_DTYPE:
+        return array
+    if array.dtype.kind == "c":
+        raise TypeError("expected a real array, got a complex dtype")
+    if array.dtype.kind not in "biuf":
+        raise TypeError(
+            f"expected a numeric array, got dtype {array.dtype!r}"
+        )
+    return array.astype(REAL_DTYPE)

@@ -9,6 +9,8 @@ as in the paper's Fig. 3 ("deinterleaver").
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = [
@@ -16,6 +18,7 @@ __all__ = [
     "COLUMN_PERMUTATION",
     "interleave",
     "deinterleave",
+    "deinterleave_rows",
     "interleave_indices",
 ]
 
@@ -32,12 +35,9 @@ COLUMN_PERMUTATION = np.array(
 )
 
 
-def interleave_indices(length: int) -> np.ndarray:
-    """Permutation ``p`` such that ``out[i] = in[p[i]]`` interleaves.
-
-    Dummy positions created by padding the matrix to a whole number of rows
-    are pruned, so the permutation is exact for any length.
-    """
+@lru_cache(maxsize=256)
+def _cached_indices(length: int) -> np.ndarray:
+    """Read-only interleaver permutation for one length (hot-path cache)."""
     if length < 1:
         raise ValueError("length must be >= 1")
     rows = -(-length // NUM_COLUMNS)  # ceil division
@@ -45,19 +45,48 @@ def interleave_indices(length: int) -> np.ndarray:
     matrix = np.arange(padded).reshape(rows, NUM_COLUMNS)
     permuted = matrix[:, COLUMN_PERMUTATION]
     read_out = permuted.T.reshape(-1)
-    return read_out[read_out < length]
+    indices = read_out[read_out < length]
+    indices.setflags(write=False)
+    return indices
+
+
+def interleave_indices(length: int) -> np.ndarray:
+    """Permutation ``p`` such that ``out[i] = in[p[i]]`` interleaves.
+
+    Dummy positions created by padding the matrix to a whole number of rows
+    are pruned, so the permutation is exact for any length. Returns a
+    fresh (writable) copy; the kernels share a cached read-only variant.
+    """
+    return _cached_indices(int(length)).copy()
 
 
 def interleave(values: np.ndarray) -> np.ndarray:
     """Interleave a 1-D array (bits or LLRs)."""
     values = np.asarray(values).reshape(-1)
-    return values[interleave_indices(values.size)]
+    return values[_cached_indices(values.size)]
 
 
 def deinterleave(values: np.ndarray) -> np.ndarray:
     """Invert :func:`interleave`."""
     values = np.asarray(values).reshape(-1)
-    indices = interleave_indices(values.size)
+    indices = _cached_indices(values.size)
     out = np.empty_like(values)
     out[indices] = values
+    return out
+
+
+def deinterleave_rows(values: np.ndarray) -> np.ndarray:
+    """Invert :func:`interleave` independently on every row of a 2-D array.
+
+    The batched backend stacks the interleaved streams of all same-shape
+    users into ``(users, n)``; one fancy-indexed assignment deinterleaves
+    every row with the shared permutation, bit-exactly matching per-row
+    :func:`deinterleave` calls.
+    """
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ValueError("values must be two-dimensional (rows, n)")
+    indices = _cached_indices(values.shape[1])
+    out = np.empty_like(values)
+    out[:, indices] = values
     return out

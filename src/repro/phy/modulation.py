@@ -8,6 +8,8 @@ average energy.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from .params import Modulation
@@ -41,14 +43,9 @@ _PAM = {
 }
 
 
-def constellation(modulation: Modulation) -> np.ndarray:
-    """Return the full unit-energy constellation as a complex array.
-
-    The point at index ``i`` corresponds to the bit label given by the
-    binary expansion of ``i`` (MSB first), with bits interleaved between
-    the I and Q axes per TS 36.211 (even-position bits steer I, odd
-    position bits steer Q).
-    """
+@lru_cache(maxsize=None)
+def _cached_constellation(modulation: Modulation) -> np.ndarray:
+    """Read-only cached constellation (hot path: one build per modulation)."""
     bits_per_symbol = modulation.bits_per_symbol
     half = bits_per_symbol // 2
     pam = _PAM[modulation]
@@ -61,7 +58,33 @@ def constellation(modulation: Modulation) -> np.ndarray:
             i_idx = (i_idx << 1) | bits[2 * k]
             q_idx = (q_idx << 1) | bits[2 * k + 1]
         points[label] = (pam[i_idx] + 1j * pam[q_idx]) / _NORM[modulation]
+    points.setflags(write=False)
     return points
+
+
+def constellation(modulation: Modulation) -> np.ndarray:
+    """Return the full unit-energy constellation as a complex array.
+
+    The point at index ``i`` corresponds to the bit label given by the
+    binary expansion of ``i`` (MSB first), with bits interleaved between
+    the I and Q axes per TS 36.211 (even-position bits steer I, odd
+    position bits steer Q).
+    """
+    return _cached_constellation(modulation).copy()
+
+
+@lru_cache(maxsize=None)
+def _cached_pam_column(modulation: Modulation) -> np.ndarray:
+    """Normalized per-axis PAM levels as a read-only column vector.
+
+    ``_PAM[m][i] / norm`` is exactly the I (or Q) coordinate of every
+    constellation point whose axis bit-group equals ``i`` — complex
+    division by a real scalar is componentwise, so these match
+    ``constellation(m).real``/``.imag`` bit-for-bit.
+    """
+    levels = (_PAM[modulation] / _NORM[modulation])[:, None]
+    levels.setflags(write=False)
+    return levels
 
 
 def bits_to_symbols(bits: np.ndarray, modulation: Modulation) -> np.ndarray:
@@ -134,18 +157,38 @@ def soft_demap(
     )
     if np.any(noise <= 0):
         raise ValueError("noise_variance must be positive")
-    points = constellation(modulation)
     bps = modulation.bits_per_symbol
-    labels = np.arange(points.size)
-    # Squared distances, shape (num_symbols, num_points).
-    dist2 = np.abs(symbols[:, None] - points[None, :]) ** 2
-    llrs = np.empty((symbols.size, bps), dtype=np.float64)
-    for bit in range(bps):
-        mask0 = ((labels >> (bps - 1 - bit)) & 1) == 0
-        d0 = dist2[:, mask0].min(axis=1)
-        d1 = dist2[:, ~mask0].min(axis=1)
-        llrs[:, bit] = (d1 - d0) / noise
-    return llrs.reshape(-1)
+    half = bps // 2
+    # The TS 36.211 constellations are Gray-mapped squares: the squared
+    # distance separates as (pI-sI)² + (pQ-sQ)², even-position bits steer
+    # only the I level and odd-position bits only the Q level. For a bit
+    # steering one axis, the opposite axis attains the same minimum on
+    # both hypotheses, so it cancels in the max-log difference:
+    # LLR = (min_{axis bit=1} d_axis² − min_{axis bit=0} d_axis²)/noise.
+    # This works per axis on 2^(bps/2) PAM levels instead of 2^bps
+    # constellation points — the factorization that keeps soft demapping
+    # from dominating the whole receiver tail at 64-QAM.
+    levels = _cached_pam_column(modulation)
+    num = symbols.size
+    llrs = np.empty((bps, num), dtype=np.float64)
+    for offset, coords in ((0, symbols.real), (1, symbols.imag)):
+        dist2 = (levels - coords[None, :]) ** 2  # (2**half, num)
+        # Axis labels are MSB-first over this axis's bit-group, so each
+        # bit's 0/1 level subsets are alternating contiguous blocks: a
+        # suffix min-tree over trailing label bits yields every bit's two
+        # minima from cheap block reductions (min is order-independent).
+        suffix = [dist2]
+        for _ in range(half - 1):
+            prev = suffix[-1].reshape(-1, 2, num)
+            suffix.append(np.minimum(prev[:, 0], prev[:, 1]))
+        for j in range(half):
+            # suffix[half-1-j] rows are indexed by this axis's leading
+            # j+1 bits; axis 0 below spans the leading bits, axis 1 is
+            # the bit being demapped (transmitted at position 2j+offset).
+            level = suffix[half - 1 - j].reshape(1 << j, 2, num)
+            d01 = level.min(axis=0)
+            llrs[2 * j + offset] = (d01[1] - d01[0]) / noise
+    return llrs.T.reshape(-1)
 
 
 def llrs_to_bits(llrs: np.ndarray) -> np.ndarray:

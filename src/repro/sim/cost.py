@@ -28,7 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..phy.params import Modulation
-from ..uplink.tasks import TaskDescriptor, describe_user_tasks
+from ..uplink.tasks import (
+    TaskDescriptor,
+    describe_user_tasks,
+    describe_user_tasks_batched,
+)
 from ..uplink.user import UserParameters
 
 __all__ = ["MachineSpec", "CostModel", "DEFAULT_MACHINE"]
@@ -158,7 +162,13 @@ class CostModel:
 
     # -------------------------------------------------------------- cycles
     def task_cycles(self, task: TaskDescriptor) -> int:
-        """Cycle cost of one schedulable task."""
+        """Cycle cost of one schedulable task.
+
+        The ``*_batch`` kinds are the vectorized backend's fused stage
+        tasks: each carries the compute units of the whole per-task stage
+        fan-out but only one ``task_overhead_cycles`` — the overhead
+        collapse is the modelled benefit of batching.
+        """
         if task.kind == "chest":
             units = self._chest_units(task.num_prb)
         elif task.kind == "combiner":
@@ -166,6 +176,16 @@ class CostModel:
         elif task.kind == "symbol":
             units = self._symbol_units(task.num_prb)
         elif task.kind == "finalize":
+            units = self._finalize_units(
+                task.num_prb, task.layers, task.bits_per_symbol
+            )
+        elif task.kind == "chest_batch":
+            units = task.antennas * task.layers * self._chest_units(task.num_prb)
+        elif task.kind == "combiner_batch":
+            units = self._combiner_units(task.num_prb, task.layers, task.antennas)
+        elif task.kind == "symbol_batch":
+            units = _DATA_SYMBOLS * task.layers * self._symbol_units(task.num_prb)
+        elif task.kind == "finalize_batch":
             units = self._finalize_units(
                 task.num_prb, task.layers, task.bits_per_symbol
             )
@@ -184,6 +204,17 @@ class CostModel:
         total += sum(self.task_cycles(t) for t in data)
         total += self.task_cycles(finalize)
         return total
+
+    def user_cycles_batched(self, user: UserParameters, antennas: int = 4) -> int:
+        """Total compute cycles of one user on the vectorized backend.
+
+        Same stage work as :meth:`user_cycles`, but charged as four fused
+        tasks, so the difference between the two is exactly
+        ``(num_tasks - 4) * task_overhead_cycles`` (minus cache effects).
+        """
+        return sum(
+            self.task_cycles(t) for t in describe_user_tasks_batched(user, antennas)
+        )
 
     def user_activity(self, user: UserParameters, antennas: int = 4) -> float:
         """This user's share of the per-dispatch-interval cycle budget."""

@@ -4,7 +4,7 @@ reference implementation, the Fig. 5 task decomposition, and
 serial-vs-parallel verification.
 """
 
-from .benchmark import BenchmarkConfig, BenchmarkDriver
+from .benchmark import DRIVER_BACKENDS, BenchmarkConfig, BenchmarkDriver
 from .parameter_model import (
     DEFAULT_TOTAL_SUBFRAMES,
     ParameterModel,
@@ -14,15 +14,31 @@ from .parameter_model import (
 )
 from .recording import load_results, save_results, verify_against_recording
 from .scenarios import DiurnalParameterModel, ScaledLoadModel
-from .serial import SerialBenchmark, SubframeResult, process_subframe_serial
+from .serial import (
+    FUNCTIONAL_BACKENDS,
+    SerialBenchmark,
+    SubframeResult,
+    process_subframe,
+    process_subframe_serial,
+)
 from .subframe import DEFAULT_POOL_SIZE, SubframeFactory, SubframeInput, UserSlice
-from .tasks import TaskDescriptor, UserJob, describe_user_tasks
+from .tasks import (
+    BATCHED_KERNEL_KINDS,
+    KERNEL_KINDS,
+    TaskDescriptor,
+    UserJob,
+    describe_user_tasks,
+    describe_user_tasks_batched,
+)
 from .user import UserParameters
+from .vectorized import process_subframe_vectorized, process_user_vectorized
 from .verification import VerificationReport, verify_against_serial
 
 __all__ = [
     "BenchmarkConfig",
     "BenchmarkDriver",
+    "DRIVER_BACKENDS",
+    "FUNCTIONAL_BACKENDS",
     "DEFAULT_TOTAL_SUBFRAMES",
     "ParameterModel",
     "RandomizedParameterModel",
@@ -35,14 +51,20 @@ __all__ = [
     "verify_against_recording",
     "SerialBenchmark",
     "SubframeResult",
+    "process_subframe",
     "process_subframe_serial",
+    "process_subframe_vectorized",
+    "process_user_vectorized",
     "DEFAULT_POOL_SIZE",
     "SubframeFactory",
     "SubframeInput",
     "UserSlice",
     "TaskDescriptor",
     "UserJob",
+    "KERNEL_KINDS",
+    "BATCHED_KERNEL_KINDS",
     "describe_user_tasks",
+    "describe_user_tasks_batched",
     "UserParameters",
     "VerificationReport",
     "verify_against_serial",

@@ -14,10 +14,15 @@ import time
 from dataclasses import dataclass
 
 from .parameter_model import ParameterModel
-from .serial import SubframeResult
+from .serial import SubframeResult, process_subframe
 from .subframe import SubframeFactory
 
-__all__ = ["BenchmarkConfig", "BenchmarkDriver"]
+__all__ = ["DRIVER_BACKENDS", "BenchmarkConfig", "BenchmarkDriver"]
+
+#: Execution backends the driver can dispatch onto: the work-stealing
+#: thread runtime (the paper's Pthreads twin), the per-task serial
+#: reference, and the batched vectorized fast path.
+DRIVER_BACKENDS = ("threaded", "serial", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -27,17 +32,27 @@ class BenchmarkConfig:
     ``delta_s`` is the paper's DELTA — the dispatch interval. It is
     configurable precisely because "this allows the benchmark to run on
     hardware that cannot sustain a rate of one subframe per millisecond".
+    ``backend`` selects how dispatched subframes execute: ``"threaded"``
+    (default) submits to the work-stealing runtime; ``"serial"`` and
+    ``"vectorized"`` process each subframe inline on the dispatch thread
+    (the vectorized path runs the batched kernels of
+    ``repro.phy.batched``).
     """
 
     delta_s: float = 5e-3
     num_workers: int = 4
     synthesize: bool = False
+    backend: str = "threaded"
 
     def __post_init__(self) -> None:
         if self.delta_s <= 0:
             raise ValueError("delta_s must be positive")
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if self.backend not in DRIVER_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r} (choose from {DRIVER_BACKENDS})"
+            )
 
 
 class BenchmarkDriver:
@@ -68,11 +83,26 @@ class BenchmarkDriver:
         """
         if num_subframes < 1:
             raise ValueError("num_subframes must be >= 1")
+        subframes = [self._build(start + i) for i in range(num_subframes)]
+        if self.config.backend != "threaded":
+            # Inline backends: the dispatch thread processes each subframe
+            # itself (serial reference or batched vectorized fast path),
+            # still paced at DELTA so deadline behaviour is comparable.
+            results: list[SubframeResult] = []
+            epoch = time.monotonic()
+            for i, subframe in enumerate(subframes):
+                deadline = epoch + i * self.config.delta_s
+                delay = deadline - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                results.append(
+                    process_subframe(subframe, backend=self.config.backend)
+                )
+            return results
         # Imported here: repro.sched depends on repro.uplink's task graph,
         # so a module-level import would be circular.
         from ..sched.threaded import ThreadedRuntime
 
-        subframes = [self._build(start + i) for i in range(num_subframes)]
         runtime = ThreadedRuntime(num_workers=self.config.num_workers)
         runtime.start()
         try:

@@ -16,7 +16,19 @@ from .parameter_model import ParameterModel
 from .subframe import SubframeFactory, SubframeInput
 from .tasks import UserJob
 
-__all__ = ["SubframeResult", "SerialBenchmark", "process_subframe_serial"]
+__all__ = [
+    "FUNCTIONAL_BACKENDS",
+    "SubframeResult",
+    "SerialBenchmark",
+    "process_subframe",
+    "process_subframe_serial",
+]
+
+#: Single-thread functional backends selectable via ``backend=``: the
+#: per-task serial reference and the batched vectorized fast path
+#: (``repro.uplink.vectorized``). The threaded runtime lives in
+#: ``repro.sched`` and is selected at the driver/CLI level.
+FUNCTIONAL_BACKENDS = ("serial", "vectorized")
 
 
 @dataclass
@@ -50,6 +62,30 @@ def process_subframe_serial(
     return result
 
 
+def process_subframe(
+    subframe: SubframeInput,
+    config: ChestConfig | None = None,
+    codec=None,
+    backend: str = "serial",
+) -> SubframeResult:
+    """Process one subframe on the selected single-thread backend.
+
+    ``backend="serial"`` walks the per-task reference chain;
+    ``backend="vectorized"`` runs the batched fast path
+    (:func:`repro.uplink.vectorized.process_subframe_vectorized`), which
+    is bit-exact with the reference.
+    """
+    if backend == "serial":
+        return process_subframe_serial(subframe, config=config, codec=codec)
+    if backend == "vectorized":
+        from .vectorized import process_subframe_vectorized
+
+        return process_subframe_vectorized(subframe, config=config, codec=codec)
+    raise ValueError(
+        f"unknown backend {backend!r} (choose from {FUNCTIONAL_BACKENDS})"
+    )
+
+
 class SerialBenchmark:
     """Drives the serial version over a parameter model.
 
@@ -62,6 +98,9 @@ class SerialBenchmark:
     synthesize:
         When True, build physically meaningful input (CRCs pass) instead of
         reusing the pre-generated pool.
+    backend:
+        ``"serial"`` (the per-task reference, default) or ``"vectorized"``
+        (the batched fast path; bit-exact with the reference).
     """
 
     def __init__(
@@ -71,12 +110,18 @@ class SerialBenchmark:
         synthesize: bool = False,
         config: ChestConfig | None = None,
         codec=None,
+        backend: str = "serial",
     ) -> None:
+        if backend not in FUNCTIONAL_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} (choose from {FUNCTIONAL_BACKENDS})"
+            )
         self.model = model
         self.factory = factory or SubframeFactory()
         self.synthesize = synthesize
         self.config = config
         self.codec = codec
+        self.backend = backend
 
     def build_subframe(self, subframe_index: int) -> SubframeInput:
         users = self.model.uplink_parameters(subframe_index)
@@ -89,8 +134,11 @@ class SerialBenchmark:
         if num_subframes < 1:
             raise ValueError("num_subframes must be >= 1")
         return [
-            process_subframe_serial(
-                self.build_subframe(index), config=self.config, codec=self.codec
+            process_subframe(
+                self.build_subframe(index),
+                config=self.config,
+                codec=self.codec,
+                backend=self.backend,
             )
             for index in range(start, start + num_subframes)
         ]

@@ -46,7 +46,14 @@ from ..phy.transmitter import data_symbol_indices
 from .subframe import UserSlice
 from .user import UserParameters
 
-__all__ = ["KERNEL_KINDS", "TaskDescriptor", "describe_user_tasks", "UserJob"]
+__all__ = [
+    "KERNEL_KINDS",
+    "BATCHED_KERNEL_KINDS",
+    "TaskDescriptor",
+    "describe_user_tasks",
+    "describe_user_tasks_batched",
+    "UserJob",
+]
 
 #: The four per-user kernels of Fig. 5, in stage order. This is the
 #: canonical attribution key set for the profiling layer: both backends
@@ -54,6 +61,19 @@ __all__ = ["KERNEL_KINDS", "TaskDescriptor", "describe_user_tasks", "UserJob"]
 #: :meth:`repro.obs.profiling.Profiler.kernel_breakdown` reports in this
 #: order.
 KERNEL_KINDS: tuple[str, ...] = ("chest", "combiner", "symbol", "finalize")
+
+#: Fused-stage task kinds emitted by the batched vectorized backend: each
+#: one covers *all* of a user's tasks for that Fig. 5 stage (e.g. one
+#: ``chest_batch`` task stands for all antennas × layers chest tasks).
+#: The cost model prices them as the summed stage work plus a single
+#: per-task overhead — that overhead collapse is exactly the scheduling
+#: cost the vectorized path saves.
+BATCHED_KERNEL_KINDS: tuple[str, ...] = (
+    "chest_batch",
+    "combiner_batch",
+    "symbol_batch",
+    "finalize_batch",
+)
 
 
 @dataclass(frozen=True)
@@ -95,6 +115,31 @@ def describe_user_tasks(
     ]
     finalize = TaskDescriptor(kind="finalize", **common)
     return chest, combiner, data, finalize
+
+
+def describe_user_tasks_batched(
+    user: UserParameters, antennas: int = 4
+) -> tuple[TaskDescriptor, TaskDescriptor, TaskDescriptor, TaskDescriptor]:
+    """One fused task per Fig. 5 stage, as the vectorized backend runs them.
+
+    Returns ``(chest_batch, combiner_batch, symbol_batch, finalize_batch)``
+    descriptors; each carries the same work as the corresponding stage's
+    whole per-task fan-out in :func:`describe_user_tasks`, but is
+    scheduled (and overhead-charged) once.
+    """
+    common = dict(
+        user_id=user.user_id,
+        num_prb=user.num_prb,
+        layers=user.layers,
+        bits_per_symbol=user.modulation.bits_per_symbol,
+        antennas=antennas,
+    )
+    return (
+        TaskDescriptor(kind="chest_batch", **common),
+        TaskDescriptor(kind="combiner_batch", **common),
+        TaskDescriptor(kind="symbol_batch", **common),
+        TaskDescriptor(kind="finalize_batch", **common),
+    )
 
 
 class UserJob:

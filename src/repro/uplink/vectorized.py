@@ -1,0 +1,313 @@
+"""Batched vectorized backend: whole subframes through stacked kernels.
+
+The serial backend (:mod:`repro.uplink.serial`) walks the Fig. 5 task
+graph one small NumPy call at a time. This backend keeps the *chain*
+identical but fuses the task axes: for every group of users that share an
+allocation shape ``(subcarriers, layers, modulation)``, all of the
+group's (user, slot, antenna, layer) channel-estimation tasks run as one
+:func:`repro.phy.batched.batched_chest` call, every per-subcarrier MMSE
+system of the whole group solves in one ``np.linalg.solve``, all
+(user, symbol, layer) combining tasks run as one einsum + one IFFT, and
+the groups' soft demaps run as one stacked call.
+
+Results are **bit-exact** with the serial reference (the batched NumPy
+kernels process rows independently with the same primitives), which the
+differential suite in ``tests/differential`` enforces across the full
+seeded scenario matrix.
+
+The module is deterministic-scope clean: it never reads the host clock.
+Callers that want per-kernel wall-clock attribution (``repro bench``)
+pass a ``stage_timer`` context-manager factory instead.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+import numpy as np
+
+from ..phy.batched import (
+    batched_chest,
+    batched_combine_symbols,
+    batched_combiner_weights,
+    batched_soft_demap,
+)
+from ..phy.chain import UserResult
+from ..phy.chest import ChestConfig
+from ..phy.crc import CRC24A, crc_check
+from ..phy.dtypes import REAL_DTYPE, ensure_complex
+from ..phy.params import (
+    DATA_SYMBOLS_PER_SLOT,
+    DATA_SYMBOLS_PER_SUBFRAME,
+    REFERENCE_SYMBOL_INDEX,
+    SLOTS_PER_SUBFRAME,
+    SYMBOLS_PER_SLOT,
+)
+from ..phy.scrambling import descramble_llrs
+from ..phy.transmitter import UserAllocation, data_symbol_indices
+from ..phy.turbo import PassThroughTurbo
+from .serial import SubframeResult
+from .subframe import SubframeInput, UserSlice
+
+__all__ = [
+    "group_slices_by_shape",
+    "process_user_vectorized",
+    "process_subframe_vectorized",
+]
+
+_REF_SYMBOLS = tuple(
+    slot * SYMBOLS_PER_SLOT + REFERENCE_SYMBOL_INDEX
+    for slot in range(SLOTS_PER_SUBFRAME)
+)
+
+
+def group_slices_by_shape(
+    slices: list[UserSlice],
+) -> list[list[tuple[int, UserSlice]]]:
+    """Group a subframe's user slices by batchable allocation shape.
+
+    Users sharing ``(num_subcarriers, layers, modulation)`` stack into one
+    batch; each entry keeps its original position so results can be
+    emitted in dispatch order. Group order follows first appearance, so
+    the grouping itself is deterministic.
+    """
+    groups: dict[tuple[int, int, str], list[tuple[int, UserSlice]]] = {}
+    for position, user_slice in enumerate(slices):
+        user = user_slice.user
+        key = (user_slice.num_subcarriers, user.layers, user.modulation.value)
+        groups.setdefault(key, []).append((position, user_slice))
+    return list(groups.values())
+
+
+def _null_timer(kernel: str, batch: int):
+    return nullcontext()
+
+
+def _finalize_group(
+    allocation: UserAllocation,
+    layer_symbols: np.ndarray,
+    noise_per_layer_slot: np.ndarray,
+    user_ids: list[int],
+    codec,
+    trace,
+    scrambling_c_inits: list[int | None] | None = None,
+) -> list[UserResult]:
+    """Batched serial tail for one shape group: deinterleave → demap → CRC.
+
+    ``layer_symbols`` is ``(users, layers, 12, subcarriers)``;
+    ``noise_per_layer_slot`` is ``(users, layers, 2)``.
+    """
+    from ..phy import interleaver as il
+
+    codec = codec or PassThroughTurbo()
+    num_users = layer_symbols.shape[0]
+    layers = allocation.layers
+    num_sc = allocation.num_subcarriers
+    layer_symbols = ensure_complex(layer_symbols)
+    if layer_symbols.shape != (
+        num_users,
+        layers,
+        DATA_SYMBOLS_PER_SLOT * SLOTS_PER_SUBFRAME,
+        num_sc,
+    ):
+        raise ValueError("layer_symbols shape mismatch")
+
+    # Invert the transmitter's layer mapping back to one stream per user:
+    # (users, layers, 12*sc) -> transpose -> (users, 12*sc, layers) -> flat.
+    streams = layer_symbols.reshape(num_users, layers, -1)
+    interleaved = streams.transpose(0, 2, 1).reshape(num_users, -1)
+    # Per-symbol noise follows the same reshaping as the data.
+    per_slot = DATA_SYMBOLS_PER_SLOT * num_sc
+    noise_streams = np.repeat(
+        np.asarray(noise_per_layer_slot, dtype=REAL_DTYPE), per_slot, axis=2
+    )  # (users, layers, 2*per_slot)
+    interleaved_noise = noise_streams.transpose(0, 2, 1).reshape(num_users, -1)
+
+    if trace is not None:
+        trace.record(
+            "deinterleave", symbols=interleaved.shape[1], batch=num_users
+        )
+    symbols = il.deinterleave_rows(interleaved)
+    noise = il.deinterleave_rows(interleaved_noise)
+
+    llrs_rows = batched_soft_demap(
+        symbols, allocation.modulation, np.maximum(noise, 1e-12), trace=trace
+    )
+
+    results: list[UserResult] = []
+    for row, user_id in enumerate(user_ids):
+        llrs = llrs_rows[row]
+        c_init = scrambling_c_inits[row] if scrambling_c_inits else None
+        if c_init is not None:
+            llrs = descramble_llrs(llrs, c_init)
+        if codec.rate_denominator == 1:
+            num_info = llrs.size - CRC24A.width
+            useful = llrs
+        else:
+            capacity = llrs.size
+            num_info_with_crc = (capacity - 12) // 3
+            num_info = num_info_with_crc - CRC24A.width
+            useful = llrs[: 3 * num_info_with_crc + 12]
+        if trace is not None:
+            trace.record("turbo_decode", bits=useful.size)
+        decoded = codec.decode(useful, num_info + CRC24A.width)
+        if trace is not None:
+            trace.record("crc_check", bits=decoded.size)
+        ok = crc_check(decoded, CRC24A)
+        results.append(
+            UserResult(
+                user_id=user_id,
+                payload=decoded[: -CRC24A.width],
+                crc_ok=ok,
+                llrs=llrs,
+            )
+        )
+    return results
+
+
+def _process_group(
+    grids: np.ndarray,
+    allocation: UserAllocation,
+    user_ids: list[int],
+    config: ChestConfig | None,
+    codec,
+    trace,
+    stage_timer,
+    scrambling_c_inits: list[int | None] | None = None,
+) -> list[UserResult]:
+    """Run the batched chain over one shape group.
+
+    ``grids`` is the stacked received data, shape ``(users, antennas, 14,
+    subcarriers)``.
+    """
+    num_users = grids.shape[0]
+    layers = allocation.layers
+
+    # --- stage 1: channel estimation over (users, slots, antennas, layers)
+    refs = grids[:, :, _REF_SYMBOLS, :].transpose(0, 2, 1, 3)
+    with stage_timer("chest", num_users):
+        channel, noise = batched_chest(refs, layers, config, trace=trace)
+        # Per-(user, slot) noise estimate: mean over the (antenna, layer)
+        # task grid, matching the serial join's np.mean over its list.
+        noise_variance = noise.reshape(num_users, SLOTS_PER_SUBFRAME, -1).mean(
+            axis=-1
+        )
+
+    # --- stage 2: combiner weights for every (user, slot, subcarrier)
+    with stage_timer("combiner", num_users):
+        weights, noise_after = batched_combiner_weights(
+            channel, noise_variance, trace=trace
+        )
+
+    # --- stage 3: antenna combining + SC-FDMA IFFT for all data symbols
+    with stage_timer("symbol", num_users):
+        data_idx = data_symbol_indices()
+        data = grids[:, :, data_idx, :]  # (users, antennas, 12, sc)
+        per_slot_symbols = []
+        for slot in range(SLOTS_PER_SUBFRAME):
+            sym_lo = slot * DATA_SYMBOLS_PER_SLOT
+            per_slot_symbols.append(
+                batched_combine_symbols(
+                    data[:, :, sym_lo : sym_lo + DATA_SYMBOLS_PER_SLOT, :],
+                    weights[:, slot],
+                    trace=trace,
+                )
+            )
+        # (users, layers, 12, sc) in data-symbol order.
+        layer_symbols = np.concatenate(per_slot_symbols, axis=2)
+        if layer_symbols.shape[2] != DATA_SYMBOLS_PER_SUBFRAME:
+            raise AssertionError("data symbol concatenation mismatch")
+
+    # --- stage 4: serial tail, batched across the group
+    with stage_timer("finalize", num_users):
+        # (users, slots, layers) -> (users, layers, slots).
+        noise_per_layer_slot = noise_after.mean(axis=-1).transpose(0, 2, 1)
+        return _finalize_group(
+            allocation,
+            layer_symbols,
+            noise_per_layer_slot,
+            user_ids,
+            codec,
+            trace,
+            scrambling_c_inits,
+        )
+
+
+def process_user_vectorized(
+    allocation: UserAllocation,
+    received: np.ndarray,
+    user_id: int = 0,
+    config: ChestConfig | None = None,
+    codec=None,
+    trace=None,
+    scrambling_c_init: int | None = None,
+) -> UserResult:
+    """Batched twin of :func:`repro.phy.chain.process_user` (one user).
+
+    Accepts the same ``(antennas, 14 symbols, subcarriers)`` grid and
+    returns a bit-exact :class:`UserResult`; all of the user's tasks run
+    as stacked kernels.
+    """
+    received = ensure_complex(received)
+    if received.ndim != 3:
+        raise ValueError("received grid must be (antennas, symbols, subcarriers)")
+    if received.shape[1] != SLOTS_PER_SUBFRAME * SYMBOLS_PER_SLOT:
+        raise ValueError("received grid must hold 14 SC-FDMA symbols")
+    if received.shape[2] != allocation.num_subcarriers:
+        raise ValueError("received grid subcarrier width mismatch")
+    results = _process_group(
+        received[None],
+        allocation,
+        [user_id],
+        config,
+        codec,
+        trace,
+        _null_timer,
+        [scrambling_c_init],
+    )
+    return results[0]
+
+
+def process_subframe_vectorized(
+    subframe: SubframeInput,
+    config: ChestConfig | None = None,
+    codec=None,
+    trace=None,
+    stage_timer=None,
+) -> SubframeResult:
+    """Process one subframe with the batched vectorized backend.
+
+    Users sharing an allocation shape are stacked and processed together;
+    results come back in dispatch order and are bit-exact with
+    :func:`repro.uplink.serial.process_subframe_serial`.
+
+    Parameters
+    ----------
+    stage_timer:
+        Optional ``stage_timer(kernel, batch)`` context-manager factory
+        used by ``repro bench`` for per-kernel wall-clock attribution
+        (``kernel`` is one of :data:`repro.uplink.tasks.KERNEL_KINDS`).
+        The default is a no-op, keeping this module free of host-clock
+        reads.
+    """
+    timer = stage_timer or _null_timer
+    ordered: list[UserResult | None] = [None] * len(subframe.slices)
+    for group in group_slices_by_shape(subframe.slices):
+        positions = [position for position, _ in group]
+        slices = [user_slice for _, user_slice in group]
+        grids = np.stack([s.view(subframe.grid) for s in slices])
+        results = _process_group(
+            grids,
+            slices[0].user.allocation,
+            [s.user.user_id for s in slices],
+            config,
+            codec,
+            trace,
+            timer,
+        )
+        for position, result in zip(positions, results):
+            ordered[position] = result
+    return SubframeResult(
+        subframe_index=subframe.subframe_index,
+        user_results=list(ordered),
+    )

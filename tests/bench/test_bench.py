@@ -31,7 +31,7 @@ class TestRunBench:
         assert validate_bench_report(report) == []
         assert report["schema"] == SCHEMA_VERSION
         assert set(report["scenarios"]) == {
-            "serial", "threaded", "sim-nonap", "sim-nap-idle"
+            "serial", "vectorized", "threaded", "sim-nonap", "sim-nap-idle"
         }
 
     def test_sim_scenarios_carry_deterministic_block(self, report):
@@ -199,3 +199,34 @@ class TestBenchCli:
             "--out", str(tmp_path / "r.json"), "--compare", str(bad),
         ])
         assert code == 2
+
+
+class TestVectorizedScenario:
+    """The vectorized backend's row in the bench matrix."""
+
+    def test_present_with_verification_flag(self, report):
+        scenario = report["scenarios"]["vectorized"]
+        assert scenario["backend"] == "vectorized"
+        assert scenario["bit_exact_vs_serial"] is True
+        assert scenario["throughput_sf_per_s"] > 0
+
+    def test_kernel_breakdown_uses_canonical_tags(self, report):
+        from repro.uplink.tasks import KERNEL_KINDS
+
+        breakdown = report["scenarios"]["vectorized"]["kernel_breakdown"]
+        assert set(breakdown) == set(KERNEL_KINDS)
+        for entry in breakdown.values():
+            assert entry["count"] > 0
+            assert entry["total"] >= 0
+
+    def test_same_workload_as_serial_scenario(self, report):
+        serial = report["scenarios"]["serial"]
+        vectorized = report["scenarios"]["vectorized"]
+        assert vectorized["subframes"] == serial["subframes"]
+        assert vectorized["users"] == serial["users"]
+
+    def test_baseline_without_vectorized_row_still_comparable(self, report):
+        """Reports from before the scenario existed must stay comparable."""
+        baseline = copy.deepcopy(report)
+        del baseline["scenarios"]["vectorized"]
+        assert compare_reports(baseline, report) == []

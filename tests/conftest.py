@@ -1,0 +1,19 @@
+"""Shared test configuration: the pinned hypothesis profile.
+
+Property suites (``tests/properties``) must behave identically on every
+host and every run, so the profile disables the wall-clock deadline (CI
+runners are noisy) and derandomizes example generation (each test's
+examples are a pure function of the test itself). hypothesis is a dev
+extra: when it is absent, only the property suites are skipped — the
+fixed-seed tiers never import it.
+"""
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is optional (dev extra)
+    pass
+else:
+    settings.register_profile(
+        "repro", deadline=None, derandomize=True, max_examples=100
+    )
+    settings.load_profile("repro")

@@ -1,0 +1,148 @@
+"""Dtype-drift regression tests (tier-1).
+
+The batched backend stacks many tasks into one array, so one stray
+``complex64`` (or platform ``longdouble``) input would silently change
+the working precision of a whole batch and break bit-exactness with the
+serial reference. These tests pin the contract of
+:mod:`repro.phy.dtypes` and prove every batched kernel (a) coerces
+off-canonical inputs instead of computing in them and (b) emits
+canonical-dtype outputs that are bit-exact with the float64 originals.
+"""
+
+import numpy as np
+import pytest
+
+from repro.phy.batched import (
+    batched_chest,
+    batched_combine_symbols,
+    batched_combiner_weights,
+    batched_soft_demap,
+)
+from repro.phy.dtypes import (
+    COMPLEX_DTYPE,
+    REAL_DTYPE,
+    ensure_complex,
+    ensure_real,
+)
+from repro.phy.params import Modulation
+
+
+class TestEnsureComplex:
+    def test_canonical_passthrough_is_not_copied(self):
+        array = np.zeros(4, dtype=np.complex128)
+        assert ensure_complex(array) is array
+
+    @pytest.mark.parametrize(
+        "dtype",
+        [np.complex64, np.float32, np.float64, np.int64, np.longdouble, bool],
+    )
+    def test_coerces_numeric_dtypes(self, dtype):
+        out = ensure_complex(np.ones(3, dtype=dtype))
+        assert out.dtype == COMPLEX_DTYPE
+        assert np.array_equal(out, np.ones(3, dtype=np.complex128))
+
+    def test_higher_precision_is_downcast_not_preserved(self):
+        clongdouble = np.zeros(2, dtype=np.clongdouble)
+        assert ensure_complex(clongdouble).dtype == COMPLEX_DTYPE
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeError, match="numeric"):
+            ensure_complex(np.array(["a", "b"]))
+
+
+class TestEnsureReal:
+    def test_canonical_passthrough_is_not_copied(self):
+        array = np.zeros(4, dtype=np.float64)
+        assert ensure_real(array) is array
+
+    @pytest.mark.parametrize(
+        "dtype", [np.float32, np.int32, np.uint8, np.longdouble, bool]
+    )
+    def test_coerces_real_dtypes(self, dtype):
+        out = ensure_real(np.ones(3, dtype=dtype))
+        assert out.dtype == REAL_DTYPE
+
+    def test_complex_rejected_loudly(self):
+        with pytest.raises(TypeError, match="complex"):
+            ensure_real(np.zeros(2, dtype=np.complex128))
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeError, match="numeric"):
+            ensure_real(np.array([None, None]))
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestBatchedKernelDtypes:
+    """Off-canonical inputs: coerced up front, outputs identical + canonical."""
+
+    def test_batched_chest(self, rng):
+        refs = rng.standard_normal((2, 4, 24)) + 1j * rng.standard_normal(
+            (2, 4, 24)
+        )
+        channel, noise = batched_chest(refs, layers=2)
+        drifted_channel, drifted_noise = batched_chest(
+            refs.astype(np.complex64).astype(np.complex128), layers=2
+        )
+        # complex64 round-trips through complex128 with its own values; the
+        # kernel must at least emit canonical dtypes either way.
+        assert channel.dtype == COMPLEX_DTYPE
+        assert noise.dtype == REAL_DTYPE
+        assert drifted_channel.dtype == COMPLEX_DTYPE
+        assert drifted_noise.dtype == REAL_DTYPE
+        # A clongdouble view of the same float64 values must not upcast the
+        # computation: outputs stay bit-exact with the canonical run.
+        wide_channel, wide_noise = batched_chest(
+            refs.astype(np.clongdouble), layers=2
+        )
+        assert wide_channel.dtype == COMPLEX_DTYPE
+        assert np.array_equal(wide_channel, channel)
+        assert np.array_equal(wide_noise, noise)
+
+    def test_batched_combiner_weights(self, rng):
+        channel = rng.standard_normal((2, 4, 2, 24)) + 1j * rng.standard_normal(
+            (2, 4, 2, 24)
+        )
+        noise = np.full(2, 0.1)
+        weights, noise_after = batched_combiner_weights(channel, noise)
+        wide_w, wide_n = batched_combiner_weights(
+            channel.astype(np.clongdouble), noise.astype(np.longdouble)
+        )
+        assert weights.dtype == COMPLEX_DTYPE
+        assert noise_after.dtype == REAL_DTYPE
+        assert wide_w.dtype == COMPLEX_DTYPE
+        assert np.array_equal(wide_w, weights)
+        assert np.array_equal(wide_n, noise_after)
+
+    def test_batched_combine_symbols(self, rng):
+        received = rng.standard_normal((4, 6, 24)) + 1j * rng.standard_normal(
+            (4, 6, 24)
+        )
+        weights = rng.standard_normal((2, 4, 24)) + 1j * rng.standard_normal(
+            (2, 4, 24)
+        )
+        out = batched_combine_symbols(received, weights)
+        wide = batched_combine_symbols(
+            received.astype(np.clongdouble), weights.astype(np.clongdouble)
+        )
+        assert out.dtype == COMPLEX_DTYPE
+        assert wide.dtype == COMPLEX_DTYPE
+        assert np.array_equal(wide, out)
+
+    def test_batched_soft_demap(self, rng):
+        symbols = rng.standard_normal((3, 16)) + 1j * rng.standard_normal(
+            (3, 16)
+        )
+        noise = np.full((3, 16), 0.05)
+        llrs = batched_soft_demap(symbols, Modulation.QAM16, noise)
+        wide = batched_soft_demap(
+            symbols.astype(np.clongdouble),
+            Modulation.QAM16,
+            noise.astype(np.longdouble),
+        )
+        assert llrs.dtype == REAL_DTYPE
+        assert wide.dtype == REAL_DTYPE
+        assert np.array_equal(wide, llrs)

@@ -1,0 +1,128 @@
+"""Property-based PHY invariants (slow tier, hypothesis).
+
+Four families of properties the fixed-seed tiers can only spot-check:
+
+* interleaver and scrambling are exact inverses for arbitrary payloads;
+* CRC24A detects *every* single-bit flip (minimum distance >= 2 — the
+  linearity the vectorized CRC implementation relies on);
+* max-log soft demapping agrees in sign with minimum-distance hard
+  demodulation at high SNR for arbitrary bit patterns;
+* batched kernels match their scalar twins on arbitrary shapes.
+
+The hypothesis profile is pinned in ``tests/conftest.py`` (no deadline,
+derandomized) so CI runs are reproducible.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.phy.crc import CRC24A, crc_attach, crc_check  # noqa: E402
+from repro.phy.interleaver import (  # noqa: E402
+    deinterleave,
+    deinterleave_rows,
+    interleave,
+)
+from repro.phy.modulation import (  # noqa: E402
+    demodulate_hard,
+    llrs_to_bits,
+    modulate,
+    soft_demap,
+)
+from repro.phy.params import ALL_MODULATIONS, Modulation  # noqa: E402
+from repro.phy.scrambling import (  # noqa: E402
+    descramble_llrs,
+    gold_sequence,
+    scramble_bits,
+)
+
+pytestmark = pytest.mark.slow
+
+MODULATION = st.sampled_from(list(ALL_MODULATIONS))
+
+
+@given(st.integers(1, 2000), st.integers(0, 2**32 - 1))
+def test_interleave_roundtrip(length, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(length)
+    assert np.array_equal(deinterleave(interleave(values)), values)
+
+
+@given(st.integers(1, 500), st.integers(1, 6), st.integers(0, 2**32 - 1))
+def test_deinterleave_rows_matches_scalar(length, rows, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal((rows, length))
+    batched = deinterleave_rows(values)
+    for row in range(rows):
+        assert np.array_equal(batched[row], deinterleave(values[row]))
+
+
+@given(st.integers(1, 2000), st.integers(0, 2**31 - 1), st.integers(0, 2**32 - 1))
+def test_scrambling_roundtrip(length, c_init, seed):
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, length)
+    scrambled = scramble_bits(bits, c_init)
+    # Receiver-side: descrambling ideal LLRs of the scrambled bits must
+    # recover hard decisions equal to the original bits.
+    llrs = 1.0 - 2.0 * scrambled
+    assert np.array_equal(llrs_to_bits(descramble_llrs(llrs, c_init)), bits)
+    # Transmitter-side: scrambling twice with the same sequence is identity.
+    assert np.array_equal(scramble_bits(scrambled, c_init), bits)
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(0, 500))
+def test_gold_sequence_is_binary_and_deterministic(c_init, length):
+    a = gold_sequence(c_init, length)
+    b = gold_sequence(c_init, length)
+    assert np.array_equal(a, b)
+    assert a.size == length
+    assert np.all((a == 0) | (a == 1))
+
+
+@given(st.integers(1, 600), st.integers(0, 2**32 - 1), st.data())
+def test_crc24a_detects_any_single_bit_flip(length, seed, data):
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 2, length)
+    block = crc_attach(payload, CRC24A)
+    assert crc_check(block, CRC24A)
+    flip = data.draw(st.integers(0, block.size - 1), label="flip position")
+    corrupted = block.copy()
+    corrupted[flip] ^= 1
+    assert not crc_check(corrupted, CRC24A)
+
+
+@given(MODULATION, st.integers(1, 200), st.integers(0, 2**32 - 1))
+def test_soft_demap_sign_agrees_with_hard_demod_at_high_snr(mod, nsym, seed):
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, nsym * mod.bits_per_symbol)
+    clean = modulate(bits, mod)
+    noisy = clean + 0.01 * (
+        rng.standard_normal(nsym) + 1j * rng.standard_normal(nsym)
+    )
+    soft = llrs_to_bits(soft_demap(noisy, mod, noise_variance=0.02))
+    hard = demodulate_hard(noisy, mod)
+    assert np.array_equal(soft, hard)
+    assert np.array_equal(soft, bits)
+
+
+@given(
+    MODULATION,
+    st.integers(1, 64),
+    st.integers(1, 5),
+    st.floats(1e-6, 10.0),
+    st.integers(0, 2**32 - 1),
+)
+def test_batched_soft_demap_matches_scalar(mod, nsym, batch, noise, seed):
+    from repro.phy.batched import batched_soft_demap
+
+    rng = np.random.default_rng(seed)
+    symbols = rng.standard_normal((batch, nsym)) + 1j * rng.standard_normal(
+        (batch, nsym)
+    )
+    noise_rows = np.full((batch, nsym), noise)
+    got = batched_soft_demap(symbols, mod, noise_rows)
+    for row in range(batch):
+        want = soft_demap(symbols[row], mod, noise_rows[row])
+        assert np.array_equal(got[row], want)

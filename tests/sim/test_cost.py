@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.phy.params import ALL_MODULATIONS, Modulation
 from repro.sim.cost import CostModel, MachineSpec
-from repro.uplink.tasks import describe_user_tasks
+from repro.uplink.tasks import describe_user_tasks, describe_user_tasks_batched
 from repro.uplink.user import UserParameters
 
 
@@ -154,3 +154,59 @@ def test_property_more_prbs_more_cycles(prb, layers, mod):
     a = cost.user_cycles(user(2 * prb, layers, mod))
     b = cost.user_cycles(user(2 * prb + 2, layers, mod))
     assert b > a
+
+
+class TestBatchedKinds:
+    """The vectorized backend's fused stage tasks in the cost model."""
+
+    @staticmethod
+    def _num_tasks(u, antennas=4):
+        chest, _, data, _ = describe_user_tasks(u, antennas)
+        return len(chest) + 1 + len(data) + 1
+
+    def test_join_stages_price_identically(self):
+        """combiner/finalize are already single tasks; fusing changes nothing."""
+        cost = CostModel()
+        u = user(30, 3, Modulation.QAM64)
+        _, combiner, _, finalize = describe_user_tasks(u)
+        batched = describe_user_tasks_batched(u)
+        assert cost.task_cycles(batched[1]) == cost.task_cycles(combiner)
+        assert cost.task_cycles(batched[3]) == cost.task_cycles(finalize)
+
+    def test_overhead_collapse_is_the_only_difference(self):
+        """Batched user cost = per-task cost - (num_tasks - 4) overheads,
+        up to one rounding step per task."""
+        cost = CostModel()
+        for u in [user(10), user(30, 2, Modulation.QAM16), user(80, 4, Modulation.QAM64)]:
+            num_tasks = self._num_tasks(u)
+            saved = cost.user_cycles(u) - cost.user_cycles_batched(u)
+            expected = (num_tasks - 4) * cost.task_overhead_cycles
+            assert abs(saved - expected) <= num_tasks
+
+    def test_zero_overhead_model_prices_backends_equally(self):
+        """With no per-task overhead the fused stages carry exactly the
+        summed stage work (modulo per-task rounding)."""
+        cost = CostModel(task_overhead_cycles=0)
+        u = user(40, 4, Modulation.QAM64)
+        assert abs(cost.user_cycles(u) - cost.user_cycles_batched(u)) <= self._num_tasks(u)
+
+    def test_batched_is_never_costlier(self):
+        cost = CostModel()
+        for layers in (1, 2, 4):
+            u = user(20, layers, Modulation.QAM16)
+            assert cost.user_cycles_batched(u) < cost.user_cycles(u)
+
+    def test_single_task_stage_degenerates_exactly(self):
+        """At antennas=1, layers=1 the chest stage has one task, so the
+        fused kind must price identically to it."""
+        cost = CostModel()
+        u = user(10, 1, Modulation.QPSK)
+        chest, _, _, _ = describe_user_tasks(u, antennas=1)
+        assert len(chest) == 1
+        batched = describe_user_tasks_batched(u, antennas=1)
+        assert cost.task_cycles(batched[0]) == cost.task_cycles(chest[0])
+
+    def test_all_batched_kinds_positive_and_known(self):
+        cost = CostModel()
+        for task in describe_user_tasks_batched(user(2, 1)):
+            assert cost.task_cycles(task) > 0

@@ -1,0 +1,166 @@
+"""Tier-1 tests for the batched vectorized backend.
+
+Fast equivalence checks plus backend-selection plumbing; the exhaustive
+seeded scenario matrix lives in ``tests/differential`` (slow tier).
+"""
+
+import numpy as np
+import pytest
+
+from repro.phy.params import Modulation
+from repro.uplink.benchmark import DRIVER_BACKENDS, BenchmarkConfig, BenchmarkDriver
+from repro.uplink.parameter_model import TraceParameterModel
+from repro.uplink.serial import (
+    FUNCTIONAL_BACKENDS,
+    SerialBenchmark,
+    process_subframe,
+    process_subframe_serial,
+)
+from repro.uplink.subframe import SubframeFactory
+from repro.uplink.tasks import KERNEL_KINDS, UserJob
+from repro.uplink.user import UserParameters
+from repro.uplink.vectorized import (
+    group_slices_by_shape,
+    process_subframe_vectorized,
+    process_user_vectorized,
+)
+
+
+def mixed_users():
+    """Two users sharing a shape (cross-user batching) plus two singletons."""
+    return [
+        UserParameters(0, 8, 1, Modulation.QPSK),
+        UserParameters(1, 16, 2, Modulation.QAM16),
+        UserParameters(2, 16, 2, Modulation.QAM16),
+        UserParameters(3, 4, 4, Modulation.QAM64),
+    ]
+
+
+@pytest.fixture(scope="module")
+def subframe():
+    return SubframeFactory(seed=11).synthesize(mixed_users(), 0)
+
+
+class TestBitExactness:
+    def test_subframe_matches_serial(self, subframe):
+        serial = process_subframe_serial(subframe)
+        vectorized = process_subframe_vectorized(subframe)
+        assert serial.equals(vectorized)
+
+    def test_payloads_and_llrs_identical(self, subframe):
+        serial = process_subframe_serial(subframe)
+        vectorized = process_subframe_vectorized(subframe)
+        for a, b in zip(serial.user_results, vectorized.user_results):
+            assert a.user_id == b.user_id
+            assert a.crc_ok == b.crc_ok
+            assert np.array_equal(a.payload, b.payload)
+            assert np.array_equal(a.llrs, b.llrs)
+
+    def test_results_in_dispatch_order(self, subframe):
+        vectorized = process_subframe_vectorized(subframe)
+        assert [r.user_id for r in vectorized.user_results] == [
+            s.user.user_id for s in subframe.slices
+        ]
+
+    def test_single_user_matches_process_user(self):
+        users = [UserParameters(0, 12, 2, Modulation.QAM64)]
+        subframe = SubframeFactory(seed=3).synthesize(users, 0)
+        serial = process_subframe_serial(subframe)
+        user_slice = subframe.slices[0]
+        result = process_user_vectorized(
+            user_slice.user.allocation, user_slice.view(subframe.grid), user_id=0
+        )
+        assert serial.user_results[0].equals(result)
+
+
+class TestGrouping:
+    def test_same_shape_users_share_a_group(self, subframe):
+        groups = group_slices_by_shape(subframe.slices)
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 1, 2]
+
+    def test_positions_cover_all_slices(self, subframe):
+        groups = group_slices_by_shape(subframe.slices)
+        positions = sorted(p for g in groups for p, _ in g)
+        assert positions == list(range(len(subframe.slices)))
+
+
+class TestStageTimer:
+    def test_stage_timer_sees_canonical_kernels(self, subframe):
+        from contextlib import contextmanager
+
+        seen = []
+
+        @contextmanager
+        def stage_timer(kernel, batch):
+            seen.append((kernel, batch))
+            yield
+
+        process_subframe_vectorized(subframe, stage_timer=stage_timer)
+        kernels = {kernel for kernel, _ in seen}
+        assert kernels == set(KERNEL_KINDS)
+        # One timed span per stage per shape group (three groups here).
+        assert len(seen) == 4 * 3
+        # The shared-shape group reports batch=2.
+        assert max(batch for _, batch in seen) == 2
+
+
+class TestBackendSelection:
+    def test_process_subframe_dispatch(self, subframe):
+        serial = process_subframe(subframe, backend="serial")
+        vectorized = process_subframe(subframe, backend="vectorized")
+        assert serial.equals(vectorized)
+
+    def test_unknown_backend_rejected(self, subframe):
+        with pytest.raises(ValueError, match="unknown backend"):
+            process_subframe(subframe, backend="cuda")
+
+    def test_serial_benchmark_backend(self):
+        model = TraceParameterModel([mixed_users()])
+        factory = SubframeFactory(seed=11)
+        reference = SerialBenchmark(model, factory=factory, synthesize=True)
+        fast = SerialBenchmark(
+            model, factory=factory, synthesize=True, backend="vectorized"
+        )
+        a = reference.run(num_subframes=1)
+        b = fast.run(num_subframes=1)
+        assert a[0].equals(b[0])
+
+    def test_serial_benchmark_rejects_unknown(self):
+        model = TraceParameterModel([mixed_users()])
+        with pytest.raises(ValueError, match="unknown backend"):
+            SerialBenchmark(model, backend="gpu")
+
+    def test_driver_backend_validation(self):
+        assert set(FUNCTIONAL_BACKENDS) < set(DRIVER_BACKENDS)
+        with pytest.raises(ValueError, match="unknown backend"):
+            BenchmarkConfig(backend="simd")
+
+    def test_driver_runs_vectorized_inline(self):
+        model = TraceParameterModel([mixed_users()] * 2)
+        factory = SubframeFactory(seed=11)
+        config = BenchmarkConfig(delta_s=1e-4, backend="vectorized", synthesize=True)
+        results = BenchmarkDriver(model, factory=factory, config=config).run(2)
+        reference = SerialBenchmark(model, factory=factory, synthesize=True).run(2)
+        assert len(results) == 2
+        for got, want in zip(results, reference):
+            assert want.equals(got)
+
+
+class TestVectorizedIsClockFree:
+    def test_no_host_clock_reads(self):
+        """The vectorized module must stay deterministic-scope clean."""
+        import ast
+        import inspect
+
+        import repro.uplink.vectorized as mod
+
+        tree = ast.parse(inspect.getsource(mod))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute):
+                assert node.attr not in {
+                    "perf_counter",
+                    "perf_counter_ns",
+                    "monotonic",
+                    "time",
+                }, f"host clock read {node.attr!r} in repro.uplink.vectorized"
