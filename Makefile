@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow test-invariants bench bench-smoke lint repro-lint ruff mypy all
+.PHONY: test test-slow test-invariants bench bench-smoke chaos-smoke lint repro-lint ruff mypy all
 
 all: test lint
 
@@ -26,6 +26,9 @@ bench:
 bench-smoke:
 	$(PYTHON) -m repro bench --scale smoke --out BENCH_smoke.json \
 		--compare benchmarks/baseline_smoke.json --deterministic-only
+
+chaos-smoke:
+	$(PYTHON) -m repro chaos --scale smoke --seeds 5 --timeout 480
 
 lint: repro-lint ruff mypy
 

@@ -11,12 +11,14 @@ Rule families (full catalogue: ``repro lint --list-rules`` and
 
 * ``REP1xx`` lock discipline (:mod:`repro.analysis.locks`);
 * ``REP2xx`` simulation determinism (:mod:`repro.analysis.determinism`);
-* ``REP3xx`` obs event-schema consistency (:mod:`repro.analysis.schema`).
+* ``REP3xx`` obs event-schema consistency (:mod:`repro.analysis.schema`);
+* ``REP4xx`` robustness — no swallowed failures in the runtimes
+  (:mod:`repro.analysis.robustness`).
 
 Importing this package registers all built-in rules.
 """
 
-from . import determinism, locks, schema  # noqa: F401  (rule registration)
+from . import determinism, locks, robustness, schema  # noqa: F401  (rule registration)
 from .baseline import Baseline
 from .context import ModuleContext
 from .driver import LintResult, LintUsageError, collect_files, lint_paths

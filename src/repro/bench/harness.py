@@ -326,6 +326,47 @@ def measure_obs_overhead_pct(scale: BenchScale, seed: int, repeats: int = 3) -> 
     return max(0.0, (on_best - off_best) / off_best * 100.0)
 
 
+def measure_fault_overhead_pct(
+    scale: BenchScale, seed: int, repeats: int = 3
+) -> float:
+    """Zero-fault cost of the resilience layer on the threaded runtime.
+
+    Compares the default runtime against one carrying the full fault
+    machinery — an (empty) armed fault plan, per-subframe wall-clock
+    deadlines (so the watchdog thread runs), retry budget, and ledger —
+    with *no* fault firing. Interleaved best-of-``repeats``; the
+    acceptance bound (<3%, ``benchmarks/test_fault_overhead.py``) keeps
+    resilience always-on affordable.
+    """
+    from ..faults.injector import ThreadFaultInjector
+    from ..faults.plan import FaultPlan
+    from ..faults.watchdog import ResilienceConfig
+    from ..sched.threaded import ThreadedRuntime
+
+    subframes = _functional_subframes(scale, seed)
+    off_times, on_times = [], []
+    for _ in range(max(1, repeats)):
+        for armed, times in ((False, off_times), (True, on_times)):
+            kwargs = {}
+            if armed:
+                kwargs = {
+                    "faults": ThreadFaultInjector(FaultPlan(seed=seed)),
+                    "resilience": ResilienceConfig(
+                        max_retries=2, deadline_s=300.0
+                    ),
+                }
+            runtime = ThreadedRuntime(
+                num_workers=scale.threads, steal_seed=seed, **kwargs
+            )
+            start = time.perf_counter()
+            runtime.run(subframes)
+            times.append(time.perf_counter() - start)
+    off_best, on_best = min(off_times), min(on_times)
+    if off_best <= 0:
+        return 0.0
+    return max(0.0, (on_best - off_best) / off_best * 100.0)
+
+
 # ------------------------------------------------------------------ report
 def run_bench(
     scale: str | BenchScale = "default",
@@ -364,6 +405,7 @@ def run_bench(
     }
     if include_overhead:
         report["obs_overhead_pct"] = measure_obs_overhead_pct(scale, seed)
+        report["fault_overhead_pct"] = measure_fault_overhead_pct(scale, seed)
     return report
 
 
@@ -388,6 +430,11 @@ def validate_bench_report(report: Any) -> list[str]:
             problems.append(f"missing/invalid string field {key!r}")
     if not isinstance(report.get("seed"), int):
         problems.append("missing/invalid int field 'seed'")
+    for optional in ("obs_overhead_pct", "fault_overhead_pct"):
+        if optional in report and not isinstance(
+            report[optional], (int, float)
+        ):
+            problems.append(f"{optional!r} present but not numeric")
     scenarios = report.get("scenarios")
     if not isinstance(scenarios, dict) or not scenarios:
         return problems + ["missing/empty 'scenarios' object"]

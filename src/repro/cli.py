@@ -37,12 +37,32 @@ Commands mirror the benchmark binary and the evaluation drivers:
     Run the project's AST-based static analyzers (lock discipline,
     sim determinism, obs schema consistency — see
     ``docs/static_analysis.md``) over the given paths.
+``chaos``
+    Run the seeded fault-injection campaign (``repro.faults.chaos``)
+    across the simulator and the threaded runtime and print a survival
+    report; exits nonzero when any scenario fails a survival check.
+
+``run``, ``bench``, and ``chaos`` accept ``--timeout SECONDS``: a
+``faulthandler``-based hang guard that dumps all-thread tracebacks and
+exits if the command wedges. Ctrl-C aborts cleanly (workers shut down,
+traces flush) instead of leaving threads behind.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _add_timeout(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hang guard: dump all-thread tracebacks and exit if the "
+        "command runs longer than this (default: no guard)",
+    )
 
 
 def _add_scale(parser: argparse.ArgumentParser, default: int) -> None:
@@ -93,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute on the serial reference and require bit-exact agreement",
     )
+    _add_timeout(run)
 
     workload = sub.add_parser("workload", help="Figs. 7-9 workload summary")
     _add_scale(workload, 6_800)
@@ -210,6 +231,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="compare only machine-independent metrics (for CI)",
     )
+    _add_timeout(bench)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the seeded fault-matrix campaign, print survival report"
+    )
+    chaos.add_argument(
+        "--scale",
+        choices=["smoke", "default"],
+        default="default",
+        help="campaign size (smoke is the CI gate; default: default)",
+    )
+    chaos.add_argument(
+        "--seeds",
+        type=int,
+        default=3,
+        help="number of consecutive campaign seeds (default 3)",
+    )
+    chaos.add_argument(
+        "--backend",
+        choices=["sim", "threaded", "all"],
+        default="all",
+        help="restrict the matrix to one backend (default all)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="emit the survival report as JSON"
+    )
+    _add_timeout(chaos)
 
     report = sub.add_parser(
         "report", help="run every experiment, emit a JSON paper-vs-measured report"
@@ -289,6 +337,17 @@ def cmd_quickstart(args) -> int:
 
 
 def cmd_run(args) -> int:
+    from .faults import hang_guard
+
+    with hang_guard(args.timeout):
+        try:
+            return _run_impl(args)
+        except KeyboardInterrupt:
+            print("\ninterrupted — workers shut down cleanly", file=sys.stderr)
+            return 130
+
+
+def _run_impl(args) -> int:
     import time
 
     from .uplink import (
@@ -465,7 +524,22 @@ def cmd_trace(args) -> int:
 
     recorder = EventRecorder(capacity=args.ring)
     checker = SchedulerInvariantChecker(strict=False)
-    result = _run_observed_sim(args, [recorder, checker])
+    try:
+        result = _run_observed_sim(args, [recorder, checker])
+    except BaseException as exc:
+        # Crash-safe flush: whatever was traced before the failure is
+        # still written, so abnormal exits leave a usable partial trace.
+        out = args.out or ("trace.json" if args.format == "chrome" else "trace.jsonl")
+        partial = out + ".partial.jsonl"
+        written = recorder.write_jsonl(partial)
+        print(
+            f"run failed ({type(exc).__name__}); "
+            f"{written} events flushed to {partial}",
+            file=sys.stderr,
+        )
+        if isinstance(exc, KeyboardInterrupt):
+            return 130
+        raise
     print(f"policy {args.policy}: {args.subframes} subframes, "
           f"{result.tasks_executed} tasks")
     if args.format == "chrome":
@@ -514,6 +588,17 @@ def cmd_metrics(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    from .faults import hang_guard
+
+    with hang_guard(args.timeout):
+        try:
+            return _bench_impl(args)
+        except KeyboardInterrupt:
+            print("\ninterrupted — no report written", file=sys.stderr)
+            return 130
+
+
+def _bench_impl(args) -> int:
     import json
 
     from .bench import (
@@ -570,6 +655,9 @@ def cmd_bench(args) -> int:
         print(line)
     if report.get("obs_overhead_pct") is not None:
         print(f"  observability overhead: {report['obs_overhead_pct']:.1f}%")
+    if report.get("fault_overhead_pct") is not None:
+        print(f"  resilience (zero-fault) overhead: "
+              f"{report['fault_overhead_pct']:.1f}%")
     print(f"report written to {out}")
 
     if baseline is not None:
@@ -601,6 +689,42 @@ def cmd_report(args) -> int:
     return 0 if all(report["shape_checks"].values()) else 1
 
 
+def cmd_chaos(args) -> int:
+    import json
+
+    from .faults import hang_guard
+    from .faults import chaos
+
+    backends = ("sim", "threaded") if args.backend == "all" else (args.backend,)
+    with hang_guard(args.timeout):
+        try:
+            progress = None if args.json else print
+            if progress:
+                matrix = chaos.build_matrix(
+                    scale=args.scale, seeds=args.seeds, backends=backends
+                )
+                print(
+                    f"chaos campaign: {len(matrix)} scenarios "
+                    f"(scale={args.scale}, seeds={args.seeds}, "
+                    f"backends={','.join(backends)})"
+                )
+            report = chaos.run_campaign(
+                scale=args.scale,
+                seeds=args.seeds,
+                backends=backends,
+                progress=progress,
+            )
+        except KeyboardInterrupt:
+            print("\ninterrupted — campaign abandoned", file=sys.stderr)
+            return 130
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print()
+        print(report.format())
+    return 0 if report.passed else 1
+
+
 def cmd_lint(args) -> int:
     from .analysis.cli import run_lint
 
@@ -619,6 +743,7 @@ _COMMANDS = {
     "bench": cmd_bench,
     "report": cmd_report,
     "lint": cmd_lint,
+    "chaos": cmd_chaos,
 }
 
 

@@ -1,0 +1,416 @@
+"""Seeded chaos campaigns: run the fault matrix, print a survival report.
+
+A campaign is a *static* scenario matrix — backends x fault-kind groups x
+seeds — built entirely from the campaign seed list, so two invocations
+with the same arguments run byte-identical fault plans. Every scenario is
+run twice (run + replay) and must satisfy four survival checks:
+
+1. **terminates** — the backend returns instead of wedging (threaded
+   scenarios carry a drain timeout so a hang is a loud failure);
+2. **accounts** — its :class:`~repro.faults.accounting.SubframeLedger`
+   balances: ``dispatched == ok + crc_failed + shed + aborted`` with no
+   unresolved subframes;
+3. **invariants** — the attached
+   :class:`~repro.obs.invariants.SchedulerInvariantChecker` reports no
+   violations;
+4. **replays** — the second run with the same seed produces the identical
+   terminal-state fingerprint.
+
+This module imports the threaded runtime and the uplink pipeline, so it is
+*not* re-exported from the package root — import it explicitly
+(``from repro.faults import chaos``) or go through ``repro chaos``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from .accounting import SubframeLedger
+from .admission import AdmissionController
+from .plan import FaultKind, FaultPlan
+from .watchdog import ResilienceConfig
+
+__all__ = [
+    "ChaosScenario",
+    "ScenarioOutcome",
+    "SurvivalReport",
+    "build_matrix",
+    "run_campaign",
+    "run_scenario",
+]
+
+#: Fault-kind groups exercised per (backend, seed) cell of the matrix.
+SIM_GROUPS: tuple[tuple[str, tuple[FaultKind, ...]], ...] = (
+    ("crash", (FaultKind.CORE_CRASH,)),
+    ("stall", (FaultKind.CORE_STALL,)),
+    ("slowdown", (FaultKind.CORE_SLOWDOWN,)),
+    ("overload", (FaultKind.OVERLOAD,)),
+    ("mixed", (FaultKind.CORE_CRASH, FaultKind.CORE_STALL,
+               FaultKind.CORE_SLOWDOWN, FaultKind.OVERLOAD)),
+    ("deadline", (FaultKind.CORE_STALL,)),
+)
+
+THREADED_GROUPS: tuple[tuple[str, tuple[FaultKind, ...]], ...] = (
+    ("death", (FaultKind.WORKER_DEATH,)),
+    ("hang", (FaultKind.WORKER_HANG,)),
+    ("task-exc", (FaultKind.TASK_EXCEPTION,)),
+    ("payload", (FaultKind.PAYLOAD_BITFLIP, FaultKind.PAYLOAD_NAN)),
+    ("mixed", (FaultKind.WORKER_DEATH, FaultKind.TASK_EXCEPTION,
+               FaultKind.PAYLOAD_BITFLIP)),
+)
+
+#: Campaign sizes. ``smoke`` is the CI gate; ``default`` the local run.
+_SCALES = {
+    "smoke": {"num_subframes": 6, "num_workers": 4, "max_users": 3,
+              "faults_per_kind": 1},
+    "default": {"num_subframes": 16, "num_workers": 8, "max_users": 4,
+                "faults_per_kind": 2},
+}
+
+#: Injected hangs are clamped to this in campaigns: long enough to stress
+#: the runtime, short enough that a full matrix stays in CI budget.
+_CAMPAIGN_HANG_S = 0.2
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One cell of the campaign matrix, with its plan fully materialized."""
+
+    name: str
+    backend: str  # "sim" | "threaded"
+    seed: int
+    plan: FaultPlan
+    num_subframes: int
+    num_workers: int
+    max_users: int
+    resilience: ResilienceConfig
+    max_activity: float = 0.9  # admission budget (sim backend)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "backend": self.backend,
+            "seed": self.seed,
+            "plan": self.plan.to_dict(),
+            "num_subframes": self.num_subframes,
+            "num_workers": self.num_workers,
+        }
+
+
+@dataclass
+class ScenarioOutcome:
+    """Survival verdict for one scenario (run + replay)."""
+
+    scenario: ChaosScenario
+    survived: bool
+    checks: dict = field(default_factory=dict)  # check name -> bool
+    counts: dict = field(default_factory=dict)  # terminal-state counts
+    dispatched: int = 0
+    wall_s: float = 0.0
+    error: str = ""
+
+    @property
+    def label(self) -> str:
+        return f"{self.scenario.backend}/{self.scenario.name}@s{self.scenario.seed}"
+
+
+@dataclass
+class SurvivalReport:
+    """Campaign result: all outcomes plus the aggregate verdict."""
+
+    outcomes: list[ScenarioOutcome]
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.outcomes) and all(o.survived for o in self.outcomes)
+
+    @property
+    def survived_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.survived)
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "scenarios": len(self.outcomes),
+            "survived": self.survived_count,
+            "outcomes": [
+                {
+                    "scenario": o.label,
+                    "survived": o.survived,
+                    "checks": o.checks,
+                    "dispatched": o.dispatched,
+                    "counts": o.counts,
+                    "wall_s": round(o.wall_s, 3),
+                    "error": o.error,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+    def format(self) -> str:
+        lines = ["chaos survival report", "=" * 74]
+        header = (f"{'scenario':<28} {'verdict':<8} {'disp':>4} "
+                  f"{'ok':>3} {'crc':>4} {'shed':>4} {'abrt':>4} {'wall':>7}")
+        lines.append(header)
+        lines.append("-" * 74)
+        for o in self.outcomes:
+            c = o.counts
+            verdict = "SURVIVED" if o.survived else "FAILED"
+            lines.append(
+                f"{o.label:<28} {verdict:<8} {o.dispatched:>4} "
+                f"{c.get('ok', 0):>3} {c.get('crc_failed', 0):>4} "
+                f"{c.get('shed', 0):>4} {c.get('aborted', 0):>4} "
+                f"{o.wall_s:>6.2f}s"
+            )
+            if not o.survived:
+                failed = [k for k, v in o.checks.items() if not v]
+                detail = o.error or ", ".join(failed)
+                lines.append(f"    !! {detail}")
+        lines.append("-" * 74)
+        lines.append(
+            f"{self.survived_count}/{len(self.outcomes)} scenarios survived; "
+            f"every dispatched subframe reached exactly one terminal state "
+            f"(ok | crc_failed | shed | aborted)"
+            if self.passed
+            else f"{self.survived_count}/{len(self.outcomes)} scenarios "
+            f"survived — campaign FAILED"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- matrix
+def _scenario_plan(
+    group: str,
+    kinds: tuple[FaultKind, ...],
+    seed: int,
+    num_subframes: int,
+    num_workers: int,
+    faults_per_kind: int,
+) -> FaultPlan:
+    if group == "deadline":
+        # Wedge every worker hard at one subframe so only the cycle
+        # deadline can resolve it: the abort path must fire.
+        from .plan import FaultSpec
+
+        return FaultPlan(
+            specs=tuple(
+                FaultSpec(kind=FaultKind.CORE_STALL, subframe=1, target=w,
+                          param=200_000_000.0, seed=seed)
+                for w in range(num_workers)
+            ),
+            seed=seed,
+        )
+    plan = FaultPlan.generate(
+        seed=seed,
+        num_subframes=num_subframes,
+        num_workers=num_workers,
+        kinds=kinds,
+        faults_per_kind=faults_per_kind,
+    )
+    # Campaign-friendly hang durations (plans are immutable; rebuild).
+    specs = tuple(
+        replace(s, param=_CAMPAIGN_HANG_S)
+        if s.kind is FaultKind.WORKER_HANG
+        else s
+        for s in plan.specs
+    )
+    return FaultPlan(specs=specs, seed=plan.seed)
+
+
+def build_matrix(
+    scale: str = "default",
+    seeds: int = 3,
+    backends: tuple[str, ...] = ("sim", "threaded"),
+) -> list[ChaosScenario]:
+    """Materialize the campaign matrix for ``seeds`` consecutive seeds."""
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r} (choose from {sorted(_SCALES)})")
+    if seeds < 1:
+        raise ValueError("seeds must be >= 1")
+    params = _SCALES[scale]
+    scenarios: list[ChaosScenario] = []
+    for seed in range(seeds):
+        if "sim" in backends:
+            for group, kinds in SIM_GROUPS:
+                resilience = ResilienceConfig(
+                    max_retries=1,
+                    deadline_subframes=3.0 if group == "deadline" else None,
+                )
+                scenarios.append(
+                    ChaosScenario(
+                        name=group,
+                        backend="sim",
+                        seed=seed,
+                        plan=_scenario_plan(
+                            group, kinds, seed,
+                            params["num_subframes"], params["num_workers"],
+                            params["faults_per_kind"],
+                        ),
+                        num_subframes=params["num_subframes"],
+                        num_workers=params["num_workers"],
+                        max_users=params["max_users"],
+                        resilience=resilience,
+                    )
+                )
+        if "threaded" in backends:
+            for group, kinds in THREADED_GROUPS:
+                scenarios.append(
+                    ChaosScenario(
+                        name=group,
+                        backend="threaded",
+                        seed=seed,
+                        plan=_scenario_plan(
+                            group, kinds, seed,
+                            params["num_subframes"], params["num_workers"],
+                            params["faults_per_kind"],
+                        ),
+                        num_subframes=params["num_subframes"],
+                        num_workers=params["num_workers"],
+                        max_users=params["max_users"],
+                        resilience=ResilienceConfig(
+                            max_retries=2, drain_timeout_s=120.0
+                        ),
+                    )
+                )
+    return scenarios
+
+
+# ------------------------------------------------------------- execution
+def _run_sim(scenario: ChaosScenario) -> tuple[dict, SubframeLedger, object]:
+    """One simulator run; returns (fingerprint, ledger, checker)."""
+    from ..obs.invariants import SchedulerInvariantChecker
+    from ..power.estimator import calibrate_from_cost_model
+    from ..sim.cost import CostModel, MachineSpec
+    from ..sim.machine import MachineSimulator, SimConfig
+    from ..uplink.parameter_model import RandomizedParameterModel
+
+    cost = CostModel(
+        machine=MachineSpec(
+            num_cores=scenario.num_workers + 2,
+            num_workers=scenario.num_workers,
+        )
+    )
+    checker = SchedulerInvariantChecker(strict=False)
+    ledger = SubframeLedger()
+    sim = MachineSimulator(
+        cost,
+        config=SimConfig(drain_margin_s=0.2),
+        observers=[checker],
+        faults=scenario.plan,
+        resilience=scenario.resilience,
+        admission=AdmissionController(
+            calibrate_from_cost_model(cost), max_activity=scenario.max_activity
+        ),
+        ledger=ledger,
+    )
+    model = RandomizedParameterModel(
+        total_subframes=scenario.num_subframes,
+        seed=scenario.seed,
+        max_users=scenario.max_users,
+    )
+    result = sim.run(model, num_subframes=scenario.num_subframes)
+    fingerprint = {
+        "terminal_states": dict(sorted(result.terminal_states.items())),
+        "tasks": result.tasks_executed,
+        "users": result.users_processed,
+        "shed": result.shed_users,
+        "aborted": result.aborted_users,
+        "retried": result.retried_users,
+    }
+    return fingerprint, ledger, checker
+
+
+def _run_threaded(scenario: ChaosScenario) -> tuple[dict, SubframeLedger, object]:
+    """One threaded-runtime run; returns (fingerprint, ledger, checker)."""
+    from ..obs.invariants import SchedulerInvariantChecker
+    from ..sched.threaded import ThreadedRuntime
+    from ..uplink.parameter_model import RandomizedParameterModel
+    from ..uplink.subframe import SubframeFactory
+    from .injector import corrupt_subframes
+
+    model = RandomizedParameterModel(
+        total_subframes=scenario.num_subframes,
+        seed=scenario.seed,
+        max_users=scenario.max_users,
+    )
+    factory = SubframeFactory(seed=scenario.seed)
+    subframes = [
+        factory.synthesize(model.uplink_parameters(i), i)
+        for i in range(scenario.num_subframes)
+    ]
+    subframes = corrupt_subframes(subframes, scenario.plan)
+    checker = SchedulerInvariantChecker(strict=False)
+    runtime = ThreadedRuntime(
+        num_workers=scenario.num_workers,
+        observers=[checker],
+        faults=scenario.plan,
+        resilience=scenario.resilience,
+    )
+    results = runtime.run(subframes)
+    fingerprint = {
+        "counts": runtime.ledger.counts(),
+        "per_subframe": {
+            r.subframe_index: sorted(
+                (u.user_id, bool(u.crc_ok)) for u in r.user_results
+            )
+            for r in results
+        },
+        "aborted": {
+            r.subframe_index: sorted(r.aborted_user_ids)
+            for r in results
+            if r.aborted_user_ids
+        },
+    }
+    return fingerprint, runtime.ledger, checker
+
+
+def run_scenario(scenario: ChaosScenario) -> ScenarioOutcome:
+    """Run one scenario twice (run + replay) and score the survival checks."""
+    runner = _run_sim if scenario.backend == "sim" else _run_threaded
+    outcome = ScenarioOutcome(scenario=scenario, survived=False)
+    start = time.perf_counter()
+    try:
+        fingerprint, ledger, checker = runner(scenario)
+        replay_fp, replay_ledger, _ = runner(scenario)
+    except Exception as exc:  # scenario crash/hang is a FAILED verdict
+        outcome.wall_s = time.perf_counter() - start
+        outcome.error = f"{type(exc).__name__}: {exc}"
+        outcome.checks = {"terminates": False}
+        return outcome
+    outcome.wall_s = time.perf_counter() - start
+    outcome.counts = ledger.counts()
+    outcome.dispatched = ledger.dispatched
+    accounts = (
+        ledger.ok
+        and ledger.dispatched == sum(ledger.counts().values())
+        and not ledger.unresolved()
+    )
+    outcome.checks = {
+        "terminates": True,
+        "accounts": bool(accounts),
+        "invariants": bool(checker.ok),
+        "replays": fingerprint == replay_fp
+        and ledger.counts() == replay_ledger.counts(),
+    }
+    if not checker.ok:
+        outcome.error = checker.summary()
+    outcome.survived = all(outcome.checks.values())
+    return outcome
+
+
+def run_campaign(
+    scale: str = "default",
+    seeds: int = 3,
+    backends: tuple[str, ...] = ("sim", "threaded"),
+    progress=None,
+) -> SurvivalReport:
+    """Run the full matrix; ``progress`` (if given) is called per scenario."""
+    outcomes = []
+    for scenario in build_matrix(scale=scale, seeds=seeds, backends=backends):
+        outcome = run_scenario(scenario)
+        outcomes.append(outcome)
+        if progress is not None:
+            verdict = "SURVIVED" if outcome.survived else "FAILED"
+            progress(f"  {outcome.label:<28} {verdict} ({outcome.wall_s:.2f}s)")
+    return SurvivalReport(outcomes=outcomes)

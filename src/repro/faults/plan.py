@@ -1,0 +1,225 @@
+"""Seeded, serializable fault plans (the injection half of ``repro.faults``).
+
+A :class:`FaultPlan` is a *static* list of :class:`FaultSpec` records built
+up-front from a seed — never sampled at run time — so the same seed always
+produces the same plan, and a plan written to JSON replays the identical
+fault sequence on any machine (the Vienna LTE-A simulator's reproducible
+impairment-injection idiom). The adapters in :mod:`repro.faults.injector`
+and the backend hooks (``MachineSimulator(faults=...)``,
+``ThreadedRuntime(faults=...)``) consume plans; this module only describes
+faults.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "SIM_KINDS", "THREAD_KINDS",
+           "PAYLOAD_KINDS"]
+
+
+class FaultKind(str, enum.Enum):
+    """What to break. Values double as the JSON ``kind`` field."""
+
+    #: A simulated core dies permanently (its in-flight task is lost).
+    CORE_CRASH = "core-crash"
+    #: A simulated core freezes for ``param`` cycles (does no work).
+    CORE_STALL = "core-stall"
+    #: A simulated core runs ``param``× slower for one subframe period.
+    CORE_SLOWDOWN = "core-slowdown"
+    #: A worker thread exits mid-run (the silent-death path, made loud).
+    WORKER_DEATH = "worker-death"
+    #: A worker thread wedges for ``param`` seconds while holding a user.
+    WORKER_HANG = "worker-hang"
+    #: One user's task raises an exception (retryable).
+    TASK_EXCEPTION = "task-exception"
+    #: Bit flips in the received grid pre-CRC (decodes to a CRC failure).
+    PAYLOAD_BITFLIP = "payload-bitflip"
+    #: NaN/garbage soft bits injected into the received grid.
+    PAYLOAD_NAN = "payload-nan"
+    #: Work amplification: the subframe's load is multiplied so the
+    #: admission controller must shed (exercises Eq. 1-4 based shedding).
+    OVERLOAD = "overload"
+
+
+#: Kinds the discrete-event simulator backend can inject.
+SIM_KINDS = frozenset(
+    {
+        FaultKind.CORE_CRASH,
+        FaultKind.CORE_STALL,
+        FaultKind.CORE_SLOWDOWN,
+        FaultKind.OVERLOAD,
+    }
+)
+
+#: Kinds the threaded runtime can inject.
+THREAD_KINDS = frozenset(
+    {
+        FaultKind.WORKER_DEATH,
+        FaultKind.WORKER_HANG,
+        FaultKind.TASK_EXCEPTION,
+    }
+)
+
+#: Kinds that corrupt subframe input data (any functional backend).
+PAYLOAD_KINDS = frozenset({FaultKind.PAYLOAD_BITFLIP, FaultKind.PAYLOAD_NAN})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    ``subframe`` is the dispatch index at which the fault arms;
+    ``target`` is a core/worker index for machine faults or a user id for
+    task/payload faults (-1 = first eligible); ``param`` is the
+    kind-specific magnitude (stall cycles, slowdown factor, hang seconds,
+    flipped-bit count, overload multiplier); ``seed`` feeds any per-fault
+    randomness (e.g. which grid samples a bit flip hits) so corruption is
+    itself replayable.
+    """
+
+    kind: FaultKind
+    subframe: int
+    target: int = -1
+    param: float = 0.0
+    seed: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "subframe": self.subframe,
+            "target": self.target,
+            "param": self.param,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FaultSpec":
+        return cls(
+            kind=FaultKind(record["kind"]),
+            subframe=int(record["subframe"]),
+            target=int(record.get("target", -1)),
+            param=float(record.get("param", 0.0)),
+            seed=int(record.get("seed", 0)),
+        )
+
+
+_PLAN_VERSION = 1
+
+#: Default magnitude per kind used by :meth:`FaultPlan.generate`.
+_DEFAULT_PARAMS: dict[FaultKind, float] = {
+    FaultKind.CORE_CRASH: 0.0,
+    FaultKind.CORE_STALL: 200_000.0,  # cycles
+    FaultKind.CORE_SLOWDOWN: 4.0,  # factor
+    FaultKind.WORKER_DEATH: 0.0,
+    FaultKind.WORKER_HANG: 2.0,  # seconds
+    FaultKind.TASK_EXCEPTION: 0.0,
+    FaultKind.PAYLOAD_BITFLIP: 24.0,  # flipped samples
+    FaultKind.PAYLOAD_NAN: 8.0,  # poisoned samples
+    FaultKind.OVERLOAD: 8.0,  # work multiplier
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, replayable set of planned faults.
+
+    Plans are immutable; equality is structural, so
+    ``FaultPlan.generate(seed=s, ...) == FaultPlan.generate(seed=s, ...)``
+    and a JSON round-trip reproduces an identical plan.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        num_subframes: int,
+        num_workers: int,
+        kinds: tuple[FaultKind, ...] | None = None,
+        faults_per_kind: int = 1,
+    ) -> "FaultPlan":
+        """Sample a plan deterministically from ``seed``.
+
+        For each requested kind, ``faults_per_kind`` faults are placed at
+        rng-chosen subframes/targets. Sampling happens here, once; the
+        resulting plan carries no RNG state of its own.
+        """
+        if num_subframes < 1 or num_workers < 1:
+            raise ValueError("num_subframes and num_workers must be >= 1")
+        rng = random.Random(seed)
+        chosen = kinds if kinds is not None else tuple(FaultKind)
+        specs: list[FaultSpec] = []
+        for kind in chosen:
+            for _ in range(faults_per_kind):
+                specs.append(
+                    FaultSpec(
+                        kind=kind,
+                        subframe=rng.randrange(num_subframes),
+                        target=rng.randrange(num_workers),
+                        param=_DEFAULT_PARAMS[kind],
+                        seed=rng.randrange(2**31),
+                    )
+                )
+        specs.sort(key=lambda s: (s.subframe, s.kind.value, s.target))
+        return cls(specs=tuple(specs), seed=seed)
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def for_subframe(self, subframe_index: int) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.subframe == subframe_index)
+
+    def of_kinds(self, kinds: frozenset[FaultKind]) -> "FaultPlan":
+        """Sub-plan containing only ``kinds`` (same seed recorded)."""
+        return FaultPlan(
+            specs=tuple(s for s in self.specs if s.kind in kinds),
+            seed=self.seed,
+        )
+
+    @property
+    def max_subframe(self) -> int:
+        return max((s.subframe for s in self.specs), default=-1)
+
+    # ---------------------------------------------------------- persistence
+    def to_dict(self) -> dict:
+        return {
+            "version": _PLAN_VERSION,
+            "seed": self.seed,
+            "specs": [s.to_dict() for s in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FaultPlan":
+        if record.get("version") != _PLAN_VERSION:
+            raise ValueError(
+                f"unsupported fault-plan version {record.get('version')!r}"
+            )
+        return cls(
+            specs=tuple(FaultSpec.from_dict(s) for s in record["specs"]),
+            seed=int(record.get("seed", 0)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,111 @@
+"""Resilience configuration, hang guards, and failure records.
+
+Home of the pieces both backends (and the CLI) share:
+
+* :class:`ResilienceConfig` — retry budgets, per-subframe deadlines, and
+  join/drain timeouts consumed by
+  :class:`~repro.sched.threaded.ThreadedRuntime` (wall-clock deadlines,
+  watchdog thread) and :class:`~repro.sim.machine.MachineSimulator`
+  (cycle deadlines, deterministic aborts);
+* :func:`hang_guard` — a ``faulthandler``-based last line of defence: if
+  the guarded block wedges past its timeout, every thread's traceback is
+  dumped to stderr and (optionally) the process exits, so no CLI entry
+  point can hang silently forever;
+* :class:`WorkerFailure` / :exc:`RuntimeHung` — how the threaded runtime
+  reports dead workers and expired drains *loudly* instead of blocking
+  result collection.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "ResilienceConfig",
+    "RuntimeHung",
+    "WorkerFailure",
+    "hang_guard",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tuning knobs for the fault-tolerance layer.
+
+    ``deadline_s`` (threaded, wall seconds) and ``deadline_subframes``
+    (simulator, DELTA multiples) bound how long one dispatched subframe
+    may stay unresolved before the watchdog aborts it; ``None`` disables
+    the deadline. ``max_retries`` bounds per-user requeues after an
+    injected or real fault. ``drain_timeout_s`` turns an indefinitely
+    blocking drain into a loud :exc:`RuntimeHung`.
+    """
+
+    max_retries: int = 1
+    deadline_s: float | None = None
+    deadline_subframes: float | None = None
+    watchdog_poll_s: float = 0.02
+    join_timeout_s: float = 10.0
+    drain_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive or None")
+        if self.deadline_subframes is not None and self.deadline_subframes <= 0:
+            raise ValueError("deadline_subframes must be positive or None")
+        if self.watchdog_poll_s <= 0:
+            raise ValueError("watchdog_poll_s must be positive")
+        if self.join_timeout_s <= 0:
+            raise ValueError("join_timeout_s must be positive")
+        if self.drain_timeout_s is not None and self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be positive or None")
+
+    @property
+    def wants_watchdog(self) -> bool:
+        """True when the threaded runtime needs its monitor thread."""
+        return self.deadline_s is not None
+
+
+class RuntimeHung(RuntimeError):
+    """A drain/join exceeded its timeout: the runtime is wedged."""
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """One worker thread's fatal failure, propagated to the runtime."""
+
+    worker_id: int
+    error: str
+    fatal: bool = False
+    injected: bool = False
+
+    def __str__(self) -> str:
+        flavor = "injected" if self.injected else "unexpected"
+        return f"worker {self.worker_id}: {flavor} {self.error}"
+
+
+@contextmanager
+def hang_guard(timeout_s: float | None, exit_on_hang: bool = True):
+    """Dump all-thread tracebacks (and optionally exit) after ``timeout_s``.
+
+    A no-op when ``timeout_s`` is None, so callers can thread an optional
+    ``--timeout`` straight through. Re-entrant use simply rearms the
+    (process-wide) faulthandler timer; the guard is cancelled on exit from
+    the outermost block that armed it.
+    """
+    if timeout_s is None:
+        yield
+        return
+    if timeout_s <= 0:
+        raise ValueError("timeout_s must be positive or None")
+    faulthandler.dump_traceback_later(
+        timeout_s, exit=exit_on_hang, file=sys.stderr
+    )
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()

@@ -47,6 +47,20 @@ class EventKind(str, enum.Enum):
     #: The analytic power-gating model changed the powered-core count
     #: (gating groups toggled on/off between consecutive subframes).
     GATING = "gating"
+    #: An injected fault fired (payload: ``fault`` kind, target ids).
+    FAULT = "fault"
+    #: Admission control shed work under overload (payload: ``subframe``,
+    #: ``users`` shed, ``estimated_activity`` vs ``budget_activity``).
+    SHED = "shed"
+    #: A user's processing was retried after a failure (payload:
+    #: ``subframe``, ``user``, ``attempt``, ``reason``).
+    USER_RETRY = "user-retry"
+    #: A user was given up on: retry budget exhausted or its subframe
+    #: aborted (payload: ``subframe``, ``user``, ``reason``).
+    USER_ABORTED = "user-aborted"
+    #: A dispatched subframe reached its single terminal state
+    #: (payload: ``subframe``, ``state`` in ok/crc_failed/shed/aborted).
+    SUBFRAME_TERMINAL = "subframe-terminal"
 
 
 class Event:

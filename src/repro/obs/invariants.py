@@ -21,9 +21,13 @@ At each dispatch (a quiescent point between engine callbacks) and at run
 end it additionally checks conservation:
 
 * tasks: started - finished == number of currently busy cores;
-* users: dispatched == finished + queued + in-flight jobs;
+* users: dispatched == finished + queued + in-flight jobs + aborted;
 
 and at run end:
+
+* terminal accounting: every dispatched subframe reached exactly one
+  terminal state and ``dispatched == ok + crc_failed + shed + aborted``
+  (the resilience layer's core promise, see ``docs/robustness.md``);
 
 * :meth:`repro.sim.trace.OccupancyTrace.check_conservation` holds (every
   window's occupancies sum to the worker cycle budget);
@@ -46,6 +50,7 @@ from .events import EventKind
 
 __all__ = [
     "IGNORED_EVENT_KINDS",
+    "TERMINAL_STATES",
     "InvariantViolation",
     "SchedulerInvariantChecker",
 ]
@@ -67,7 +72,14 @@ __all__ = [
 #:   task/user events already validate and carry no scheduler state;
 #: * ``GATING`` — synthesized post-hoc by the timeline exporter from the
 #:   analytic power-gating model (Eqs. 6-9); it never reflects live
-#:   simulator state, so there is nothing to cross-check per event.
+#:   simulator state, so there is nothing to cross-check per event;
+#: * ``FAULT`` — an injected fault firing is an *input* to the run, not
+#:   scheduler state; its downstream effects are what the retry/abort
+#:   counters and the terminal-accounting rule validate;
+#: * ``SHED`` — admission control drops users *before* dispatch, so shed
+#:   work never enters the conservation ledger (``DISPATCH`` carries the
+#:   admitted count); the shed outcome itself is validated by the
+#:   terminal-state rule and the :class:`~repro.faults.accounting.SubframeLedger`.
 IGNORED_EVENT_KINDS = frozenset(
     {
         EventKind.GOVERNOR,
@@ -76,8 +88,13 @@ IGNORED_EVENT_KINDS = frozenset(
         EventKind.SPAN_BEGIN,
         EventKind.SPAN_END,
         EventKind.GATING,
+        EventKind.FAULT,
+        EventKind.SHED,
     }
 )
+
+#: The four legal ``state`` payloads of a ``SUBFRAME_TERMINAL`` event.
+TERMINAL_STATES = frozenset({"ok", "crc_failed", "shed", "aborted"})
 
 
 class InvariantViolation(AssertionError):
@@ -120,8 +137,10 @@ class SchedulerInvariantChecker:
         self._users_dispatched = 0
         self._users_adopted = 0
         self._users_finished = 0
+        self._users_aborted = 0
         self._steals = 0
         self._sf_users: dict[int, int] = {}
+        self._sf_terminal: dict[int, str] = {}
 
     # ------------------------------------------------------------ observer
     def on_run_start(self, sim) -> None:
@@ -151,6 +170,16 @@ class SchedulerInvariantChecker:
             self._users_adopted += 1
         elif kind is EventKind.USER_FINISH:
             self._users_finished += 1
+        elif kind is EventKind.USER_RETRY:
+            # A retried user's earlier adoption is void: the user went
+            # back to the queue, so it must not count as in-flight.
+            self._users_adopted -= 1
+        elif kind is EventKind.USER_ABORTED:
+            self._users_aborted += 1
+            if event.data and event.data.get("was_adopted"):
+                self._users_adopted -= 1
+        elif kind is EventKind.SUBFRAME_TERMINAL:
+            self._check_terminal(event)
         elif kind is EventKind.DISPATCH:
             users = event.data.get("users", 0) if event.data else 0
             self._users_dispatched += users
@@ -161,6 +190,7 @@ class SchedulerInvariantChecker:
     def on_run_end(self, sim, result) -> None:
         self._check_state(self._engine_now())
         self._check_conservation(self._engine_now())
+        self._check_terminal_accounting()
         if not result.trace.check_conservation(atol_cycles=2.0):
             self._record(
                 "occupancy-trace conservation failed: some window's state "
@@ -235,6 +265,56 @@ class SchedulerInvariantChecker:
                     f"{core.state.value} (NAP/DISABLED cores must never execute)"
                 )
 
+    def _check_terminal(self, event) -> None:
+        data = event.data or {}
+        subframe = data.get("subframe")
+        state = data.get("state")
+        if state not in TERMINAL_STATES:
+            self._record(
+                f"t={event.t}: subframe {subframe} reported unknown terminal "
+                f"state {state!r} (must be one of {sorted(TERMINAL_STATES)})"
+            )
+            return
+        if subframe not in self._sf_users:
+            self._record(
+                f"t={event.t}: subframe {subframe} reached terminal state "
+                f"{state} without ever being dispatched"
+            )
+            return
+        previous = self._sf_terminal.get(subframe)
+        if previous is not None:
+            self._record(
+                f"t={event.t}: subframe {subframe} reached a second terminal "
+                f"state {state} (already {previous}); terminal states are "
+                "exactly-once"
+            )
+            return
+        self._sf_terminal[subframe] = state
+
+    def _check_terminal_accounting(self) -> None:
+        """End of run: ``dispatched == ok + crc_failed + shed + aborted``.
+
+        Every dispatched subframe must have reached exactly one terminal
+        state (exactly-once is enforced per event in ``_check_terminal``;
+        this closes the loop on subframes that never got one at all).
+        """
+        missing = sorted(set(self._sf_users) - set(self._sf_terminal))
+        if missing:
+            self._record(
+                f"{len(missing)} dispatched subframe(s) never reached a "
+                f"terminal state: {missing[:10]}"
+            )
+        counts = {state: 0 for state in sorted(TERMINAL_STATES)}
+        for state in self._sf_terminal.values():
+            counts[state] += 1
+        total = sum(counts.values())
+        if total != len(self._sf_users):
+            self._record(
+                f"terminal accounting broken: {len(self._sf_users)} "
+                "dispatched != "
+                + " + ".join(f"{k}={v}" for k, v in counts.items())
+            )
+
     def _check_task_start(self, event) -> None:
         sim = self._sim
         core = sim._cores[event.core]
@@ -265,16 +345,21 @@ class SchedulerInvariantChecker:
             )
         jobs_held = sum(1 for core in sim._cores if core.job is not None)
         queued = len(sim._user_queue)
-        if self._users_dispatched != self._users_finished + queued + jobs_held:
+        accounted = (
+            self._users_finished + queued + jobs_held + self._users_aborted
+        )
+        if self._users_dispatched != accounted:
             self._record(
                 f"t={t}: user conservation violated: dispatched "
                 f"{self._users_dispatched} != finished {self._users_finished} "
-                f"+ queued {queued} + in-flight {jobs_held}"
+                f"+ queued {queued} + in-flight {jobs_held} "
+                f"+ aborted {self._users_aborted}"
             )
         if self._users_adopted != self._users_finished + jobs_held:
             self._record(
                 f"t={t}: adopted users {self._users_adopted} != finished "
-                f"{self._users_finished} + in-flight {jobs_held}"
+                f"{self._users_finished} + in-flight {jobs_held} "
+                "(retries void adoption; aborts of adopted users must say so)"
             )
 
     def _check_completion_order(self, sim) -> None:

@@ -9,6 +9,16 @@ Because of the CPython GIL this runtime demonstrates *correctness* (the
 parallel execution produces bit-identical results to the serial version,
 Section IV-D), not wall-clock scaling; timing behaviour is studied with
 ``repro.sim`` instead.
+
+Fault tolerance (see ``docs/robustness.md``): a worker thread that fails
+no longer dies silently — task exceptions are retried up to the
+:class:`~repro.faults.watchdog.ResilienceConfig` budget and then abort the
+user; a dying worker requeues the user it held (orphan reclamation) and
+reports a :class:`~repro.faults.watchdog.WorkerFailure` so
+:meth:`ThreadedRuntime.drain` fails loudly instead of blocking forever; an
+optional watchdog thread aborts subframes that miss their wall-clock
+deadline. Every dispatched subframe reaches exactly one terminal state in
+the runtime's :class:`~repro.faults.accounting.SubframeLedger`.
 """
 
 from __future__ import annotations
@@ -18,6 +28,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, ClassVar
 
+from ..faults.accounting import SubframeLedger, TerminalState
+from ..faults.injector import InjectedTaskError, InjectedWorkerDeath
+from ..faults.watchdog import ResilienceConfig, RuntimeHung, WorkerFailure
 from ..obs.events import Event, EventKind
 from ..phy.chest import ChestConfig
 from ..uplink.serial import SubframeResult
@@ -26,7 +39,16 @@ from ..uplink.tasks import UserJob
 from .policy import RandomVictimPolicy
 from .queues import GlobalQueue, WorkStealingDeque
 
-__all__ = ["ThreadedRuntime", "RuntimeStats"]
+__all__ = ["ThreadedRuntime", "RuntimeStats", "WorkerFailuresError"]
+
+
+class WorkerFailuresError(RuntimeError):
+    """Unexpected worker-thread failures propagated by ``drain()``."""
+
+    def __init__(self, failures: list[WorkerFailure]) -> None:
+        self.failures = list(failures)
+        lines = "; ".join(str(f) for f in failures)
+        super().__init__(f"{len(failures)} worker failure(s): {lines}")
 
 
 @dataclass
@@ -43,11 +65,15 @@ class RuntimeStats:
         "tasks_executed": "lock",
         "steals": "lock",
         "users_processed": "lock",
+        "retries": "lock",
+        "aborted_users": "lock",
     }
 
     tasks_executed: list[int] = field(default_factory=list)
     steals: list[int] = field(default_factory=list)
     users_processed: list[int] = field(default_factory=list)
+    retries: int = 0
+    aborted_users: int = 0
     lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -92,6 +118,11 @@ class _PendingSubframe:
     remaining_users: int  # guarded-by: lock
     result: SubframeResult  # guarded-by: lock
     lock: threading.Lock = field(default_factory=threading.Lock)
+    resolved: bool = False  # guarded-by: lock
+    aborted_ids: list[int] = field(default_factory=list)  # guarded-by: lock
+    retries: dict[int, int] = field(default_factory=dict)  # guarded-by: lock
+    #: Wall-clock abort deadline (monotonic ns), set before sharing.
+    deadline_ns: int | None = None
 
 
 class ThreadedRuntime:
@@ -118,6 +149,20 @@ class ThreadedRuntime:
         kernel stage). ``False`` keeps task/user/steal tracing but drops
         the span edges — the "spans disabled" baseline that
         ``benchmarks/test_obs_overhead.py`` bounds the span cost against.
+    faults:
+        Optional :class:`~repro.faults.injector.ThreadFaultInjector`
+        (or a bare :class:`~repro.faults.plan.FaultPlan`, which is wrapped
+        in one) carrying a seeded fault plan (worker death/hangs, per-task
+        exceptions) to inject into this run.
+    resilience:
+        Fault-tolerance knobs (:class:`~repro.faults.watchdog.ResilienceConfig`).
+        The default keeps retry-on-failure on (one retry) with no
+        wall-clock deadline and no watchdog thread, so zero-fault runs pay
+        nothing beyond per-subframe ledger bookkeeping.
+    ledger:
+        Optional externally-owned
+        :class:`~repro.faults.accounting.SubframeLedger`; by default the
+        runtime creates a fresh one at :meth:`start`.
     """
 
     def __init__(
@@ -128,6 +173,9 @@ class ThreadedRuntime:
         steal_seed: int = 0,
         observers=None,
         emit_spans: bool = True,
+        faults=None,
+        resilience: ResilienceConfig | None = None,
+        ledger: SubframeLedger | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -152,6 +200,22 @@ class ThreadedRuntime:
         self._all_done.set()
         self._shutdown = threading.Event()
         self._threads: list[threading.Thread] = []
+        if faults is not None and not hasattr(faults, "check_worker_death"):
+            from ..faults.injector import ThreadFaultInjector
+
+            faults = ThreadFaultInjector(faults)
+        self._faults = faults
+        self._resilience = resilience or ResilienceConfig()
+        self._external_ledger = ledger
+        self.ledger: SubframeLedger = ledger or SubframeLedger()
+        self._pending_map: dict[int, _PendingSubframe] = {}  # guarded-by: _pending_lock
+        self._pending_lock = threading.Lock()
+        self._failures: list[WorkerFailure] = []  # guarded-by: _failures_lock
+        self._dead_workers: set[int] = set()  # guarded-by: _failures_lock
+        self._failures_lock = threading.Lock()
+        self._late_completions = 0  # guarded-by: _failures_lock
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop = threading.Event()
         self.emit_spans = emit_spans
         self.observers = list(observers) if observers is not None else []
         if not self.observers:
@@ -169,23 +233,60 @@ class ThreadedRuntime:
 
     # ------------------------------------------------------------------ API
     def start(self) -> None:
-        """Spawn the worker threads."""
+        """Spawn the worker threads (and the watchdog when configured)."""
         if self._threads:
             raise RuntimeError("runtime already started")
         self._shutdown.clear()
+        self._watchdog_stop.clear()
+        if self._external_ledger is None:
+            self.ledger = SubframeLedger()
+        with self._failures_lock:
+            self._failures.clear()
+            self._dead_workers.clear()
         for worker_id in range(self.num_workers):
             thread = threading.Thread(
                 target=self._worker_loop, args=(worker_id,), daemon=True
             )
             thread.start()
             self._threads.append(thread)
+        if self._resilience.wants_watchdog:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, daemon=True
+            )
+            self._watchdog.start()
 
     def stop(self) -> None:
         """Stop the worker threads (after draining outstanding work)."""
         self.drain()
+        self._halt_threads()
+
+    def abort(self) -> None:
+        """Emergency shutdown: abort outstanding subframes, stop threads.
+
+        Used on ``KeyboardInterrupt``/fatal paths: every unresolved
+        subframe is accounted as ``aborted`` (so the ledger still
+        balances and traces can be flushed) and worker threads are joined
+        with a bounded timeout instead of drained.
+        """
+        with self._pending_lock:
+            pendings = list(self._pending_map.values())
+        for pending in pendings:
+            self._finish_subframe(
+                pending,
+                forced_state=TerminalState.ABORTED,
+                reason="runtime aborted",
+            )
+        self._halt_threads()
+
+    def _halt_threads(self) -> None:
         self._shutdown.set()
+        self._watchdog_stop.set()
+        timeout = self._resilience.join_timeout_s
         for thread in self._threads:
-            thread.join(timeout=5.0)
+            thread.join(timeout=timeout)
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=timeout)
+            self._watchdog = None
         self._threads.clear()
 
     def submit(self, subframe: SubframeInput) -> None:
@@ -197,6 +298,13 @@ class ThreadedRuntime:
             remaining_users=len(subframe.slices),
             result=SubframeResult(subframe_index=subframe.subframe_index),
         )
+        if self._resilience.deadline_s is not None:
+            pending.deadline_ns = time.monotonic_ns() + int(
+                self._resilience.deadline_s * 1e9
+            )
+        self.ledger.dispatch(subframe.subframe_index, len(subframe.slices))
+        with self._pending_lock:
+            self._pending_map[subframe.subframe_index] = pending
         with self._outstanding_lock:
             self._outstanding += 1
             self._all_done.clear()
@@ -233,16 +341,34 @@ class ThreadedRuntime:
             [(pending, user_slice) for user_slice in subframe.slices]
         )
 
-    def drain(self) -> None:
-        """Block until every submitted subframe has completed."""
-        self._all_done.wait()
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every submitted subframe has completed.
+
+        Raises :class:`WorkerFailuresError` when a worker thread died from
+        an unexpected (non-injected) exception — the silent-death failure
+        mode this runtime used to have — and :class:`RuntimeHung` when
+        ``timeout`` (or the configured ``drain_timeout_s``) expires first.
+        """
+        if timeout is None:
+            timeout = self._resilience.drain_timeout_s
+        finished = self._all_done.wait(timeout)
+        self._raise_on_fatal()
+        if not finished:
+            with self._outstanding_lock:
+                outstanding = self._outstanding
+            raise RuntimeHung(
+                f"drain timed out after {timeout}s with {outstanding} "
+                "subframe(s) outstanding"
+            )
 
     def run(self, subframes: list[SubframeInput]) -> list[SubframeResult]:
         """Convenience: start, submit all, drain, stop; returns results.
 
         ``drain()`` (and ``stop()`` via it) already blocks until every
         submitted subframe completed, so the final ``collect_results()``
-        cannot lose in-flight work here.
+        cannot lose in-flight work here. On ``KeyboardInterrupt`` (or any
+        fatal error) outstanding subframes are aborted — accounted, not
+        lost — before the exception propagates.
         """
         owns_threads = not self._threads
         if owns_threads:
@@ -251,9 +377,12 @@ class ThreadedRuntime:
             for subframe in subframes:
                 self.submit(subframe)
             self.drain()
-        finally:
+        except BaseException:
             if owns_threads:
-                self.stop()
+                self.abort()
+            raise
+        if owns_threads:
+            self.stop()
         return self.collect_results()
 
     def collect_results(self) -> list[SubframeResult]:
@@ -269,37 +398,168 @@ class ThreadedRuntime:
     def stats(self) -> RuntimeStats:
         return self._stats
 
+    @property
+    def failures(self) -> list[WorkerFailure]:
+        """Worker failures recorded so far (injected and unexpected)."""
+        with self._failures_lock:
+            return list(self._failures)
+
+    @property
+    def late_completions(self) -> int:
+        """Users that finished after their subframe was already resolved."""
+        with self._failures_lock:
+            return self._late_completions
+
+    def _raise_on_fatal(self) -> None:
+        with self._failures_lock:
+            fatal = [f for f in self._failures if f.fatal]
+        if fatal:
+            raise WorkerFailuresError(fatal)
+
+    # ----------------------------------------------------- watchdog / death
+    def _watchdog_loop(self) -> None:
+        """Abort subframes whose wall-clock deadline expired."""
+        poll = self._resilience.watchdog_poll_s
+        while not self._watchdog_stop.wait(poll):
+            now = time.monotonic_ns()
+            with self._pending_lock:
+                expired = [
+                    p
+                    for p in self._pending_map.values()
+                    if p.deadline_ns is not None and now >= p.deadline_ns
+                ]
+            for pending in expired:
+                self._finish_subframe(
+                    pending,
+                    forced_state=TerminalState.ABORTED,
+                    reason="deadline expired",
+                )
+
+    def _on_worker_dead(
+        self, worker_id: int, error: str, injected: bool
+    ) -> None:
+        """A worker thread is exiting: record it and keep the run sound.
+
+        An injected death is an expected resilience scenario; an
+        unexpected one is fatal and makes ``drain()`` raise. Either way,
+        if the last live worker just died, all outstanding subframes are
+        aborted so nothing blocks forever waiting for work nobody will do.
+        """
+        failure = WorkerFailure(
+            worker_id=worker_id,
+            error=error,
+            fatal=not injected,
+            injected=injected,
+        )
+        with self._failures_lock:
+            self._failures.append(failure)
+            self._dead_workers.add(worker_id)
+            all_dead = len(self._dead_workers) >= self.num_workers
+        if all_dead or not injected:
+            with self._pending_lock:
+                pendings = list(self._pending_map.values())
+            reason = (
+                "all workers dead" if all_dead else f"worker failure: {error}"
+            )
+            for pending in pendings:
+                self._finish_subframe(
+                    pending, forced_state=TerminalState.ABORTED, reason=reason
+                )
+
     # ------------------------------------------------------------ internals
-    def _finish_subframe(self, pending: _PendingSubframe) -> None:
-        # Safe without pending.lock: we run either before any worker saw
-        # the subframe (empty submit) or after the last worker observed
-        # remaining_users hit 0 under pending.lock, which orders this read
-        # after every result append.
-        if self._emit is not None and self.emit_spans:
-            index = pending.subframe.subframe_index
+    def _classify(
+        self, result: SubframeResult, aborted: list[int]
+    ) -> TerminalState:
+        if aborted:
+            return TerminalState.ABORTED
+        if any(not r.crc_ok for r in result.user_results):
+            return TerminalState.CRC_FAILED
+        return TerminalState.OK
+
+    def _finish_subframe(
+        self,
+        pending: _PendingSubframe,
+        forced_state: TerminalState | None = None,
+        reason: str = "",
+    ) -> None:
+        """Resolve one subframe to its single terminal state.
+
+        Idempotent: the first caller (normal completion, deadline
+        watchdog, or abort path) wins; later calls are recorded as late
+        resolutions in the ledger and change nothing else.
+        """
+        index = pending.subframe.subframe_index
+        with pending.lock:
+            first = not pending.resolved
+            pending.resolved = True
+            aborted = list(pending.aborted_ids)
+            result = pending.result
+            if first and forced_state is TerminalState.ABORTED:
+                # Forced abort (deadline, all workers dead, runtime abort):
+                # users that never produced a result were abandoned too —
+                # record them so the result explains itself.
+                done = {u.user_id for u in result.user_results}
+                aborted += [
+                    s.user.user_id
+                    for s in pending.subframe.slices
+                    if s.user.user_id not in done and s.user.user_id not in aborted
+                ]
+            result.aborted_user_ids = aborted
+        state = forced_state or self._classify(result, aborted)
+        if not first:
+            self.ledger.resolve(index, state, reason or "late duplicate")
+            return
+        self.ledger.resolve(index, state, reason)
+        with self._pending_lock:
+            self._pending_map.pop(index, None)
+        if self._emit is not None:
+            now = time.monotonic_ns()
+            if self.emit_spans:
+                self._emit(
+                    Event(
+                        EventKind.SPAN_END,
+                        now,
+                        -1,
+                        {
+                            "name": f"subframe {index}",
+                            "cat": "subframe",
+                            "subframe": index,
+                        },
+                    )
+                )
             self._emit(
                 Event(
-                    EventKind.SPAN_END,
-                    time.monotonic_ns(),
+                    EventKind.SUBFRAME_TERMINAL,
+                    now,
                     -1,
                     {
-                        "name": f"subframe {index}",
-                        "cat": "subframe",
                         "subframe": index,
+                        "state": state.value,
+                        "aborted_users": len(aborted),
+                        "reason": reason,
                     },
                 )
             )
         with self._completed_lock:
-            self._completed.append(pending.result)  # repro-lint: disable=REP101
+            self._completed.append(result)
         with self._outstanding_lock:
             self._outstanding -= 1
             if self._outstanding == 0:
                 self._all_done.set()
 
     def _worker_loop(self, worker_id: int) -> None:
-        while not self._shutdown.is_set():
-            if not self._find_and_run_work(worker_id):
-                time.sleep(0.0002)  # idle back-off (the NONAP busy-spin)
+        try:
+            while not self._shutdown.is_set():
+                if not self._find_and_run_work(worker_id):
+                    time.sleep(0.0002)  # idle back-off (the NONAP busy-spin)
+        except InjectedWorkerDeath as death:
+            self._on_worker_dead(worker_id, str(death), injected=True)
+        except BaseException as exc:
+            # The silent-death path: without this, an uncaught exception
+            # killed the thread and result collection blocked forever.
+            self._on_worker_dead(
+                worker_id, f"{type(exc).__name__}: {exc}", injected=False
+            )
 
     def _run_task(
         self, worker_id: int, task: Callable[[], None], stolen: bool
@@ -338,6 +598,17 @@ class ThreadedRuntime:
                 {"name": name, "cat": "kernel", **data},
             )
         )
+
+    def _emit_fault(self, kind: str, worker_id: int, subframe: int) -> None:
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.FAULT,
+                    time.monotonic_ns(),
+                    worker_id,
+                    {"fault": kind, "subframe": subframe},
+                )
+            )
 
     def _steal_task(self, worker_id: int) -> Callable[[], None] | None:
         """Try every victim once; returns the stolen task, if any."""
@@ -378,10 +649,27 @@ class ThreadedRuntime:
             return True
         return False
 
+    def _interruptible_sleep(self, seconds: float) -> None:
+        """Sleep in shutdown-aware slices (a wedged worker still stops)."""
+        deadline = time.monotonic() + seconds
+        while not self._shutdown.is_set():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, 0.05))
+
     def _process_user(
         self, worker_id: int, pending: _PendingSubframe, user_slice: UserSlice
     ) -> None:
-        """Become the user thread for one user (Section IV-C)."""
+        """Become the user thread for one user (Section IV-C).
+
+        Failure policy: any exception escaping the user's task graph is a
+        *user* failure, not a runtime failure — the user is requeued onto
+        the global queue (bounded by the retry budget) or aborted, and the
+        worker moves on. A planned :class:`InjectedWorkerDeath` requeues
+        the user first (orphan reclamation) and then kills this thread.
+        """
+        index = pending.subframe.subframe_index
         with self._stats.lock:
             self._stats.users_processed[worker_id] += 1
         if self._emit is not None:
@@ -390,12 +678,61 @@ class ThreadedRuntime:
                     EventKind.USER_START,
                     time.monotonic_ns(),
                     worker_id,
-                    {
-                        "subframe": pending.subframe.subframe_index,
-                        "user": user_slice.user.user_id,
-                    },
+                    {"subframe": index, "user": user_slice.user.user_id},
                 )
             )
+        faults = self._faults
+        if faults is not None:
+            if faults.check_worker_death(worker_id, index):
+                self._emit_fault("worker-death", worker_id, index)
+                self._requeue_or_abort(
+                    worker_id, pending, user_slice, "worker death"
+                )
+                raise InjectedWorkerDeath(
+                    f"planned death at subframe {index}"
+                )
+            hang_s = faults.check_worker_hang(worker_id, index)
+            if hang_s is not None:
+                self._emit_fault("worker-hang", worker_id, index)
+                self._interruptible_sleep(hang_s)
+        try:
+            if faults is not None and faults.check_task_exception(
+                worker_id, index
+            ):
+                self._emit_fault("task-exception", worker_id, index)
+                raise InjectedTaskError(
+                    f"planned task failure (subframe {index}, "
+                    f"user {user_slice.user.user_id})"
+                )
+            result = self._execute_user_job(worker_id, pending, user_slice)
+        except InjectedWorkerDeath:
+            self._requeue_or_abort(
+                worker_id, pending, user_slice, "worker death"
+            )
+            raise
+        except Exception as exc:
+            self._requeue_or_abort(
+                worker_id,
+                pending,
+                user_slice,
+                f"{type(exc).__name__}: {exc}",
+            )
+            return
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.USER_FINISH,
+                    time.monotonic_ns(),
+                    worker_id,
+                    {"subframe": index, "user": user_slice.user.user_id},
+                )
+            )
+        self._complete_user(pending, result)
+
+    def _execute_user_job(
+        self, worker_id: int, pending: _PendingSubframe, user_slice: UserSlice
+    ):
+        """Run one user's Fig. 5 stage sequence; returns its UserResult."""
         job = UserJob(
             user_slice, pending.subframe.grid, config=self.config, codec=self.codec
         )
@@ -425,20 +762,81 @@ class ThreadedRuntime:
         result = job.finalize()
         if emitting:
             self._span(worker_id, EventKind.SPAN_END, "finalize", ids)
+        return result
+
+    def _complete_user(self, pending: _PendingSubframe, result) -> None:
+        with pending.lock:
+            if pending.resolved:
+                late = True
+                done = False
+            else:
+                late = False
+                pending.result.user_results.append(result)
+                pending.remaining_users -= 1
+                done = pending.remaining_users == 0
+        if late:
+            with self._failures_lock:
+                self._late_completions += 1
+            return
+        if done:
+            self._finish_subframe(pending)
+
+    def _requeue_or_abort(
+        self,
+        worker_id: int,
+        pending: _PendingSubframe,
+        user_slice: UserSlice,
+        reason: str,
+    ) -> None:
+        """Bounded retry of a failed user; abort it past the budget."""
+        index = pending.subframe.subframe_index
+        user_id = user_slice.user.user_id
+        with pending.lock:
+            if pending.resolved:
+                return  # subframe already aborted/resolved: drop silently
+            attempts = pending.retries.get(user_id, 0)
+            retry = attempts < self._resilience.max_retries
+            if retry:
+                pending.retries[user_id] = attempts + 1
+        if retry:
+            with self._stats.lock:
+                self._stats.retries += 1
+            if self._emit is not None:
+                self._emit(
+                    Event(
+                        EventKind.USER_RETRY,
+                        time.monotonic_ns(),
+                        worker_id,
+                        {
+                            "subframe": index,
+                            "user": user_id,
+                            "attempt": attempts + 1,
+                            "reason": reason,
+                        },
+                    )
+                )
+            self._global.put_subframe([(pending, user_slice)])
+            return
+        with self._stats.lock:
+            self._stats.aborted_users += 1
         if self._emit is not None:
             self._emit(
                 Event(
-                    EventKind.USER_FINISH,
+                    EventKind.USER_ABORTED,
                     time.monotonic_ns(),
                     worker_id,
                     {
-                        "subframe": pending.subframe.subframe_index,
-                        "user": user_slice.user.user_id,
+                        "subframe": index,
+                        "user": user_id,
+                        "was_adopted": True,
+                        "reason": reason,
                     },
                 )
             )
         with pending.lock:
-            pending.result.user_results.append(result)
+            if pending.resolved:
+                return
+            pending.aborted_ids.append(user_id)
             pending.remaining_users -= 1
             done = pending.remaining_users == 0
         if done:
@@ -450,13 +848,23 @@ class ThreadedRuntime:
         tasks: list[Callable[[], None]],
         kernel: str | None = None,
     ) -> None:
-        """Push a stage's tasks locally, process until empty, join."""
+        """Push a stage's tasks locally, process until empty, join.
+
+        A task that raises does *not* take down whichever thread happened
+        to execute it (it may be a thief helping out): the failure is
+        recorded against the stage and re-raised here, on the owning user
+        thread, after the join — so the retry/abort policy charges the
+        right user.
+        """
         latch = _Latch(len(tasks))
+        failures: list[Exception] = []  # list.append is atomic (GIL)
 
         def wrap(task: Callable[[], None]) -> Callable[[], None]:
             def run() -> None:
                 try:
                     task()
+                except Exception as exc:
+                    failures.append(exc)
                 finally:
                     latch.count_down()
 
@@ -473,6 +881,8 @@ class ThreadedRuntime:
         # waiting ("the user thread waits until the results from all tasks
         # become available").
         latch.wait(help_while_waiting=lambda: self._help_once(worker_id))
+        if failures:
+            raise failures[0]
 
     def _help_once(self, worker_id: int) -> bool:
         """Steal one task from somewhere while blocked on a join."""

@@ -35,6 +35,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults.accounting import TerminalState
+from ..faults.plan import FaultKind, FaultSpec
+from ..faults.watchdog import ResilienceConfig
 from ..obs.events import Event, EventKind
 from ..uplink.parameter_model import ParameterModel
 from ..uplink.tasks import describe_user_tasks
@@ -100,6 +103,7 @@ class _Job:
         "steal_lines",
         "stage_opened_at",
         "stage_kind",
+        "cancelled",
     )
 
     def __init__(
@@ -156,12 +160,26 @@ class _Job:
         self.user_core: "_Core | None" = None
         self.continuation_pending = False
         self.stage_opened_at = 0
+        # Set when the job is voided (core crash retry, deadline abort):
+        # in-flight tasks of a cancelled job finish without advancing it.
+        self.cancelled = False
 
 
 class _Core:
     """One simulated worker core."""
 
-    __slots__ = ("index", "state", "state_since", "job", "wake_scheduled", "busy")
+    __slots__ = (
+        "index",
+        "state",
+        "state_since",
+        "job",
+        "wake_scheduled",
+        "busy",
+        "crashed",
+        "slow_factor",
+        "epoch",
+        "running",
+    )
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -170,6 +188,17 @@ class _Core:
         self.job: _Job | None = None
         self.wake_scheduled = False
         self.busy = False
+        # --- fault-injection state (repro.faults) ---
+        # A crashed core reuses the DISABLED occupancy (the power model
+        # sees a powered-down core) but can never be re-enabled.
+        self.crashed = False
+        self.slow_factor = 1.0
+        # Bumped on crash so the in-flight task's scheduled finish
+        # callback (already in the event heap) knows it went stale.
+        self.epoch = 0
+        # (job, cycles) of the task currently executing, for crash
+        # accounting; None when idle or stalling.
+        self.running: tuple[_Job, int] | None = None
 
 
 @dataclass
@@ -188,6 +217,21 @@ class SimResult:
     tasks_executed: int
     steals: int
     users_processed: int
+    #: Terminal state per subframe index ("ok" | "crc_failed" | "shed" |
+    #: "aborted"); every dispatched subframe appears exactly once.
+    terminal_states: dict[int, str] = field(default_factory=dict)
+    #: Injected faults that actually applied, in firing order.
+    faults_applied: list[dict] = field(default_factory=list)
+    shed_users: int = 0
+    aborted_users: int = 0
+    retried_users: int = 0
+
+    def terminal_counts(self) -> dict[str, int]:
+        """Histogram over the four terminal states (all keys present)."""
+        out = {state.value: 0 for state in TerminalState}
+        for state in self.terminal_states.values():
+            out[state] += 1
+        return out
 
     @property
     def activity(self) -> np.ndarray:
@@ -218,6 +262,23 @@ class MachineSimulator:
         sites cost a single identity check (no event allocation). Setting
         the ``REPRO_INVARIANTS`` environment variable auto-attaches a
         strict :class:`~repro.obs.invariants.SchedulerInvariantChecker`.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`. Its simulator
+        kinds (core crash/stall/slowdown, overload) fire at their planned
+        subframes, purely cycle-based — a faulted run is exactly as
+        deterministic as a clean one.
+    resilience:
+        :class:`~repro.faults.watchdog.ResilienceConfig`. The simulator
+        uses ``max_retries`` (per-user requeues after a core crash) and
+        ``deadline_subframes`` (abort a subframe still pending after that
+        many DELTA periods); the wall-clock knobs are threaded-only.
+    admission:
+        Optional :class:`~repro.faults.admission.AdmissionController`:
+        sheds users at dispatch when the Eq. 4 estimate exceeds the
+        activity budget (see ``docs/robustness.md``).
+    ledger:
+        Optional :class:`~repro.faults.accounting.SubframeLedger`
+        mirroring the run's terminal accounting for external checking.
     """
 
     def __init__(
@@ -229,6 +290,10 @@ class MachineSimulator:
         cache=None,
         slot_pipelined: bool = False,
         observers=None,
+        faults=None,
+        resilience: ResilienceConfig | None = None,
+        admission=None,
+        ledger=None,
     ) -> None:
         self.cost = cost
         self.machine = cost.machine
@@ -247,6 +312,10 @@ class MachineSimulator:
         #: Attached event observers (see :mod:`repro.obs`).
         self.observers = list(observers) if observers is not None else []
         self._emit = None
+        self.faults = faults
+        self.admission = admission
+        self.ledger = ledger
+        self._resilience = resilience or ResilienceConfig()
 
     def attach_observer(self, observer):
         """Attach an event observer for subsequent runs; returns it."""
@@ -299,6 +368,34 @@ class MachineSimulator:
         self._num_subframes = num_subframes
         self._antennas = 4
 
+        # --- fault-injection / resilience bookkeeping (repro.faults) ---
+        self._sf_resolved: set[int] = set()
+        self._sf_shed: set[int] = set()
+        self._sf_user_aborted: set[int] = set()
+        self._retry_counts: dict[tuple[int, int], int] = {}
+        self._terminal_states: dict[int, str] = {}
+        self._faults_applied: list[dict] = []
+        self._shed_users = 0
+        self._aborted_users = 0
+        self._retried_users = 0
+        self._overload: dict[int, float] = {}
+        if self.faults is not None:
+            for spec in self.faults.specs:
+                if not 0 <= spec.subframe < num_subframes:
+                    continue
+                if spec.kind is FaultKind.OVERLOAD:
+                    self._overload[spec.subframe] = spec.param
+                elif spec.kind in (
+                    FaultKind.CORE_STALL,
+                    FaultKind.CORE_SLOWDOWN,
+                ):
+                    # Stalls and slowdowns fire before the subframe's
+                    # dispatch (same timestamp, FIFO): they need the core
+                    # still idle for the fault to take hold.
+                    self._engine.schedule(
+                        spec.subframe * delta, self._make_core_fault(spec)
+                    )
+
         observers = self._resolve_observers()
         for observer in observers:
             hook = getattr(observer, "on_run_start", None)
@@ -311,11 +408,34 @@ class MachineSimulator:
             self._engine.schedule(
                 when, self._make_dispatch(i, users)
             )
+        if self.faults is not None:
+            # Crashes fire after the subframe's dispatch (same timestamp,
+            # FIFO): the fail-stop model is only interesting when the dead
+            # core can be holding that subframe's in-flight work.
+            for spec in self.faults.specs:
+                if (
+                    spec.kind is FaultKind.CORE_CRASH
+                    and 0 <= spec.subframe < num_subframes
+                ):
+                    self._engine.schedule(
+                        spec.subframe * delta, self._make_core_fault(spec)
+                    )
         # Every core looks for work once at t=0 so idle cores settle into
         # the policy's idle state (spin vs nap vs disabled) immediately.
         for core in self._cores:
             self._engine.schedule(0, self._make_initial_seek(core))
         self._engine.run_until_idle(hard_limit=horizon)
+        # Subframes the horizon truncated (still pending at the end of the
+        # simulated time) are accounted as aborted: no dispatched subframe
+        # ever goes missing from the terminal ledger.
+        for index in range(num_subframes):
+            if index not in self._sf_resolved:
+                self._resolve_subframe(
+                    index,
+                    horizon,
+                    state=TerminalState.ABORTED,
+                    reason="horizon truncation",
+                )
         self._finalize_trace(horizon)
 
         latency = (self._complete_cycle - self._dispatch_cycle) / clock
@@ -329,6 +449,11 @@ class MachineSimulator:
             tasks_executed=self._tasks_executed,
             steals=self._steals,
             users_processed=self._users_processed,
+            terminal_states=dict(self._terminal_states),
+            faults_applied=list(self._faults_applied),
+            shed_users=self._shed_users,
+            aborted_users=self._aborted_users,
+            retried_users=self._retried_users,
         )
         for observer in observers:
             hook = getattr(observer, "on_run_end", None)
@@ -363,13 +488,39 @@ class MachineSimulator:
     # --------------------------------------------------------------- events
     def _make_dispatch(self, index: int, users: list[UserParameters]):
         def dispatch(t: int) -> None:
+            admitted = list(users)
+            if self.admission is not None:
+                decision = self.admission.admit(
+                    admitted, load_factor=self._overload.get(index)
+                )
+                admitted = list(decision.admitted)
+                if decision.shed_any:
+                    self._sf_shed.add(index)
+                    self._shed_users += len(decision.shed)
+                    if self._emit is not None:
+                        self._emit(
+                            Event(
+                                EventKind.SHED,
+                                t,
+                                -1,
+                                {
+                                    "subframe": index,
+                                    "users": len(decision.shed),
+                                    "user_ids": list(decision.shed_user_ids),
+                                    "estimated_activity": decision.estimated_activity,
+                                    "budget_activity": decision.budget_activity,
+                                },
+                            )
+                        )
             self._dispatch_cycle[index] = t
             self._complete_cycle[index] = t  # empty subframes: zero latency
-            self._pending_users[index] = len(users)
+            self._pending_users[index] = len(admitted)
             self._subframe_cycles[index] = sum(
-                self.cost.user_cycles(u, self._antennas) for u in users
+                self.cost.user_cycles(u, self._antennas) for u in admitted
             )
-            target = self.policy.target_active_workers(users, self._start_index + index)
+            target = self.policy.target_active_workers(
+                admitted, self._start_index + index
+            )
             target = max(1, min(self.machine.num_workers, int(target)))
             self._active_trace[index] = target
             if self._emit is not None:
@@ -382,7 +533,9 @@ class MachineSimulator:
                     )
                 )
             self._set_active_workers(target, t)
-            for user in users:
+            if self.ledger is not None:
+                self.ledger.dispatch(self._start_index + index, len(admitted))
+            for user in admitted:
                 self._user_queue.append(
                     _Job(
                         user,
@@ -401,14 +554,311 @@ class MachineSimulator:
                         -1,
                         {
                             "subframe": index,
-                            "users": len(users),
+                            "users": len(admitted),
                             "queue_depth": len(self._user_queue),
                         },
                     )
                 )
+            if not admitted:
+                # Nothing to process: the subframe is terminal at dispatch
+                # (shed under overload, or genuinely empty).
+                self._resolve_subframe(
+                    index,
+                    t,
+                    reason="all users shed" if index in self._sf_shed else "",
+                )
+                return
+            if self._resilience.deadline_subframes is not None:
+                deadline = int(
+                    self._resilience.deadline_subframes
+                    * self.machine.subframe_period_cycles
+                )
+                self._engine.schedule(
+                    t + deadline, self._make_deadline_check(index)
+                )
             self._distribute_work(t)
 
         return dispatch
+
+    # ------------------------------------------------- faults and resilience
+    def _resolve_subframe(
+        self,
+        index: int,
+        t: int,
+        state: TerminalState | None = None,
+        reason: str = "",
+    ) -> None:
+        """Record one subframe's single terminal state (first call wins)."""
+        if index in self._sf_resolved:
+            return
+        self._sf_resolved.add(index)
+        if state is None:
+            if index in self._sf_user_aborted:
+                state = TerminalState.ABORTED
+            elif index in self._sf_shed:
+                state = TerminalState.SHED
+            else:
+                state = TerminalState.OK
+        self._terminal_states[index] = state.value
+        if self.ledger is not None:
+            self.ledger.resolve(self._start_index + index, state, reason)
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.SUBFRAME_TERMINAL,
+                    t,
+                    -1,
+                    {"subframe": index, "state": state.value, "reason": reason},
+                )
+            )
+
+    def _make_deadline_check(self, index: int):
+        def check(t: int) -> None:
+            if index in self._sf_resolved or self._pending_users[index] <= 0:
+                return
+            self._abort_subframe(index, t, reason="deadline expired")
+
+        return check
+
+    def _abort_subframe(self, index: int, t: int, reason: str) -> None:
+        """Give up on a subframe: drop queued users, cancel in-flight jobs.
+
+        In-flight *tasks* of cancelled jobs run to completion (a simulated
+        core cannot be preempted mid-task) but their finish is a no-op for
+        the job; no new work of this subframe is started.
+        """
+        dropped = [j for j in self._user_queue if j.subframe_index == index]
+        if dropped:
+            self._user_queue = deque(
+                j for j in self._user_queue if j.subframe_index != index
+            )
+        for job in dropped:
+            job.cancelled = True
+            self._abort_user(job, t, was_adopted=False, reason=reason)
+        for core in self._cores:
+            job = core.job
+            if job is not None and job.subframe_index == index:
+                core.job = None
+                job.user_core = None
+                job.cancelled = True
+                job.ready.clear()
+                self._abort_user(job, t, was_adopted=True, reason=reason)
+        self._pending_users[index] = 0
+        self._complete_cycle[index] = t
+        self._sf_user_aborted.add(index)
+        self._resolve_subframe(
+            index, t, state=TerminalState.ABORTED, reason=reason
+        )
+
+    def _abort_user(
+        self, job: _Job, t: int, was_adopted: bool, reason: str
+    ) -> None:
+        self._aborted_users += 1
+        self._sf_user_aborted.add(job.subframe_index)
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.USER_ABORTED,
+                    t,
+                    -1,
+                    {
+                        "subframe": job.subframe_index,
+                        "user": job.user.user_id,
+                        "was_adopted": was_adopted,
+                        "reason": reason,
+                    },
+                )
+            )
+
+    def _retry_or_abort_user(self, job: _Job, t: int, reason: str) -> None:
+        """A job lost its user thread: requeue it fresh, or abort it."""
+        index = job.subframe_index
+        key = (index, job.user.user_id)
+        attempts = self._retry_counts.get(key, 0)
+        if attempts < self._resilience.max_retries:
+            self._retry_counts[key] = attempts + 1
+            self._retried_users += 1
+            if self._emit is not None:
+                self._emit(
+                    Event(
+                        EventKind.USER_RETRY,
+                        t,
+                        -1,
+                        {
+                            "subframe": index,
+                            "user": job.user.user_id,
+                            "attempt": attempts + 1,
+                            "reason": reason,
+                        },
+                    )
+                )
+            self._user_queue.append(
+                _Job(
+                    job.user,
+                    index,
+                    self.cost,
+                    self._antennas,
+                    cache=self.cache,
+                    slot_pipelined=self.slot_pipelined,
+                )
+            )
+            self._distribute_work(t)
+            return
+        self._abort_user(job, t, was_adopted=True, reason=reason)
+        self._pending_users[index] -= 1
+        if self._pending_users[index] == 0:
+            self._complete_cycle[index] = t
+            self._resolve_subframe(
+                index, t, state=TerminalState.ABORTED, reason=reason
+            )
+
+    def _make_core_fault(self, spec: FaultSpec):
+        def fire(t: int) -> None:
+            core = self._cores[spec.target % len(self._cores)]
+            if spec.kind is FaultKind.CORE_CRASH:
+                self._crash_core(core, t)
+            elif spec.kind is FaultKind.CORE_STALL:
+                self._stall_core(core, max(1, int(spec.param)), t)
+            elif spec.kind is FaultKind.CORE_SLOWDOWN:
+                self._slow_core(core, float(spec.param), t)
+
+        return fire
+
+    def _record_fault(self, applied: bool, t: int, **data) -> None:
+        record = {"applied": applied, "t": int(t), **data}
+        self._faults_applied.append(record)
+        if self._emit is not None:
+            self._emit(Event(EventKind.FAULT, t, record.get("core", -1), record))
+
+    def _crash_core(self, core: _Core, t: int) -> None:
+        """Permanently kill one core (Section V's fail-stop model).
+
+        The in-flight task is lost: a stolen task's cycles go back to its
+        stage so a live core redoes the work; the core's own job loses its
+        user thread and is retried from scratch (or aborted past the
+        retry budget). The dead core reuses the DISABLED occupancy, so
+        occupancy-trace conservation and the power model hold unchanged.
+        """
+        if core.crashed:
+            self._record_fault(False, t, fault="core-crash", core=core.index)
+            return
+        self._record_fault(True, t, fault="core-crash", core=core.index)
+        core.crashed = True
+        core.epoch += 1  # strand the in-flight finish callback
+        if core.busy:
+            running = core.running
+            core.running = None
+            core.busy = False
+            if running is not None:
+                lost_job, lost_cycles = running
+                if self._emit is not None:
+                    self._emit(
+                        Event(
+                            EventKind.TASK_FINISH,
+                            t,
+                            core.index,
+                            {
+                                "cycles": lost_cycles,
+                                "lost": True,
+                                "kernel": lost_job.stage_kind,
+                                "subframe": lost_job.subframe_index,
+                            },
+                        )
+                    )
+                if lost_job is not core.job and not lost_job.cancelled:
+                    # A stolen task: hand it back to the stage for a live
+                    # core to redo (outstanding was never decremented).
+                    lost_job.ready.appendleft(lost_cycles)
+                    self._jobs_with_ready.append(lost_job)
+            elif self._emit is not None:
+                self._emit(
+                    Event(
+                        EventKind.TASK_FINISH,
+                        t,
+                        core.index,
+                        {"lost": True, "kernel": "stall", "subframe": -1},
+                    )
+                )
+        job = core.job
+        if job is not None:
+            core.job = None
+            job.user_core = None
+        # Take the dead core out of every scheduling structure before any
+        # retry/redistribute below can hand it work.
+        self._idle_spin.discard(core.index)
+        self._idle_nap.pop(core.index, None)
+        self._disabled.add(core.index)
+        self._set_state(core, CoreState.DISABLED, t)
+        if job is not None and not job.cancelled:
+            job.cancelled = True
+            job.ready.clear()
+            self._retry_or_abort_user(job, t, reason="core-crash")
+        # Re-engage idle cores: the crash may have returned a stolen task
+        # to its stage and/or requeued the dead core's user.
+        self._distribute_work(t)
+
+    def _stall_core(self, core: _Core, cycles: int, t: int) -> None:
+        """Freeze one core for ``cycles``: it occupies COMPUTE producing
+        nothing (a wedged core looks busy to the machine)."""
+        if core.crashed or core.busy or core.state is CoreState.DISABLED:
+            self._record_fault(
+                False, t, fault="core-stall", core=core.index, cycles=cycles
+            )
+            return
+        self._record_fault(
+            True, t, fault="core-stall", core=core.index, cycles=cycles
+        )
+        self._idle_spin.discard(core.index)
+        self._idle_nap.pop(core.index, None)
+        core.busy = True
+        core.running = None
+        self._set_state(core, CoreState.COMPUTE, t)
+        self._tasks_executed += 1
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.TASK_START,
+                    t,
+                    core.index,
+                    {
+                        "cycles": cycles,
+                        "stolen": False,
+                        "kernel": "stall",
+                        "subframe": -1,
+                    },
+                )
+            )
+        epoch = core.epoch
+
+        def finish(end: int) -> None:
+            if core.epoch != epoch:
+                return  # crashed mid-stall; the crash accounted the task
+            if self._emit is not None:
+                self._emit(
+                    Event(
+                        EventKind.TASK_FINISH,
+                        end,
+                        core.index,
+                        {"cycles": cycles, "kernel": "stall", "subframe": -1},
+                    )
+                )
+            core.busy = False
+            self._seek_work(core, end)
+
+        self._engine.schedule(t + cycles, finish)
+
+    def _slow_core(self, core: _Core, factor: float, t: int) -> None:
+        """Degrade one core: every subsequent task runs ``factor`` slower
+        (thermal-throttling model; already-running tasks are unaffected)."""
+        if core.crashed or factor <= 0:
+            self._record_fault(
+                False, t, fault="core-slowdown", core=core.index, factor=factor
+            )
+            return
+        self._record_fault(
+            True, t, fault="core-slowdown", core=core.index, factor=factor
+        )
+        core.slow_factor = factor
 
     def _set_active_workers(self, target: int, t: int) -> None:
         previous = self._active_workers
@@ -418,7 +868,7 @@ class MachineSimulator:
             # next periodic wake check (modelled as half a period).
             delay = max(1, self._wake_period_cycles // 2)
             for core in self._cores[previous:target]:
-                if core.index in self._disabled:
+                if core.index in self._disabled and not core.crashed:
                     self._disabled.discard(core.index)
                     self._engine.schedule_in(
                         delay, self._make_enable(core)
@@ -438,7 +888,7 @@ class MachineSimulator:
 
     def _make_enable(self, core: _Core):
         def enable(t: int) -> None:
-            if core.state is CoreState.DISABLED:
+            if core.state is CoreState.DISABLED and not core.crashed:
                 self._set_state(core, CoreState.SPIN, t)
                 # _seek_work either takes work or re-registers the core as
                 # idle; pre-registering here would let _distribute_work
@@ -637,7 +1087,11 @@ class MachineSimulator:
             cycles += self.noc.steal_penalty(
                 core.index, job.user_core.index, payload_lines=job.steal_lines
             )
+        if core.slow_factor != 1.0:
+            cycles = max(1, int(cycles * core.slow_factor))
         kernel = job.stage_kind
+        core.running = (job, cycles)
+        epoch = core.epoch
         if self._emit is not None:
             self._emit(
                 Event(
@@ -654,6 +1108,9 @@ class MachineSimulator:
             )
 
         def finish(end: int) -> None:
+            if core.epoch != epoch:
+                return  # the core crashed mid-task; the crash accounted it
+            core.running = None
             if self._emit is not None:
                 self._emit(
                     Event(
@@ -673,6 +1130,11 @@ class MachineSimulator:
         self._engine.schedule(t + cycles, finish)
 
     def _task_finished(self, core: _Core, job: _Job, t: int) -> None:
+        if job.cancelled:
+            # The job was voided (crash retry / deadline abort) while this
+            # task was in flight: the work is discarded, the core moves on.
+            self._seek_work(core, t)
+            return
         job.outstanding -= 1
         if job.outstanding == 0 and not job.ready:
             self._stage_complete(job, t)
@@ -680,6 +1142,8 @@ class MachineSimulator:
 
     def _stage_complete(self, job: _Job, t: int) -> None:
         """All tasks of the current parallel stage finished."""
+        if job.cancelled:
+            return
         owner = job.user_core
         assert owner is not None
         if owner.busy:
@@ -742,7 +1206,11 @@ class MachineSimulator:
         self._set_state(core, CoreState.COMPUTE, t)
         self._tasks_executed += 1
         cycles = stage[1]
+        if core.slow_factor != 1.0:
+            cycles = max(1, int(cycles * core.slow_factor))
         kernel = stage[2]
+        core.running = (job, cycles)
+        epoch = core.epoch
         if self._emit is not None:
             self._emit(
                 Event(
@@ -760,6 +1228,9 @@ class MachineSimulator:
             )
 
         def finish(end: int) -> None:
+            if core.epoch != epoch:
+                return  # the core crashed mid-stage; the crash accounted it
+            core.running = None
             if self._emit is not None:
                 self._emit(
                     Event(
@@ -775,6 +1246,9 @@ class MachineSimulator:
                     )
                 )
             core.busy = False
+            if job.cancelled:
+                self._seek_work(core, end)
+                return
             if not self._owner_advance(core, job, end):
                 self._seek_work(core, end)
 
@@ -803,6 +1277,8 @@ class MachineSimulator:
                     },
                 )
             )
+        if self._pending_users[index] == 0:
+            self._resolve_subframe(index, t)
 
     def _finalize_trace(self, horizon: int) -> None:
         for core in self._cores:

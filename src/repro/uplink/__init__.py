@@ -12,7 +12,12 @@ from .parameter_model import (
     SteadyStateParameterModel,
     TraceParameterModel,
 )
-from .recording import load_results, save_results, verify_against_recording
+from .recording import (
+    RecordingError,
+    load_results,
+    save_results,
+    verify_against_recording,
+)
 from .scenarios import DiurnalParameterModel, ScaledLoadModel
 from .serial import (
     FUNCTIONAL_BACKENDS,
@@ -46,6 +51,7 @@ __all__ = [
     "TraceParameterModel",
     "DiurnalParameterModel",
     "ScaledLoadModel",
+    "RecordingError",
     "load_results",
     "save_results",
     "verify_against_recording",

@@ -21,10 +21,25 @@ from ..phy.chain import UserResult
 from .serial import SubframeResult
 from .verification import VerificationReport, verify_against_serial
 
-__all__ = ["save_results", "load_results", "verify_against_recording"]
+__all__ = [
+    "RecordingError",
+    "save_results",
+    "load_results",
+    "verify_against_recording",
+]
 
 _FORMAT_KEY = "__format__"
 _FORMAT_VERSION = 1
+
+
+class RecordingError(ValueError):
+    """A results recording is unreadable, truncated, or inconsistent.
+
+    Raised instead of the grab-bag a damaged ``.npz`` produces naturally
+    (``BadZipFile``, ``KeyError``, ``OSError``, ...), so callers checking
+    a reference recording can distinguish "this file is damaged" from
+    "the results genuinely differ" with a single except clause.
+    """
 
 
 def _key(subframe_index: int, user_id: int, field: str) -> str:
@@ -61,29 +76,66 @@ def save_results(results: list[SubframeResult], path: str | Path) -> Path:
 
 
 def load_results(path: str | Path) -> list[SubframeResult]:
-    """Load a stored run back into :class:`SubframeResult` objects."""
+    """Load a stored run back into :class:`SubframeResult` objects.
+
+    Raises :class:`RecordingError` for anything short of a healthy
+    archive: an unreadable or truncated file, a foreign ``.npz``, or an
+    archive whose internal index names entries that are missing or
+    malformed (the shape a partially-written recording takes).
+    """
     path = Path(path)
-    with np.load(path) as archive:
-        if _FORMAT_KEY not in archive or int(archive[_FORMAT_KEY][0]) != _FORMAT_VERSION:
-            raise ValueError(f"{path} is not a recognized results recording")
-        results = []
-        for subframe_index in archive["subframes"]:
-            subframe_index = int(subframe_index)
-            user_results = []
-            for user_id in archive[f"sf{subframe_index:08d}/users"]:
-                user_id = int(user_id)
-                payload = archive[_key(subframe_index, user_id, "payload")].astype(
-                    np.int64
-                )
-                crc_ok = bool(archive[_key(subframe_index, user_id, "crc")][0])
-                user_results.append(
-                    UserResult(user_id=user_id, payload=payload, crc_ok=crc_ok)
-                )
-            results.append(
-                SubframeResult(
-                    subframe_index=subframe_index, user_results=user_results
-                )
+    try:
+        archive_cm = np.load(path)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, OSError, ValueError, ...
+        raise RecordingError(
+            f"{path} is not a readable recording (truncated or corrupt): "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    with archive_cm as archive:
+        if (
+            _FORMAT_KEY not in archive
+            or archive[_FORMAT_KEY].size != 1
+            or int(archive[_FORMAT_KEY][0]) != _FORMAT_VERSION
+        ):
+            raise RecordingError(
+                f"{path} is not a recognized results recording "
+                f"(format marker missing or unsupported)"
             )
+        try:
+            results = []
+            for subframe_index in archive["subframes"]:
+                subframe_index = int(subframe_index)
+                user_results = []
+                for user_id in archive[f"sf{subframe_index:08d}/users"]:
+                    user_id = int(user_id)
+                    payload = archive[
+                        _key(subframe_index, user_id, "payload")
+                    ].astype(np.int64)
+                    crc_array = archive[_key(subframe_index, user_id, "crc")]
+                    if crc_array.size != 1:
+                        raise RecordingError(
+                            f"{path}: malformed CRC entry for subframe "
+                            f"{subframe_index} user {user_id}"
+                        )
+                    user_results.append(
+                        UserResult(
+                            user_id=user_id,
+                            payload=payload,
+                            crc_ok=bool(crc_array[0]),
+                        )
+                    )
+                results.append(
+                    SubframeResult(
+                        subframe_index=subframe_index, user_results=user_results
+                    )
+                )
+        except KeyError as exc:
+            raise RecordingError(
+                f"{path}: recording index names missing entry {exc} "
+                f"(archive is incomplete)"
+            ) from exc
     return results
 
 

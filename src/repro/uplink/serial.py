@@ -33,10 +33,17 @@ FUNCTIONAL_BACKENDS = ("serial", "vectorized")
 
 @dataclass
 class SubframeResult:
-    """All users' decoded results for one subframe."""
+    """All users' decoded results for one subframe.
+
+    ``aborted_user_ids`` lists users the resilience layer gave up on
+    (retry budget exhausted or subframe deadline-aborted); it is empty on
+    every fault-free path and is deliberately *not* part of :meth:`equals`,
+    which compares the decoded payloads that were produced.
+    """
 
     subframe_index: int
     user_results: list[UserResult] = field(default_factory=list)
+    aborted_user_ids: list[int] = field(default_factory=list)
 
     def equals(self, other: "SubframeResult") -> bool:
         """Bit-exact comparison against another run of the same subframe."""

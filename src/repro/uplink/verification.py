@@ -18,10 +18,21 @@ __all__ = ["VerificationReport", "verify_against_serial"]
 
 @dataclass
 class VerificationReport:
-    """Outcome of comparing a parallel run against the serial reference."""
+    """Outcome of comparing a parallel run against the serial reference.
+
+    ``mismatched_subframes`` is the pass/fail signal (it includes the
+    missing ones); ``missing_subframes`` and ``crc_mismatches`` break the
+    failure down for diagnosis — a CRC flag that differs between two runs
+    of the same input pinpoints payload corruption (or a scheduler bug
+    handing a user the wrong data) without diffing whole payloads.
+    """
 
     subframes_compared: int
     mismatched_subframes: list[int] = field(default_factory=list)
+    #: Subframes present in the reference but absent from the candidate.
+    missing_subframes: list[int] = field(default_factory=list)
+    #: ``(subframe_index, user_id)`` pairs whose CRC flags disagree.
+    crc_mismatches: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -30,11 +41,34 @@ class VerificationReport:
     def __str__(self) -> str:
         if self.passed:
             return f"verification PASSED over {self.subframes_compared} subframes"
-        return (
+        detail = (
             f"verification FAILED: {len(self.mismatched_subframes)} of "
             f"{self.subframes_compared} subframes mismatched "
             f"(first: {self.mismatched_subframes[0]})"
         )
+        if self.missing_subframes:
+            detail += f"; missing: {self.missing_subframes}"
+        if self.crc_mismatches:
+            pairs = ", ".join(
+                f"sf{sf}/u{uid}" for sf, uid in self.crc_mismatches[:8]
+            )
+            detail += (
+                f"; CRC flags disagree for {len(self.crc_mismatches)} "
+                f"user(s): {pairs}"
+            )
+        return detail
+
+
+def _crc_diff(
+    reference: SubframeResult, candidate: SubframeResult
+) -> list[tuple[int, int]]:
+    """(subframe, user) pairs whose CRC verdicts differ between the runs."""
+    theirs = {u.user_id: bool(u.crc_ok) for u in candidate.user_results}
+    return [
+        (reference.subframe_index, u.user_id)
+        for u in reference.user_results
+        if u.user_id in theirs and bool(u.crc_ok) != theirs[u.user_id]
+    ]
 
 
 def verify_against_serial(
@@ -50,11 +84,13 @@ def verify_against_serial(
     by_index = {r.subframe_index: r for r in parallel_results}
     if len(by_index) != len(parallel_results):
         raise ValueError("parallel results contain duplicate subframe indices")
-    mismatched = []
+    report = VerificationReport(subframes_compared=len(serial_results))
     for reference in serial_results:
         candidate = by_index.get(reference.subframe_index)
-        if candidate is None or not reference.equals(candidate):
-            mismatched.append(reference.subframe_index)
-    return VerificationReport(
-        subframes_compared=len(serial_results), mismatched_subframes=mismatched
-    )
+        if candidate is None:
+            report.mismatched_subframes.append(reference.subframe_index)
+            report.missing_subframes.append(reference.subframe_index)
+        elif not reference.equals(candidate):
+            report.mismatched_subframes.append(reference.subframe_index)
+            report.crc_mismatches.extend(_crc_diff(reference, candidate))
+    return report

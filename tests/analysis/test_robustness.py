@@ -1,0 +1,137 @@
+"""REP401/REP402 robustness rules: no silently swallowed failures."""
+
+
+def rule_ids(result):
+    return [f.rule_id for f in result.findings]
+
+
+# Fake-package layout: __init__.py markers make module_name_for() resolve
+# files under tmp_path/repro/sched/ to the in-scope module repro.sched.*.
+def in_scope(name, source):
+    return {
+        "repro/__init__.py": "",
+        "repro/sched/__init__.py": "",
+        f"repro/sched/{name}": source,
+    }
+
+
+BARE_EXCEPT = """
+    def worker_loop(queue):
+        while True:
+            try:
+                queue.pop()
+            except:
+                return
+"""
+
+SWALLOWED_PASS = """
+    def cleanup(resources):
+        for r in resources:
+            try:
+                r.close()
+            except Exception:
+                pass
+"""
+
+SWALLOWED_CONTINUE = """
+    def drain(tasks):
+        for t in tasks:
+            try:
+                t.run()
+            except ValueError:
+                continue
+"""
+
+SWALLOWED_ELLIPSIS = """
+    def poke(hook):
+        try:
+            hook()
+        except RuntimeError:
+            ...
+"""
+
+RECORDING_HANDLER_OK = """
+    def worker_loop(queue, failures):
+        try:
+            queue.pop()
+        except Exception as exc:
+            failures.append(exc)
+            raise
+"""
+
+FALLBACK_HANDLER_OK = """
+    def read_config(path):
+        try:
+            return path.read_text()
+        except FileNotFoundError:
+            return ""
+"""
+
+SUPPRESSED = """
+    def best_effort_close(sock):
+        try:
+            sock.close()
+        except OSError:  # repro-lint: disable=REP402
+            pass
+"""
+
+
+class TestRep401BareExcept:
+    def test_fires_in_scope(self, lint_tree):
+        result = lint_tree(in_scope("worker.py", BARE_EXCEPT))
+        assert "REP401" in rule_ids(result)
+
+    def test_silent_out_of_scope(self, lint_snippet):
+        # A loose file resolves to a bare module name: not a runtime.
+        result = lint_snippet(BARE_EXCEPT, name="scratch.py")
+        assert "REP401" not in rule_ids(result)
+
+    def test_named_exception_is_fine(self, lint_tree):
+        result = lint_tree(in_scope("worker.py", RECORDING_HANDLER_OK))
+        assert "REP401" not in rule_ids(result)
+
+
+class TestRep402SwallowedException:
+    def test_pass_body_fires(self, lint_tree):
+        result = lint_tree(in_scope("cleanup.py", SWALLOWED_PASS))
+        assert "REP402" in rule_ids(result)
+
+    def test_continue_body_fires(self, lint_tree):
+        result = lint_tree(in_scope("drain.py", SWALLOWED_CONTINUE))
+        assert "REP402" in rule_ids(result)
+
+    def test_ellipsis_body_fires(self, lint_tree):
+        result = lint_tree(in_scope("poke.py", SWALLOWED_ELLIPSIS))
+        assert "REP402" in rule_ids(result)
+
+    def test_recording_handler_is_fine(self, lint_tree):
+        result = lint_tree(in_scope("worker.py", RECORDING_HANDLER_OK))
+        assert "REP402" not in rule_ids(result)
+
+    def test_fallback_handler_is_fine(self, lint_tree):
+        result = lint_tree(in_scope("config.py", FALLBACK_HANDLER_OK))
+        assert "REP402" not in rule_ids(result)
+
+    def test_inline_disable_pragma(self, lint_tree):
+        result = lint_tree(in_scope("close.py", SUPPRESSED))
+        assert "REP402" not in rule_ids(result)
+
+    def test_silent_out_of_scope(self, lint_snippet):
+        result = lint_snippet(SWALLOWED_PASS, name="scratch.py")
+        assert "REP402" not in rule_ids(result)
+
+
+class TestRealRuntimeIsClean:
+    def test_shipped_runtime_has_no_findings(self):
+        # The rules gate CI over src/: the shipped scheduler, simulator,
+        # and fault layer must hold the bar they impose.
+        from pathlib import Path
+
+        from repro.analysis import default_rules, lint_paths
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        result = lint_paths(
+            [src / "sched", src / "sim", src / "faults"],
+            rules=default_rules(["REP401", "REP402"]),
+        )
+        assert not result.findings, [str(f) for f in result.findings]

@@ -1,0 +1,109 @@
+"""SubframeLedger: exactly-one-terminal-state accounting."""
+
+import threading
+
+import pytest
+
+from repro.faults.accounting import LedgerError, SubframeLedger, TerminalState
+
+
+class TestBasicAccounting:
+    def test_dispatch_then_resolve_balances(self):
+        ledger = SubframeLedger()
+        for index in range(4):
+            ledger.dispatch(index, users=2)
+        ledger.resolve(0, TerminalState.OK)
+        ledger.resolve(1, TerminalState.CRC_FAILED)
+        ledger.resolve(2, TerminalState.SHED)
+        ledger.resolve(3, TerminalState.ABORTED)
+        assert ledger.counts() == {
+            "ok": 1, "crc_failed": 1, "shed": 1, "aborted": 1,
+        }
+        assert ledger.dispatched == sum(ledger.counts().values())
+        ledger.check()
+        assert ledger.ok
+
+    def test_counts_always_carry_all_four_keys(self):
+        assert set(SubframeLedger().counts()) == {
+            "ok", "crc_failed", "shed", "aborted",
+        }
+
+    def test_unresolved_subframe_fails_check(self):
+        ledger = SubframeLedger()
+        ledger.dispatch(0, users=1)
+        ledger.dispatch(1, users=1)
+        ledger.resolve(0, TerminalState.OK)
+        assert ledger.unresolved() == [1]
+        assert not ledger.ok
+        with pytest.raises(LedgerError, match="never reached a terminal"):
+            ledger.check()
+
+    def test_state_of(self):
+        ledger = SubframeLedger()
+        ledger.dispatch(7, users=1)
+        assert ledger.state_of(7) is None
+        ledger.resolve(7, TerminalState.SHED)
+        assert ledger.state_of(7) is TerminalState.SHED
+
+
+class TestEdgePolicies:
+    def test_double_dispatch_is_an_error(self):
+        ledger = SubframeLedger()
+        ledger.dispatch(0, users=1)
+        with pytest.raises(LedgerError, match="dispatched twice"):
+            ledger.dispatch(0, users=1)
+
+    def test_resolve_without_dispatch_is_an_error(self):
+        with pytest.raises(LedgerError, match="without being dispatched"):
+            SubframeLedger().resolve(3, TerminalState.OK)
+
+    def test_first_resolution_wins_late_duplicate_recorded(self):
+        ledger = SubframeLedger()
+        ledger.dispatch(0, users=1)
+        assert ledger.resolve(0, TerminalState.ABORTED, "deadline") is True
+        # The hung worker wakes up and tries to complete: not an error,
+        # but recorded, and the terminal state does not change.
+        assert ledger.resolve(0, TerminalState.OK, "late finish") is False
+        assert ledger.state_of(0) is TerminalState.ABORTED
+        assert ledger.late_resolutions == [(0, TerminalState.OK, "late finish")]
+        ledger.check()
+
+    def test_summary_is_plain_data(self):
+        ledger = SubframeLedger()
+        ledger.dispatch(1, users=3)
+        ledger.resolve(1, TerminalState.OK, "done")
+        summary = ledger.summary()
+        assert summary["dispatched"] == 1
+        assert summary["counts"]["ok"] == 1
+        assert summary["resolved"][1] == {"state": "ok", "reason": "done"}
+        assert summary["late_resolutions"] == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_resolutions_keep_exactly_one_winner(self):
+        ledger = SubframeLedger()
+        for index in range(50):
+            ledger.dispatch(index, users=1)
+        barrier = threading.Barrier(4)
+        wins = [0, 0, 0, 0]
+
+        def contend(slot, state):
+            barrier.wait()
+            for index in range(50):
+                if ledger.resolve(index, state):
+                    wins[slot] += 1
+
+        states = [TerminalState.OK, TerminalState.ABORTED,
+                  TerminalState.SHED, TerminalState.CRC_FAILED]
+        threads = [
+            threading.Thread(target=contend, args=(slot, state))
+            for slot, state in enumerate(states)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(wins) == 50
+        ledger.check()
+        assert sum(ledger.counts().values()) == 50
+        assert len(ledger.late_resolutions) == 150

@@ -1,0 +1,118 @@
+"""Chaos campaign: matrix construction, scenario survival, reporting."""
+
+import json
+
+import pytest
+
+from repro.faults.chaos import (
+    SIM_GROUPS,
+    THREADED_GROUPS,
+    ScenarioOutcome,
+    SurvivalReport,
+    build_matrix,
+    run_scenario,
+)
+
+
+class TestBuildMatrix:
+    def test_default_matrix_meets_campaign_floor(self):
+        # The acceptance bar: >= 30 seeded scenarios across the matrix.
+        scenarios = build_matrix(scale="default", seeds=3)
+        assert len(scenarios) >= 30
+        assert len(scenarios) == 3 * (len(SIM_GROUPS) + len(THREADED_GROUPS))
+
+    def test_matrix_is_deterministic(self):
+        a = build_matrix(scale="smoke", seeds=2)
+        b = build_matrix(scale="smoke", seeds=2)
+        assert [s.to_dict() for s in a] == [s.to_dict() for s in b]
+
+    def test_backend_filter(self):
+        sim_only = build_matrix(scale="smoke", seeds=1, backends=("sim",))
+        assert sim_only
+        assert all(s.backend == "sim" for s in sim_only)
+
+    def test_scenario_names_are_unique(self):
+        scenarios = build_matrix(scale="smoke", seeds=2)
+        labels = [(s.backend, s.name, s.seed) for s in scenarios]
+        assert len(set(labels)) == len(labels)
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            build_matrix(scale="galactic")
+
+    def test_rejects_bad_seed_count(self):
+        with pytest.raises(ValueError):
+            build_matrix(scale="smoke", seeds=0)
+
+    def test_scenario_dict_is_json_serializable(self):
+        scenario = build_matrix(scale="smoke", seeds=1)[0]
+        json.dumps(scenario.to_dict())
+
+
+class TestRunScenario:
+    def test_sim_crash_scenario_survives(self):
+        scenario = next(
+            s
+            for s in build_matrix(scale="smoke", seeds=1, backends=("sim",))
+            if s.name == "crash"
+        )
+        outcome = run_scenario(scenario)
+        assert outcome.survived, (outcome.checks, outcome.error)
+        assert outcome.checks == {
+            "terminates": True,
+            "accounts": True,
+            "invariants": True,
+            "replays": True,
+        }
+        assert outcome.dispatched == sum(outcome.counts.values())
+
+    def test_threaded_mixed_scenario_survives(self):
+        scenario = next(
+            s
+            for s in build_matrix(scale="smoke", seeds=1, backends=("threaded",))
+            if s.name == "mixed"
+        )
+        outcome = run_scenario(scenario)
+        assert outcome.survived, (outcome.checks, outcome.error)
+        assert outcome.dispatched == sum(outcome.counts.values())
+
+
+class TestSurvivalReport:
+    def outcomes(self):
+        scenario = build_matrix(scale="smoke", seeds=1)[0]
+        good = ScenarioOutcome(
+            scenario=scenario,
+            survived=True,
+            checks={"terminates": True},
+            counts={"ok": 5, "crc_failed": 1, "shed": 0, "aborted": 0},
+            dispatched=6,
+            wall_s=0.5,
+        )
+        bad = ScenarioOutcome(
+            scenario=scenario,
+            survived=False,
+            checks={"terminates": True, "replays": False},
+            dispatched=6,
+            error="",
+        )
+        return good, bad
+
+    def test_passed_requires_every_scenario(self):
+        good, bad = self.outcomes()
+        assert SurvivalReport(outcomes=[good]).passed
+        assert not SurvivalReport(outcomes=[good, bad]).passed
+        assert not SurvivalReport(outcomes=[]).passed
+
+    def test_format_shows_verdicts_and_failed_checks(self):
+        good, bad = self.outcomes()
+        text = SurvivalReport(outcomes=[good, bad]).format()
+        assert "SURVIVED" in text
+        assert "FAILED" in text
+        assert "replays" in text  # the failed check is named
+
+    def test_to_dict_round_trips_through_json(self):
+        good, bad = self.outcomes()
+        payload = json.loads(json.dumps(SurvivalReport([good, bad]).to_dict()))
+        assert payload["scenarios"] == 2
+        assert payload["survived"] == 1
+        assert payload["passed"] is False

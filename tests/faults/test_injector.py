@@ -1,0 +1,122 @@
+"""Payload corruption and the threaded runtime's fault injector."""
+
+import numpy as np
+
+from repro.faults.injector import ThreadFaultInjector, corrupt_subframe
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.uplink.subframe import SubframeFactory
+from repro.uplink.user import Modulation, UserParameters
+
+
+def make_subframe(index=0, seed=0):
+    users = [
+        UserParameters(0, 8, 2, Modulation.QAM16),
+        UserParameters(1, 4, 1, Modulation.QPSK),
+    ]
+    return SubframeFactory(seed=seed).synthesize(users, index)
+
+
+def payload_plan(kind, subframe=0, target=-1, param=16.0, seed=3):
+    return FaultPlan(
+        specs=(
+            FaultSpec(kind=kind, subframe=subframe, target=target,
+                      param=param, seed=seed),
+        )
+    )
+
+
+class TestCorruptSubframe:
+    def test_no_payload_fault_returns_original_object(self):
+        subframe = make_subframe()
+        plan = FaultPlan(
+            specs=(FaultSpec(kind=FaultKind.WORKER_DEATH, subframe=0, target=0),)
+        )
+        assert corrupt_subframe(subframe, plan) is subframe
+
+    def test_wrong_subframe_returns_original_object(self):
+        subframe = make_subframe(index=0)
+        plan = payload_plan(FaultKind.PAYLOAD_BITFLIP, subframe=5)
+        assert corrupt_subframe(subframe, plan) is subframe
+
+    def test_bitflip_corrupts_copy_not_original(self):
+        subframe = make_subframe()
+        original_grid = subframe.grid.copy()
+        corrupted = corrupt_subframe(
+            subframe, payload_plan(FaultKind.PAYLOAD_BITFLIP)
+        )
+        assert corrupted is not subframe
+        np.testing.assert_array_equal(subframe.grid, original_grid)
+        diff = np.count_nonzero(corrupted.grid != subframe.grid)
+        assert diff > 0
+
+    def test_bitflip_targets_only_the_named_user(self):
+        subframe = make_subframe()
+        corrupted = corrupt_subframe(
+            subframe, payload_plan(FaultKind.PAYLOAD_BITFLIP, target=1)
+        )
+        for user_slice in subframe.slices:
+            before = user_slice.view(subframe.grid)
+            after = user_slice.view(corrupted.grid)
+            if user_slice.user.user_id == 1:
+                assert np.count_nonzero(after != before) > 0
+            else:
+                np.testing.assert_array_equal(after, before)
+
+    def test_nan_fault_plants_nans(self):
+        corrupted = corrupt_subframe(
+            make_subframe(), payload_plan(FaultKind.PAYLOAD_NAN, param=4.0)
+        )
+        assert np.isnan(corrupted.grid).any()
+
+    def test_same_seed_same_corruption(self):
+        plan = payload_plan(FaultKind.PAYLOAD_BITFLIP, seed=42)
+        a = corrupt_subframe(make_subframe(), plan)
+        b = corrupt_subframe(make_subframe(), plan)
+        np.testing.assert_array_equal(a.grid, b.grid)
+
+
+class TestThreadFaultInjector:
+    def plan(self):
+        return FaultPlan(
+            specs=(
+                FaultSpec(kind=FaultKind.WORKER_DEATH, subframe=2, target=1),
+                FaultSpec(kind=FaultKind.WORKER_HANG, subframe=0, target=-1,
+                          param=0.25),
+                FaultSpec(kind=FaultKind.TASK_EXCEPTION, subframe=1, target=0),
+                FaultSpec(kind=FaultKind.PAYLOAD_BITFLIP, subframe=0, target=0),
+            )
+        )
+
+    def test_arms_only_thread_kinds(self):
+        injector = ThreadFaultInjector(self.plan())
+        assert injector.pending == 3
+
+    def test_fault_fires_exactly_once(self):
+        injector = ThreadFaultInjector(self.plan())
+        assert injector.check_task_exception(0, 1)
+        assert not injector.check_task_exception(0, 1)
+        assert injector.pending == 2
+        assert len(injector.fired) == 1
+
+    def test_target_worker_must_match(self):
+        injector = ThreadFaultInjector(self.plan())
+        assert not injector.check_worker_death(0, 2)
+        assert injector.check_worker_death(1, 2)
+
+    def test_wildcard_target_matches_any_worker(self):
+        injector = ThreadFaultInjector(self.plan())
+        assert injector.check_worker_hang(7, 0) == 0.25
+        assert injector.check_worker_hang(7, 0) is None
+
+    def test_fault_stays_armed_past_planned_subframe(self):
+        # Interleaving may let the planned subframe slip past the target
+        # worker; the spec keeps waiting rather than silently never firing.
+        injector = ThreadFaultInjector(self.plan())
+        assert not injector.check_worker_death(1, 0)
+        assert not injector.check_worker_death(1, 1)
+        assert injector.check_worker_death(1, 9)
+
+    def test_early_subframe_does_not_fire(self):
+        injector = ThreadFaultInjector(self.plan())
+        assert not injector.check_task_exception(0, 0)
+        assert injector.pending == 3

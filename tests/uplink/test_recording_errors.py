@@ -1,0 +1,141 @@
+"""Error paths of recording load/verify: damaged archives must raise
+RecordingError (one exception type, actionable message), and CRC-level
+divergence must be reported per user, not just per subframe."""
+
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.phy.params import Modulation
+from repro.uplink.recording import (
+    RecordingError,
+    load_results,
+    save_results,
+    verify_against_recording,
+)
+from repro.uplink.serial import SerialBenchmark
+from repro.uplink.subframe import SubframeFactory
+from repro.uplink.parameter_model import TraceParameterModel
+from repro.uplink.user import UserParameters
+from repro.uplink.verification import verify_against_serial
+
+
+@pytest.fixture()
+def recording(tmp_path):
+    model = TraceParameterModel(
+        [
+            [
+                UserParameters(0, 8, 2, Modulation.QAM16),
+                UserParameters(1, 4, 1, Modulation.QPSK),
+            ],
+            [UserParameters(0, 6, 1, Modulation.QAM64)],
+        ]
+    )
+    results = SerialBenchmark(model, SubframeFactory(seed=0)).run(4)
+    path = save_results(results, tmp_path / "ref.npz")
+    return path, results
+
+
+class TestDamagedArchives:
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        # Not RecordingError: "no such file" is a caller bug, not damage.
+        with pytest.raises(FileNotFoundError):
+            load_results(tmp_path / "nope.npz")
+
+    def test_truncated_archive(self, recording, tmp_path):
+        path, _ = recording
+        clipped = tmp_path / "clipped.npz"
+        clipped.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(RecordingError, match="truncated or corrupt"):
+            load_results(clipped)
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(RecordingError, match="truncated or corrupt"):
+            load_results(path)
+
+    def test_foreign_npz_rejected_by_format_marker(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez_compressed(path, data=np.arange(3))
+        with pytest.raises(RecordingError, match="format marker"):
+            load_results(path)
+
+    def test_incomplete_archive_missing_indexed_entry(self, recording, tmp_path):
+        # Simulate a partially-written recording: the index survives but a
+        # payload entry it names is gone.
+        path, _ = recording
+        stripped = tmp_path / "stripped.npz"
+        with zipfile.ZipFile(path) as src, zipfile.ZipFile(
+            stripped, "w"
+        ) as dst:
+            for name in src.namelist():
+                if "payload" in name and "u0000" in name:
+                    continue
+                dst.writestr(name, src.read(name))
+        with pytest.raises(RecordingError, match="incomplete"):
+            load_results(stripped)
+
+    def test_malformed_crc_entry(self, recording, tmp_path):
+        path, _ = recording
+        mangled = tmp_path / "mangled.npz"
+        with zipfile.ZipFile(path) as src, zipfile.ZipFile(mangled, "w") as dst:
+            for name in src.namelist():
+                if name.endswith("crc.npy"):
+                    # Replace one CRC scalar with a 3-element array.
+                    import io
+
+                    buf = io.BytesIO()
+                    np.save(buf, np.array([1, 0, 1], dtype=np.uint8))
+                    dst.writestr(name, buf.getvalue())
+                else:
+                    dst.writestr(name, src.read(name))
+        with pytest.raises(RecordingError, match="malformed CRC"):
+            load_results(mangled)
+
+    def test_recording_error_is_a_value_error(self):
+        # Existing `except ValueError` callers keep working.
+        assert issubclass(RecordingError, ValueError)
+
+
+class TestCrcMismatchReporting:
+    def test_crc_disagreement_is_named_per_user(self, recording):
+        path, results = recording
+        tampered = load_results(path)
+        victim = tampered[1]
+        victim.user_results[0].crc_ok = not victim.user_results[0].crc_ok
+        report = verify_against_recording(path, tampered)
+        assert not report.passed
+        assert report.crc_mismatches == [
+            (victim.subframe_index, victim.user_results[0].user_id)
+        ]
+        text = str(report)
+        assert "CRC flags disagree" in text
+        assert f"sf{victim.subframe_index}/u{victim.user_results[0].user_id}" in text
+
+    def test_payload_only_divergence_reports_no_crc_mismatch(self, recording):
+        path, _ = recording
+        tampered = load_results(path)
+        tampered[0].user_results[0].payload ^= 1
+        report = verify_against_recording(path, tampered)
+        assert not report.passed
+        assert report.crc_mismatches == []
+        assert report.missing_subframes == []
+
+    def test_missing_subframes_are_listed(self, recording):
+        path, results = recording
+        partial = load_results(path)[:-1]
+        report = verify_against_recording(path, partial)
+        assert not report.passed
+        missing = max(r.subframe_index for r in results)
+        assert report.missing_subframes == [missing]
+        assert missing in report.mismatched_subframes
+        assert "missing" in str(report)
+
+    def test_passed_report_has_empty_diagnostics(self, recording):
+        path, results = recording
+        report = verify_against_serial(results, load_results(path))
+        assert report.passed
+        assert report.missing_subframes == []
+        assert report.crc_mismatches == []
