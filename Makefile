@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow test-invariants bench bench-smoke chaos-smoke lint repro-lint ruff mypy all
+.PHONY: test test-slow test-invariants bench bench-smoke chaos-smoke multiprocess-smoke lint repro-lint ruff mypy all
 
 all: test lint
 
@@ -29,6 +29,11 @@ bench-smoke:
 
 chaos-smoke:
 	$(PYTHON) -m repro chaos --scale smoke --seeds 5 --timeout 480
+
+multiprocess-smoke:
+	$(PYTHON) -m pytest -x -q tests/sched/test_multiprocess.py tests/test_spawn_safety.py
+	$(PYTHON) -m pytest -m slow -q tests/differential/test_backends.py -k multiprocess
+	$(PYTHON) -m repro chaos --backend multiprocess --scale smoke --seeds 2 --timeout 600
 
 lint: repro-lint ruff mypy
 

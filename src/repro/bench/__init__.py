@@ -1,7 +1,8 @@
 """The ``repro bench`` regression harness.
 
-Runs a pinned scenario matrix — serial reference, simulator under NONAP
-and NAP+IDLE, threaded runtime — with the profiling layer attached, and
+Runs a pinned scenario matrix — serial reference, vectorized, threaded
+and multiprocess runtimes, simulator under NONAP and NAP+IDLE — with
+the profiling layer attached, and
 writes a machine-readable ``BENCH_<rev>.json`` report (throughput,
 per-kernel breakdown, deadline-miss rate, observability overhead).
 ``compare_reports`` diffs two reports and flags regressions; the CI
@@ -19,7 +20,7 @@ from .harness import (
     validate_bench_report,
     write_bench_report,
 )
-from .compare import compare_reports
+from .compare import compare_reports, new_scenario_rows
 
 __all__ = [
     "SCALES",
@@ -28,6 +29,7 @@ __all__ = [
     "compare_reports",
     "default_report_path",
     "git_revision",
+    "new_scenario_rows",
     "run_bench",
     "validate_bench_report",
     "write_bench_report",

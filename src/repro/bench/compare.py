@@ -18,7 +18,21 @@ from __future__ import annotations
 
 from .harness import validate_bench_report
 
-__all__ = ["compare_reports"]
+__all__ = ["compare_reports", "new_scenario_rows"]
+
+
+def new_scenario_rows(baseline: dict, candidate: dict) -> list[str]:
+    """Scenario names present in ``candidate`` but absent from ``baseline``.
+
+    ``repro bench --compare`` prints these as informational *new* rows
+    instead of silently skipping them, so a freshly-added backend (e.g.
+    ``multiprocess``) is visible the first time it is benchmarked against
+    an older baseline rather than invisibly uncompared. Never a
+    regression by itself.
+    """
+    base = baseline.get("scenarios") or {}
+    cand = candidate.get("scenarios") or {}
+    return sorted(set(cand) - set(base))
 
 
 def _wall_regressions(

@@ -1,6 +1,6 @@
 """Scenario matrix and report writer behind ``repro bench``.
 
-Five pinned scenarios cover the execution backends and both paper
+Six pinned scenarios cover the execution backends and both paper
 policies:
 
 * ``serial`` — the Section IV-A serial reference over synthesized
@@ -11,6 +11,10 @@ policies:
   results in the same run (the ``bit_exact_vs_serial`` field);
 * ``threaded`` — the Pthreads-twin runtime with the
   :class:`~repro.obs.profiling.Profiler` attached (wall-clock kernels);
+* ``multiprocess`` — the spawn-based process pool over shared-memory
+  grids; pool startup is reported separately from steady-state
+  throughput, and the row records ``host_cpus`` because scaling over
+  ``vectorized`` needs real cores (GIL-free);
 * ``sim-nonap`` / ``sim-nap-idle`` — the timing simulator under the two
   bounding policies; these also report a fully *deterministic* block
   (kernel cycles, deadline-miss rate, task/steal counts) that is
@@ -24,6 +28,7 @@ checks structure without any external dependency.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import time
 from contextlib import contextmanager
@@ -50,7 +55,14 @@ __all__ = [
 SCHEMA_VERSION = "repro-bench/1"
 
 #: Scenario names in matrix order.
-SCENARIOS = ("serial", "vectorized", "threaded", "sim-nonap", "sim-nap-idle")
+SCENARIOS = (
+    "serial",
+    "vectorized",
+    "threaded",
+    "multiprocess",
+    "sim-nonap",
+    "sim-nap-idle",
+)
 
 
 @dataclass(frozen=True)
@@ -240,6 +252,56 @@ def run_threaded_scenario(scale: BenchScale, seed: int) -> dict:
     }
 
 
+def run_multiprocess_scenario(scale: BenchScale, seed: int) -> dict:
+    """The spawn-based process pool over shared-memory subframe grids.
+
+    Pool startup (spawn + NumPy re-import per child) is timed separately
+    (``startup_s``) from the steady-state submit→drain phase, so
+    ``throughput_sf_per_s`` reflects what a long-running receiver sees.
+    Results are verified bit-exact against the serial reference in the
+    same run, and the row records the host's core count: speedup over
+    ``vectorized`` is only expected when ``host_cpus`` exceeds the pool
+    size (the pool escapes the GIL, not the machine).
+    """
+    from ..sched.multiprocess import MultiprocessRuntime
+    from ..sim.cost import DEFAULT_MACHINE
+    from ..uplink.serial import process_subframe_serial
+
+    subframes = _functional_subframes(scale, seed)
+    deadline_ns = DEFAULT_MACHINE.subframe_period_s * 1e9
+    profiler = Profiler(keep_spans=False, deadline=deadline_ns)
+    runtime = MultiprocessRuntime(
+        num_workers=scale.threads, observers=[profiler]
+    )
+    start = time.perf_counter()
+    runtime.start()
+    startup_s = time.perf_counter() - start
+    try:
+        start = time.perf_counter()
+        for subframe in subframes:
+            runtime.submit(subframe)
+        runtime.drain()
+        wall_s = time.perf_counter() - start
+        results = runtime.collect_results()
+    finally:
+        runtime.close()
+    bit_exact = all(
+        result.equals(process_subframe_serial(subframe))
+        for result, subframe in zip(results, subframes)
+    )
+    return {
+        "backend": "multiprocess",
+        "subframes": len(results),
+        "workers": scale.threads,
+        "host_cpus": os.cpu_count(),
+        "startup_s": startup_s,
+        "wall_s": wall_s,
+        "throughput_sf_per_s": len(results) / wall_s if wall_s else 0.0,
+        "kernel_breakdown": profiler.kernel_breakdown("tasks"),
+        "bit_exact_vs_serial": bit_exact,
+    }
+
+
 def _make_sim(scale: BenchScale, policy_name: str, observers):
     from ..power.estimator import calibrate_from_cost_model
     from ..power.governor import make_policy
@@ -391,6 +453,7 @@ def run_bench(
         "serial": lambda: run_serial_scenario(scale, seed),
         "vectorized": lambda: run_vectorized_scenario(scale, seed),
         "threaded": lambda: run_threaded_scenario(scale, seed),
+        "multiprocess": lambda: run_multiprocess_scenario(scale, seed),
         "sim-nonap": lambda: run_sim_scenario(scale, seed, "NONAP"),
         "sim-nap-idle": lambda: run_sim_scenario(scale, seed, "NAP+IDLE"),
     }
@@ -462,6 +525,11 @@ def validate_bench_report(report: Any) -> list[str]:
                         f"{name}: kernel {kernel!r} entry lacks "
                         "count/total/share"
                     )
+        if scenario.get("backend") in ("vectorized", "multiprocess"):
+            if not isinstance(scenario.get("bit_exact_vs_serial"), bool):
+                problems.append(
+                    f"{name}: missing boolean field 'bit_exact_vs_serial'"
+                )
         if scenario.get("backend") == "sim":
             deterministic = scenario.get("deterministic")
             if not isinstance(deterministic, dict):

@@ -7,9 +7,9 @@ Commands mirror the benchmark binary and the evaluation drivers:
     verify both agree (Section IV-D).
 ``run``
     Decode a stretch of randomized-workload subframes on a selected
-    backend (``--backend serial|vectorized|threaded``); ``--verify``
-    recomputes everything on the serial reference and requires bit-exact
-    agreement.
+    backend (``--backend serial|vectorized|threaded|multiprocess``);
+    ``--verify`` recomputes everything on the serial reference and
+    requires bit-exact agreement.
 ``workload``
     Print the Figs. 7-9 workload-trace summary of the randomized model.
 ``calibrate``
@@ -39,8 +39,10 @@ Commands mirror the benchmark binary and the evaluation drivers:
     ``docs/static_analysis.md``) over the given paths.
 ``chaos``
     Run the seeded fault-injection campaign (``repro.faults.chaos``)
-    across the simulator and the threaded runtime and print a survival
-    report; exits nonzero when any scenario fails a survival check.
+    across the simulator and the threaded runtime (``--backend
+    multiprocess`` opts the spawn-based pool in, where worker-death
+    faults SIGKILL real processes) and print a survival report; exits
+    nonzero when any scenario fails a survival check.
 
 ``run``, ``bench``, and ``chaos`` accept ``--timeout SECONDS``: a
 ``faulthandler``-based hang guard that dumps all-thread tracebacks and
@@ -91,7 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--backend",
-        choices=["serial", "vectorized", "threaded"],
+        choices=["serial", "vectorized", "threaded", "multiprocess"],
         default="serial",
         help="execution backend (default serial)",
     )
@@ -106,7 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="MAX_USERS of the randomized model (default 4)",
     )
     run.add_argument(
-        "--workers", type=int, default=4, help="threads (threaded backend only)"
+        "--workers",
+        type=int,
+        default=4,
+        help="threads/processes (threaded and multiprocess backends)",
     )
     run.add_argument(
         "--verify",
@@ -198,10 +203,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--scenario",
         action="append",
-        choices=["serial", "vectorized", "threaded", "sim-nonap", "sim-nap-idle"],
+        choices=[
+            "serial",
+            "vectorized",
+            "threaded",
+            "multiprocess",
+            "sim-nonap",
+            "sim-nap-idle",
+        ],
         default=None,
         metavar="NAME",
-        help="run a subset of the matrix (repeatable; default: all five)",
+        help="run a subset of the matrix (repeatable; default: all six)",
     )
     bench.add_argument(
         "--no-overhead",
@@ -250,9 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--backend",
-        choices=["sim", "threaded", "all"],
+        choices=["sim", "threaded", "multiprocess", "all"],
         default="all",
-        help="restrict the matrix to one backend (default all)",
+        help="restrict the matrix to one backend; 'all' means sim+threaded "
+        "(multiprocess is opt-in: process-pool spawns dominate its wall "
+        "clock)",
     )
     chaos.add_argument(
         "--json", action="store_true", help="emit the survival report as JSON"
@@ -372,6 +386,10 @@ def _run_impl(args) -> int:
         from .sched import ThreadedRuntime
 
         results = ThreadedRuntime(num_workers=args.workers).run(subframes)
+    elif args.backend == "multiprocess":
+        from .sched import MultiprocessRuntime
+
+        results = MultiprocessRuntime(num_workers=args.workers).run(subframes)
     else:
         results = [
             process_subframe(subframe, backend=args.backend)
@@ -604,6 +622,7 @@ def _bench_impl(args) -> int:
     from .bench import (
         compare_reports,
         default_report_path,
+        new_scenario_rows,
         run_bench,
         validate_bench_report,
         write_bench_report,
@@ -661,6 +680,11 @@ def _bench_impl(args) -> int:
     print(f"report written to {out}")
 
     if baseline is not None:
+        # Candidate-only rows are reported, not silently skipped: a
+        # freshly-added backend shows up as "new" until the baseline is
+        # regenerated (informational, never a regression).
+        for name in new_scenario_rows(baseline, report):
+            print(f"  scenario {name}: new (absent from baseline, not compared)")
         regressions = compare_reports(
             baseline,
             report,

@@ -84,7 +84,13 @@ class AdmissionController:
         Users are shed from the tail of the scheduling order (the users
         the eNodeB scheduler admitted last), so the decision is
         deterministic and independent of dict/set ordering.
+
+        A per-call ``load_factor`` override gets the same positivity
+        validation as the constructor: a zero/negative factor would zero
+        (or invert) the estimate and silently admit everything.
         """
+        if load_factor is not None and load_factor <= 0:
+            raise ValueError("load_factor must be positive")
         factor = self.load_factor if load_factor is None else load_factor
         admitted = list(users)
         shed: list[UserParameters] = []

@@ -36,6 +36,7 @@ __all__ = [
     "ScenarioOutcome",
     "SurvivalReport",
     "build_matrix",
+    "ledger_fingerprint",
     "run_campaign",
     "run_scenario",
 ]
@@ -52,6 +53,20 @@ SIM_GROUPS: tuple[tuple[str, tuple[FaultKind, ...]], ...] = (
 )
 
 THREADED_GROUPS: tuple[tuple[str, tuple[FaultKind, ...]], ...] = (
+    ("death", (FaultKind.WORKER_DEATH,)),
+    ("hang", (FaultKind.WORKER_HANG,)),
+    ("task-exc", (FaultKind.TASK_EXCEPTION,)),
+    ("payload", (FaultKind.PAYLOAD_BITFLIP, FaultKind.PAYLOAD_NAN)),
+    ("mixed", (FaultKind.WORKER_DEATH, FaultKind.TASK_EXCEPTION,
+               FaultKind.PAYLOAD_BITFLIP)),
+)
+
+#: Multiprocess scenarios: same fault families as the threaded runtime,
+#: but ``WORKER_DEATH`` is a real ``SIGKILL``-ed pool process. Not part
+#: of the default campaign (spawn cost); opt in with
+#: ``repro chaos --backend multiprocess`` (the CI multiprocess-smoke job
+#: does).
+MULTIPROCESS_GROUPS: tuple[tuple[str, tuple[FaultKind, ...]], ...] = (
     ("death", (FaultKind.WORKER_DEATH,)),
     ("hang", (FaultKind.WORKER_HANG,)),
     ("task-exc", (FaultKind.TASK_EXCEPTION,)),
@@ -78,7 +93,7 @@ class ChaosScenario:
     """One cell of the campaign matrix, with its plan fully materialized."""
 
     name: str
-    backend: str  # "sim" | "threaded"
+    backend: str  # "sim" | "threaded" | "multiprocess"
     seed: int
     plan: FaultPlan
     num_subframes: int
@@ -223,11 +238,19 @@ def build_matrix(
     seeds: int = 3,
     backends: tuple[str, ...] = ("sim", "threaded"),
 ) -> list[ChaosScenario]:
-    """Materialize the campaign matrix for ``seeds`` consecutive seeds."""
+    """Materialize the campaign matrix for ``seeds`` consecutive seeds.
+
+    ``backends`` selects from ``sim``/``threaded``/``multiprocess``; the
+    default leaves multiprocess out (process-pool spawns dominate its
+    wall clock), so the dedicated smoke job opts in explicitly.
+    """
     if scale not in _SCALES:
         raise ValueError(f"unknown scale {scale!r} (choose from {sorted(_SCALES)})")
     if seeds < 1:
         raise ValueError("seeds must be >= 1")
+    unknown = set(backends) - {"sim", "threaded", "multiprocess"}
+    if unknown:
+        raise ValueError(f"unknown chaos backend(s): {sorted(unknown)}")
     params = _SCALES[scale]
     scenarios: list[ChaosScenario] = []
     for seed in range(seeds):
@@ -273,7 +296,51 @@ def build_matrix(
                         ),
                     )
                 )
+        if "multiprocess" in backends:
+            # Pool pinned small (spawn cost) but always one worker larger
+            # than the death budget: a survivor must exist, so the
+            # terminal-state outcome stays timing-independent and the
+            # replay fingerprint check is meaningful.
+            mp_workers = max(2, params["faults_per_kind"] + 1)
+            for group, kinds in MULTIPROCESS_GROUPS:
+                scenarios.append(
+                    ChaosScenario(
+                        name=group,
+                        backend="multiprocess",
+                        seed=seed,
+                        plan=_scenario_plan(
+                            group, kinds, seed,
+                            params["num_subframes"], mp_workers,
+                            params["faults_per_kind"],
+                        ),
+                        num_subframes=params["num_subframes"],
+                        num_workers=mp_workers,
+                        max_users=params["max_users"],
+                        resilience=ResilienceConfig(
+                            max_retries=2, drain_timeout_s=120.0
+                        ),
+                    )
+                )
     return scenarios
+
+
+def ledger_fingerprint(ledger: SubframeLedger) -> dict:
+    """Replay fingerprint of a ledger: terminal-state counts + state map.
+
+    Folding the per-terminal-state *counts* (ok/crc_failed/shed/aborted)
+    and the per-subframe state assignment into every backend's replay
+    fingerprint closes a blind spot: a run that sheds or aborts
+    *different* subframes while producing the same survivor result set
+    used to fingerprint as identical.
+    """
+    summary = ledger.summary()
+    return {
+        "counts": summary["counts"],
+        "states": {
+            int(index): entry["state"]
+            for index, entry in summary["resolved"].items()
+        },
+    }
 
 
 # ------------------------------------------------------------- execution
@@ -317,6 +384,7 @@ def _run_sim(scenario: ChaosScenario) -> tuple[dict, SubframeLedger, object]:
         "shed": result.shed_users,
         "aborted": result.aborted_users,
         "retried": result.retried_users,
+        "ledger": ledger_fingerprint(ledger),
     }
     return fingerprint, ledger, checker
 
@@ -350,6 +418,7 @@ def _run_threaded(scenario: ChaosScenario) -> tuple[dict, SubframeLedger, object
     results = runtime.run(subframes)
     fingerprint = {
         "counts": runtime.ledger.counts(),
+        "ledger": ledger_fingerprint(runtime.ledger),
         "per_subframe": {
             r.subframe_index: sorted(
                 (u.user_id, bool(u.crc_ok)) for u in r.user_results
@@ -365,9 +434,68 @@ def _run_threaded(scenario: ChaosScenario) -> tuple[dict, SubframeLedger, object
     return fingerprint, runtime.ledger, checker
 
 
+def _run_multiprocess(
+    scenario: ChaosScenario,
+) -> tuple[dict, SubframeLedger, object]:
+    """One multiprocess-runtime run; returns (fingerprint, ledger, checker).
+
+    Same scenario shape as the threaded runner, but WORKER_DEATH faults
+    SIGKILL real pool processes: the runner proves the orphan-subframe
+    reclamation and bounded-retry path against genuine process loss.
+    """
+    from ..obs.invariants import SchedulerInvariantChecker
+    from ..sched.multiprocess import MultiprocessRuntime
+    from ..uplink.parameter_model import RandomizedParameterModel
+    from ..uplink.subframe import SubframeFactory
+    from .injector import corrupt_subframes
+
+    model = RandomizedParameterModel(
+        total_subframes=scenario.num_subframes,
+        seed=scenario.seed,
+        max_users=scenario.max_users,
+    )
+    factory = SubframeFactory(seed=scenario.seed)
+    subframes = [
+        factory.synthesize(model.uplink_parameters(i), i)
+        for i in range(scenario.num_subframes)
+    ]
+    subframes = corrupt_subframes(subframes, scenario.plan)
+    checker = SchedulerInvariantChecker(strict=False)
+    runtime = MultiprocessRuntime(
+        num_workers=scenario.num_workers,
+        observers=[checker],
+        faults=scenario.plan,
+        resilience=scenario.resilience,
+    )
+    results = runtime.run(subframes)
+    fingerprint = {
+        "counts": runtime.ledger.counts(),
+        "ledger": ledger_fingerprint(runtime.ledger),
+        "per_subframe": {
+            r.subframe_index: sorted(
+                (u.user_id, bool(u.crc_ok)) for u in r.user_results
+            )
+            for r in results
+        },
+        "aborted": {
+            r.subframe_index: sorted(r.aborted_user_ids)
+            for r in results
+            if r.aborted_user_ids
+        },
+    }
+    return fingerprint, runtime.ledger, checker
+
+
+_RUNNERS = {
+    "sim": _run_sim,
+    "threaded": _run_threaded,
+    "multiprocess": _run_multiprocess,
+}
+
+
 def run_scenario(scenario: ChaosScenario) -> ScenarioOutcome:
     """Run one scenario twice (run + replay) and score the survival checks."""
-    runner = _run_sim if scenario.backend == "sim" else _run_threaded
+    runner = _RUNNERS[scenario.backend]
     outcome = ScenarioOutcome(scenario=scenario, survived=False)
     start = time.perf_counter()
     try:

@@ -7,6 +7,11 @@ Home of the pieces both backends (and the CLI) share:
   :class:`~repro.sched.threaded.ThreadedRuntime` (wall-clock deadlines,
   watchdog thread) and :class:`~repro.sim.machine.MachineSimulator`
   (cycle deadlines, deterministic aborts);
+* the monotonic clock helpers (:func:`monotonic_ns`, :func:`ns_from_s`,
+  :func:`s_from_ns`) — the *single* clock the runtimes' deadline and
+  drain paths use, so a deadline computed in nanoseconds is never
+  compared against a ``time.monotonic()`` float from a different code
+  path, and second-to-nanosecond conversion never truncates;
 * :func:`hang_guard` — a ``faulthandler``-based last line of defence: if
   the guarded block wedges past its timeout, every thread's traceback is
   dumped to stderr and (optionally) the process exits, so no CLI entry
@@ -20,15 +25,48 @@ from __future__ import annotations
 
 import faulthandler
 import sys
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
 __all__ = [
+    "NS_PER_S",
     "ResilienceConfig",
     "RuntimeHung",
     "WorkerFailure",
     "hang_guard",
+    "monotonic_ns",
+    "ns_from_s",
+    "s_from_ns",
 ]
+
+#: Nanoseconds per second, as an int so conversions stay exact.
+NS_PER_S = 1_000_000_000
+
+
+def monotonic_ns() -> int:
+    """The runtimes' one deadline clock (``time.monotonic_ns``).
+
+    On Linux ``CLOCK_MONOTONIC`` is system-wide, so timestamps taken with
+    this helper are comparable *across processes* — the property the
+    multiprocess runtime's cross-process span timeline relies on.
+    """
+    return time.monotonic_ns()
+
+
+def ns_from_s(seconds: float) -> int:
+    """Convert seconds to integer nanoseconds without truncation drift.
+
+    ``int(2.3 * 1e9)`` floors the float artefact to ``2_299_999_999`` —
+    one tick *early* at the deadline boundary; rounding keeps the
+    converted deadline within half a nanosecond of the configured value.
+    """
+    return round(seconds * NS_PER_S)
+
+
+def s_from_ns(ns: int) -> float:
+    """Convert integer nanoseconds back to float seconds."""
+    return ns / NS_PER_S
 
 
 @dataclass(frozen=True)

@@ -159,6 +159,9 @@ class Profiler:
         self.kernels: dict[str, KernelStats] = {}
         #: Join-level (fork-to-join) kernel attribution from span events.
         self.span_kernels: dict[str, KernelStats] = {}
+        #: Core -> OS pid, populated when events carry a ``process_id``
+        #: payload (multiprocess runtime); empty for sim/threaded runs.
+        self.process_ids: dict[int, int] = {}
         self.per_core_utilization: list[float] = []
         self._open_tasks: dict[int, tuple[int, str | None, bool]] = {}
         self._span_stack: dict[int, list[tuple[str, int, dict]]] = {}
@@ -177,6 +180,8 @@ class Profiler:
     def __call__(self, event: Any) -> None:
         kind = event.kind
         data = event.data or {}
+        if event.core >= 0 and "process_id" in data:
+            self.process_ids[event.core] = int(data["process_id"])
         if kind is EventKind.TASK_START:
             self._open_tasks[event.core] = (
                 event.t,
@@ -325,4 +330,5 @@ class Profiler:
             ).value,
             "deadline_miss_rate": self.deadline_miss_rate(),
             "per_core_utilization": list(self.per_core_utilization),
+            "process_ids": dict(sorted(self.process_ids.items())),
         }

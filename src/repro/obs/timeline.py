@@ -15,7 +15,11 @@ into the Trace Event Format consumed by Perfetto and ``chrome://tracing``:
   ``powered_cores`` counter and group on/off toggles, synthesized from a
   run's per-subframe active-core trace (Eqs. 6-7);
 * **machine process (pid 0)** — subframe spans as async slices, the
-  dispatch ``queue_depth`` and governor ``target_workers`` counters.
+  dispatch ``queue_depth`` and governor ``target_workers`` counters;
+* **worker processes (pid 10+)** — when records carry a ``process_id``
+  payload (the multiprocess runtime's worker OS pids), their task/user/
+  kernel slices move onto one Chrome process lane per pool process, so
+  Perfetto shows the true multi-core occupancy.
 
 Records with *unknown* event kinds (e.g. a JSONL trace written by a newer
 schema) are never an error: they are rendered as generic instant events so
@@ -44,6 +48,11 @@ _PID_SCHED = 1
 _PID_POWER = 2
 _PID_GATING = 3
 
+#: Records that carry a ``process_id`` payload (the multiprocess
+#: runtime's worker OS pids) get one Chrome process per pid, allocated
+#: upward from here in first-seen order.
+_PID_WORKER_BASE = 10
+
 _DEFAULT_CLOCK_HZ = 700e6
 
 
@@ -68,8 +77,29 @@ class _TraceBuilder:
         self.max_t = 0
         self._open_tasks: dict[int, tuple[int, dict]] = {}
         self._open_spans: dict[int, list[tuple[str, int, dict]]] = {}
-        self._open_users: dict[tuple[int, int], tuple[int, int]] = {}
+        self._open_users: dict[tuple[int, int], tuple[int, int, int]] = {}
         self._core_state: dict[int, tuple[int, str]] = {}
+        self._worker_pids: dict[int, int] = {}  # OS pid -> Chrome pid
+        self._worker_cores: dict[int, set[int]] = {}  # Chrome pid -> cores
+
+    def _sched_pid(self, data: dict, core: int) -> int:
+        """Chrome pid for a scheduler-lane record.
+
+        A record with a ``process_id`` payload (worker OS pid from the
+        multiprocess runtime) gets its own Chrome process so Perfetto
+        renders one timeline lane per pool process; records without it
+        (sim, threaded) stay on the shared scheduler process.
+        """
+        os_pid = data.get("process_id")
+        if os_pid is None:
+            return _PID_SCHED
+        chrome_pid = self._worker_pids.get(os_pid)
+        if chrome_pid is None:
+            chrome_pid = _PID_WORKER_BASE + len(self._worker_pids)
+            self._worker_pids[os_pid] = chrome_pid
+        if core >= 0:
+            self._worker_cores.setdefault(chrome_pid, set()).add(core)
+        return chrome_pid
 
     # -------------------------------------------------------------- pieces
     def _slice(
@@ -131,14 +161,14 @@ class _TraceBuilder:
             self._span_end(t, core, data)
         elif kind == "user-start":
             key = (data.get("subframe", -1), data.get("user", -1))
-            self._open_users[key] = (t, core)
+            self._open_users[key] = (t, core, self._sched_pid(data, core))
         elif kind == "user-finish":
             key = (data.get("subframe", -1), data.get("user", -1))
             opened = self._open_users.pop(key, None)
             if opened is not None:
-                begin, begin_core = opened
+                begin, begin_core, begin_pid = opened
                 self._slice(
-                    _PID_SCHED, begin_core, f"user {key[1]}", begin, t, data
+                    begin_pid, begin_core, f"user {key[1]}", begin, t, data
                 )
         elif kind == "state-transition":
             self._state_transition(t, core, data)
@@ -150,7 +180,7 @@ class _TraceBuilder:
                 {"target": data.get("target", 0)},
             )
         elif kind == "steal":
-            self._instant(_PID_SCHED, core, "steal", t, data)
+            self._instant(self._sched_pid(data, core), core, "steal", t, data)
         elif kind == "wake-check":
             self._instant(_PID_POWER, core, "wake-check", t, data)
         elif kind == "gating":
@@ -179,7 +209,7 @@ class _TraceBuilder:
             for k in ("subframe", "stolen", "serial", "cycles")
             if k in begin_data
         }
-        self._slice(_PID_SCHED, core, name, begin, t, args)
+        self._slice(self._sched_pid(begin_data, core), core, name, begin, t, args)
 
     def _span_end(self, t: int, core: int, data: dict) -> None:
         stack = self._open_spans.get(core)
@@ -198,7 +228,8 @@ class _TraceBuilder:
             self._async(index, name, begin, t)
         else:
             self._slice(
-                _PID_SCHED, core, f"{name} stage", begin, t, begin_data
+                self._sched_pid(begin_data, core), core,
+                f"{name} stage", begin, t, begin_data,
             )
 
     def _async(self, index: int, name: str, begin: int, end: int) -> None:
@@ -260,6 +291,26 @@ class _TraceBuilder:
                         "tid": core,
                         "name": "thread_name",
                         "args": {"name": f"core {core}"},
+                    }
+                )
+        for os_pid, chrome_pid in sorted(self._worker_pids.items()):
+            meta.append(
+                {
+                    "ph": "M",
+                    "pid": chrome_pid,
+                    "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": f"worker process {os_pid}"},
+                }
+            )
+            for core in sorted(self._worker_cores.get(chrome_pid, ())):
+                meta.append(
+                    {
+                        "ph": "M",
+                        "pid": chrome_pid,
+                        "tid": core,
+                        "name": "thread_name",
+                        "args": {"name": f"worker {core}"},
                     }
                 )
         return meta + self.out

@@ -1,7 +1,10 @@
-"""Work-stealing runtime: queues, victim policy, and the thread-based
-functional execution of the benchmark (the paper's Pthreads version).
+"""Work-stealing runtime: queues, victim policy, and the parallel
+functional executions of the benchmark — thread-based (the paper's
+Pthreads version, GIL-bound) and spawn-based multiprocess (true
+multi-core, shared-memory grids).
 """
 
+from .multiprocess import MultiprocessRuntime, MultiprocessStats
 from .policy import RandomVictimPolicy
 from .queues import GlobalQueue, WorkStealingDeque
 from .threaded import RuntimeStats, ThreadedRuntime
@@ -12,4 +15,6 @@ __all__ = [
     "WorkStealingDeque",
     "RuntimeStats",
     "ThreadedRuntime",
+    "MultiprocessRuntime",
+    "MultiprocessStats",
 ]

@@ -1,0 +1,1165 @@
+"""True-parallel multiprocess runtime with shared-memory subframe grids.
+
+The threaded runtime (:mod:`repro.sched.threaded`) proves functional
+correctness of the parallel decomposition but is GIL-capped: its wall
+clock never beats one core's worth of Python. This runtime escapes the
+GIL the way real SDR stacks do — a ``spawn``-based process pool where
+each worker owns a whole *shape group* (the batching unit of
+:mod:`repro.uplink.vectorized`) and runs the batched NumPy chain on it,
+so throughput scales with cores while results stay bit-exact with the
+serial reference.
+
+Data movement is engineered around ``multiprocessing.shared_memory``:
+
+* **received grids** — the parent copies each subframe's complex grid
+  into a shared segment once (deduplicated by grid identity, so pooled
+  grids are shared, not re-copied per subframe); workers attach and read
+  zero-copy. Segments are reference-counted and unlinked when the last
+  subframe using one resolves.
+* **DMRS banks** — conjugated Zadoff–Chu banks for every allocation
+  shape in flight are packed into shared slabs and *seeded* into each
+  worker's :func:`repro.phy.batched.seed_dmrs_bank` cache, so no worker
+  recomputes (or privately copies) a sequence the parent already built.
+* **results** — each worker owns one shared output slab; decoded
+  payloads and LLRs are written there and only small descriptors travel
+  over the control pipe (with an inline fallback, counted in
+  ``stats.slab_overflows``, when a group outgrows the slab).
+
+Control flow is a single-threaded parent event loop over per-worker
+duplex pipes plus process sentinels (``multiprocessing.connection.wait``
+covers both). Per-worker pipes — not a shared queue — because a
+``SIGKILL``-ed worker must not be able to corrupt a stream other workers
+share, and ``Connection.send`` has no feeder thread to die mid-write.
+One task is outstanding per worker at a time, which also serializes
+reuse of that worker's output slab.
+
+Fault semantics mirror the threaded runtime, but worker death is *real*:
+a planned ``WORKER_DEATH`` fault makes the worker ``SIGKILL`` itself,
+the parent detects the corpse via its sentinel, reclaims the orphaned
+shape group (bounded by the retry budget), and keeps the
+:class:`~repro.faults.accounting.SubframeLedger` balanced — every
+dispatched subframe still reaches exactly one terminal state. Dead
+workers are not respawned (matching the threaded runtime); when the last
+one dies, outstanding subframes are aborted loudly.
+
+Events reuse the existing schema with a ``process_id`` payload dimension
+(worker OS pids). Worker-side kernel timestamps are taken with
+:func:`repro.faults.watchdog.monotonic_ns`, which on Linux reads the
+system-wide ``CLOCK_MONOTONIC`` — directly comparable with the parent's
+timestamps, so :mod:`repro.obs.timeline` renders one coherent
+cross-process timeline with per-process lanes.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import get_context, resource_tracker
+from multiprocessing.connection import wait as _connection_wait
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+
+from ..faults.accounting import SubframeLedger, TerminalState
+from ..faults.watchdog import (
+    ResilienceConfig,
+    RuntimeHung,
+    WorkerFailure,
+    monotonic_ns,
+    ns_from_s,
+)
+from ..obs.events import Event, EventKind
+from ..phy.batched import dmrs_bank, seed_dmrs_bank
+from ..phy.chain import UserResult
+from ..phy.chest import ChestConfig
+from ..phy.dtypes import COMPLEX_DTYPE
+from ..uplink.serial import SubframeResult
+from ..uplink.subframe import SubframeInput, UserSlice
+from ..uplink.vectorized import group_slices_by_shape, process_group
+from .threaded import WorkerFailuresError
+
+__all__ = [
+    "DEFAULT_SLAB_BYTES",
+    "MultiprocessRuntime",
+    "MultiprocessStats",
+]
+
+#: Per-worker shared output slab size. Sized for the largest default
+#: scenario group (tens of users × ~1 MB of LLRs each) with headroom;
+#: overflowing groups fall back to inline pickles and are counted.
+DEFAULT_SLAB_BYTES = 16 << 20
+
+_ALIGN = 16  # complex128 itemsize; keeps every array offset aligned
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _attach_shm(name: str) -> SharedMemory:
+    """Attach to a parent-owned segment without adopting its lifecycle.
+
+    Python ≤ 3.12 registers *attached* (not just created) segments with
+    the resource tracker as if the attacher owned them (bpo-38119) — and
+    spawn children share the parent's tracker process, so the duplicate
+    registration collapses into the parent's entry and a later child-side
+    ``unregister`` would strip the parent's own bookkeeping. Suppress the
+    registration for the duration of the attach instead: the parent owns
+    every segment's lifecycle.
+    """
+    real_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return SharedMemory(name=name)
+    finally:
+        resource_tracker.register = real_register
+
+
+# --------------------------------------------------------------- worker side
+class _StageSpan:
+    """Context manager recording one kernel stage's monotonic-ns window."""
+
+    __slots__ = ("kernel", "batch", "out", "begin")
+
+    def __init__(self, kernel: str, batch: int, out: list) -> None:
+        self.kernel = kernel
+        self.batch = batch
+        self.out = out
+
+    def __enter__(self) -> "_StageSpan":
+        self.begin = monotonic_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.out.append((self.kernel, self.begin, monotonic_ns(), self.batch))
+        return False
+
+
+def _seed_banks(name: str, index: dict) -> SharedMemory:
+    """Install the parent's shared DMRS banks into this worker's cache."""
+    shm = _attach_shm(name)
+    for (num_sc, layers), (offset, shape) in index.items():
+        view = np.ndarray(shape, dtype=COMPLEX_DTYPE, buffer=shm.buf, offset=offset)
+        seed_dmrs_bank(num_sc, layers, view)
+    return shm
+
+
+def _pack_results(
+    results: list[UserResult], slab: SharedMemory
+) -> tuple[list[dict], int]:
+    """Write result arrays into the worker's slab; descriptors travel.
+
+    Returns ``(descriptors, overflow_count)``. When the slab runs out,
+    remaining users fall back to inline ndarray pickles — correctness is
+    never traded for the zero-copy path.
+    """
+    cursor = 0
+    size = slab.size
+    packed: list[dict] = []
+    overflowed = 0
+    for result in results:
+        payload = np.ascontiguousarray(result.payload)
+        llrs = np.ascontiguousarray(result.llrs)
+        need = _aligned(payload.nbytes) + _aligned(llrs.nbytes)
+        entry = {"user": result.user_id, "crc_ok": bool(result.crc_ok)}
+        if cursor + need > size:
+            entry["inline"] = (payload, llrs)
+            overflowed += 1
+            packed.append(entry)
+            continue
+        for label, array in (("payload", payload), ("llrs", llrs)):
+            view = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=slab.buf, offset=cursor
+            )
+            view[...] = array
+            entry[label] = (cursor, array.shape, str(array.dtype))
+            cursor += _aligned(array.nbytes)
+        packed.append(entry)
+    return packed, overflowed
+
+
+def _execute_task(
+    task: dict,
+    grids: dict[str, tuple[SharedMemory, np.ndarray]],
+    config: ChestConfig | None,
+    codec,
+    slab: SharedMemory,
+) -> tuple:
+    """Run one shape group against the shared grid; reply over the pipe."""
+    task_id = task["task_id"]
+    if task.get("die"):
+        # Real worker death, not an exception: the parent must detect the
+        # corpse via the process sentinel and reclaim the orphaned group.
+        os.kill(os.getpid(), signal.SIGKILL)
+    hang_s = task.get("hang_s")
+    if hang_s:
+        time.sleep(hang_s)
+    if task.get("raise_exc"):
+        return ("err", task_id, "InjectedTaskError: planned task failure", True)
+    try:
+        name, shape = task["grid"]
+        entry = grids.get(name)
+        if entry is None:
+            shm = _attach_shm(name)
+            view = np.ndarray(tuple(shape), dtype=COMPLEX_DTYPE, buffer=shm.buf)
+            view.setflags(write=False)
+            entry = grids[name] = (shm, view)
+        grid = entry[1]
+        slices = [
+            UserSlice(user=user, subcarrier_offset=offset)
+            for user, offset in task["users"]
+        ]
+        stacked = np.stack([s.view(grid) for s in slices])
+        stage_ns: list[tuple[str, int, int, int]] = []
+        results = process_group(
+            stacked,
+            slices[0].user.allocation,
+            [s.user.user_id for s in slices],
+            config,
+            codec,
+            None,
+            lambda kernel, batch: _StageSpan(kernel, batch, stage_ns),
+        )
+        packed, overflowed = _pack_results(results, slab)
+        return ("ok", task_id, packed, overflowed, stage_ns)
+    except Exception as exc:
+        return ("err", task_id, f"{type(exc).__name__}: {exc}", False)
+
+
+def _worker_main(worker_id: int, conn, init: dict) -> None:
+    """Spawn entry point: serve tasks from the parent until told to stop."""
+    slab = _attach_shm(init["slab"])
+    grids: dict[str, tuple[SharedMemory, np.ndarray]] = {}
+    banks: list[SharedMemory] = []
+    config = init["config"]
+    codec = init["codec"]
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            kind = message[0]
+            if kind == "banks":
+                banks.append(_seed_banks(message[1], message[2]))
+            elif kind == "forget":
+                for name in message[1]:
+                    entry = grids.pop(name, None)
+                    if entry is not None:
+                        entry[0].close()
+            else:  # ("task", {...})
+                conn.send(_execute_task(message[1], grids, config, codec, slab))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt) as exc:
+        # Parent vanished or interactive interrupt: nothing to report to
+        # (the pipe is gone) — fall through to cleanup and exit 0 so the
+        # parent's join sees an orderly shutdown, not a crash.
+        del exc
+    finally:
+        for shm, _ in grids.values():
+            shm.close()
+        for shm in banks:
+            shm.close()
+        slab.close()
+        conn.close()
+
+
+# --------------------------------------------------------------- parent side
+@dataclass
+class MultiprocessStats:
+    """Counters for one multiprocess run.
+
+    Unlike :class:`~repro.sched.threaded.RuntimeStats` these carry no
+    lock: only the single-threaded parent event loop mutates them.
+    ``retries``/``aborted_users`` count *users* (a reclaimed shape group
+    charges each of its users once), keeping the units comparable with
+    the threaded runtime's per-user accounting.
+    """
+
+    tasks_executed: list[int] = field(default_factory=list)
+    users_processed: list[int] = field(default_factory=list)
+    retries: int = 0
+    aborted_users: int = 0
+    worker_deaths: int = 0
+    slab_overflows: int = 0
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(self.tasks_executed)
+
+
+@dataclass
+class _GridShare:
+    """One shared grid segment, reference-counted across subframes."""
+
+    shm: SharedMemory
+    key: int  # id() of the source ndarray while any referencing run lives
+    refs: int = 0
+
+
+@dataclass
+class _PendingSubframe:
+    """Parent-side completion state for one dispatched subframe."""
+
+    subframe: SubframeInput
+    remaining_users: int
+    ordered: list  # position -> UserResult | None
+    grid_share: _GridShare | None = None
+    deadline_ns: int | None = None
+    resolved: bool = False
+    aborted_ids: list[int] = field(default_factory=list)
+    task_retries: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class _WorkerHandle:
+    worker_id: int
+    process: object
+    conn: object
+    pid: int
+    slab: SharedMemory
+    busy: dict | None = None  # the task currently dispatched to it
+    dead: bool = False
+    expect_death: bool = False  # a die-task was sent: death is planned
+
+
+class MultiprocessRuntime:
+    """Spawn-pool execution of the benchmark on real processes.
+
+    API mirrors :class:`~repro.sched.threaded.ThreadedRuntime`
+    (``start``/``submit``/``drain``/``stop``/``run``/``collect_results``
+    plus context-manager use), so the CLI, bench harness, and chaos
+    campaigns drive both through the same surface. The pool persists
+    across ``run()`` calls between :meth:`start` and :meth:`close`, which
+    amortizes spawn cost (each worker re-imports NumPy) across the
+    differential matrix.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker process count. Throughput scales with physical cores;
+        there is no GIL in the way.
+    config, codec:
+        Forwarded to the batched receiver chain inside each worker (must
+        be picklable — both defaults are).
+    observers:
+        Optional event observers; events carry a ``process_id`` payload
+        field and are emitted *only from the parent's event loop*, so
+        observers here never see concurrent calls.
+    emit_spans:
+        Also emit ``SPAN_BEGIN``/``SPAN_END`` pairs (per subframe and per
+        kernel stage) alongside task/user events.
+    faults:
+        Optional :class:`~repro.faults.injector.ThreadFaultInjector` (or
+        bare :class:`~repro.faults.plan.FaultPlan`). ``WORKER_DEATH``
+        becomes a real self-``SIGKILL`` in the target worker;
+        ``WORKER_HANG`` sleeps inside the worker; ``TASK_EXCEPTION``
+        fails the dispatched group without executing it.
+    resilience:
+        Retry budget, per-subframe wall deadline, poll cadence, and
+        drain timeout (:class:`~repro.faults.watchdog.ResilienceConfig`).
+    ledger:
+        Optional externally-owned ledger; a fresh one is created at
+        :meth:`start` otherwise.
+    slab_bytes:
+        Per-worker shared output slab size (see module docstring).
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        config: ChestConfig | None = None,
+        codec=None,
+        observers=None,
+        emit_spans: bool = True,
+        faults=None,
+        resilience: ResilienceConfig | None = None,
+        ledger: SubframeLedger | None = None,
+        slab_bytes: int = DEFAULT_SLAB_BYTES,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if slab_bytes < 4096:
+            raise ValueError("slab_bytes must be >= 4096")
+        self.num_workers = num_workers
+        self.config = config
+        self.codec = codec
+        self.slab_bytes = slab_bytes
+        if faults is not None and not hasattr(faults, "check_worker_death"):
+            from ..faults.injector import ThreadFaultInjector
+
+            faults = ThreadFaultInjector(faults)
+        self._faults = faults
+        self._resilience = resilience or ResilienceConfig()
+        self._external_ledger = ledger
+        self.ledger: SubframeLedger = ledger or SubframeLedger()
+        self.emit_spans = emit_spans
+        self.observers = list(observers) if observers is not None else []
+        if not self.observers:
+            self._emit = None
+        elif len(self.observers) == 1:
+            self._emit = self.observers[0]
+        else:
+            fanout = tuple(self.observers)
+
+            def emit(event, _observers=fanout):
+                for observer in _observers:
+                    observer(event)
+
+            self._emit = emit
+        self._ctx = get_context("spawn")
+        self._workers: list[_WorkerHandle] = []
+        self._spawned_pids: list[int] = []
+        self._started = False
+        self._queue: deque[dict] = deque()
+        self._pending: dict[int, _PendingSubframe] = {}
+        self._completed: list[SubframeResult] = []
+        self._outstanding = 0
+        self._failures: list[WorkerFailure] = []
+        self._late_completions = 0
+        self._next_task_id = 0
+        self._grid_shares: dict[int, _GridShare] = {}
+        self._bank_shms: list[SharedMemory] = []
+        self._shipped_banks: set[tuple[int, int]] = set()
+        self._stats = MultiprocessStats(
+            tasks_executed=[0] * num_workers,
+            users_processed=[0] * num_workers,
+        )
+
+    # ------------------------------------------------------------------ API
+    def start(self) -> None:
+        """Spawn the worker pool (expensive: each child re-imports NumPy)."""
+        if self._started:
+            raise RuntimeError("runtime already started")
+        if self._external_ledger is None:
+            self.ledger = SubframeLedger()
+        self._failures.clear()
+        init = {"config": self.config, "codec": self.codec}
+        for worker_id in range(self.num_workers):
+            slab = SharedMemory(create=True, size=self.slab_bytes)
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, child_conn, {**init, "slab": slab.name}),
+                daemon=True,
+                name=f"repro-mp-worker-{worker_id}",
+            )
+            process.start()
+            child_conn.close()  # keep one writer so EOF propagates on death
+            self._workers.append(
+                _WorkerHandle(
+                    worker_id=worker_id,
+                    process=process,
+                    conn=parent_conn,
+                    pid=process.pid,
+                    slab=slab,
+                )
+            )
+        self._spawned_pids = [worker.pid for worker in self._workers]
+        self._started = True
+
+    def close(self) -> None:
+        """Shut the pool down and release every shared segment."""
+        if not self._started:
+            return
+        for worker in self._workers:
+            if not worker.dead:
+                self._send(worker, None)
+        timeout = self._resilience.join_timeout_s
+        for worker in self._workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            worker.conn.close()
+            worker.slab.close()
+            worker.slab.unlink()
+        for shm in self._bank_shms:
+            shm.close()
+            shm.unlink()
+        self._bank_shms.clear()
+        self._shipped_banks.clear()
+        for share in self._grid_shares.values():
+            share.shm.close()
+            share.shm.unlink()
+        self._grid_shares.clear()
+        self._workers.clear()
+        self._queue.clear()
+        self._started = False
+
+    # ThreadedRuntime API parity.
+    stop = close
+
+    def abort(self) -> None:
+        """Emergency shutdown: account outstanding subframes, kill the pool."""
+        for pending in list(self._pending.values()):
+            self._finish_subframe(
+                pending,
+                forced_state=TerminalState.ABORTED,
+                reason="runtime aborted",
+            )
+        self._queue.clear()
+        self.close()
+
+    def __enter__(self) -> "MultiprocessRuntime":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def submit(self, subframe: SubframeInput) -> None:
+        """Dispatch one subframe: share its grid, enqueue its shape groups."""
+        if not self._started:
+            raise RuntimeError("runtime not started")
+        index = subframe.subframe_index
+        pending = _PendingSubframe(
+            subframe=subframe,
+            remaining_users=len(subframe.slices),
+            ordered=[None] * len(subframe.slices),
+        )
+        if self._resilience.deadline_s is not None:
+            pending.deadline_ns = monotonic_ns() + ns_from_s(
+                self._resilience.deadline_s
+            )
+        self.ledger.dispatch(index, len(subframe.slices))
+        self._pending[index] = pending
+        self._outstanding += 1
+        if self._emit is not None:
+            now = monotonic_ns()
+            self._emit(
+                Event(
+                    EventKind.DISPATCH,
+                    now,
+                    -1,
+                    {
+                        "subframe": index,
+                        "users": len(subframe.slices),
+                        "process_id": os.getpid(),
+                    },
+                )
+            )
+            if self.emit_spans:
+                self._emit(
+                    Event(
+                        EventKind.SPAN_BEGIN,
+                        now,
+                        -1,
+                        {
+                            "name": f"subframe {index}",
+                            "cat": "subframe",
+                            "subframe": index,
+                            "process_id": os.getpid(),
+                        },
+                    )
+                )
+        if not subframe.slices:
+            self._finish_subframe(pending)
+            return
+        share = self._share_grid(subframe.grid)
+        share.refs += 1
+        pending.grid_share = share
+        self._ship_banks(subframe.slices)
+        for group in group_slices_by_shape(subframe.slices):
+            positions = [position for position, _ in group]
+            slices = [user_slice for _, user_slice in group]
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            self._queue.append(
+                {
+                    "task_id": task_id,
+                    "pending": pending,
+                    "positions": positions,
+                    "slices": slices,
+                    "wire": {
+                        "task_id": task_id,
+                        "subframe": index,
+                        "grid": (share.shm.name, subframe.grid.shape),
+                        "users": [
+                            (s.user, s.subcarrier_offset) for s in slices
+                        ],
+                    },
+                }
+            )
+        self._pump(0.0)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Pump the event loop until every submitted subframe resolved.
+
+        Raises :class:`~repro.sched.threaded.WorkerFailuresError` on
+        unexpected (non-injected) worker deaths and
+        :class:`~repro.faults.watchdog.RuntimeHung` when ``timeout`` (or
+        the configured ``drain_timeout_s``) expires first.
+        """
+        if timeout is None:
+            timeout = self._resilience.drain_timeout_s
+        deadline = (
+            monotonic_ns() + ns_from_s(timeout) if timeout is not None else None
+        )
+        poll = self._resilience.watchdog_poll_s
+        while self._outstanding > 0:
+            if all(worker.dead for worker in self._workers):
+                # Nobody left to do the work: account it as aborted
+                # instead of spinning until the drain timeout.
+                for pending in list(self._pending.values()):
+                    self._finish_subframe(
+                        pending,
+                        forced_state=TerminalState.ABORTED,
+                        reason="all workers dead",
+                    )
+                break
+            self._pump(poll)
+            if deadline is not None and monotonic_ns() >= deadline:
+                self._raise_on_fatal()
+                raise RuntimeHung(
+                    f"drain timed out after {timeout}s with "
+                    f"{self._outstanding} subframe(s) outstanding"
+                )
+        self._raise_on_fatal()
+
+    def run(self, subframes: list[SubframeInput]) -> list[SubframeResult]:
+        """Convenience: start (if needed), submit all, drain, collect.
+
+        When this call started the pool it also closes it; an externally
+        ``start()``-ed pool stays up so callers can amortize spawn cost
+        over several runs.
+        """
+        owns_pool = not self._started
+        if owns_pool:
+            self.start()
+        try:
+            for subframe in subframes:
+                self.submit(subframe)
+            self.drain()
+        except BaseException:
+            if owns_pool:
+                self.abort()
+            raise
+        if owns_pool:
+            self.close()
+        return self.collect_results()
+
+    def collect_results(self) -> list[SubframeResult]:
+        """Return and clear completed results, ordered by subframe index."""
+        if self._started:
+            self.drain()
+        results = sorted(self._completed, key=lambda r: r.subframe_index)
+        self._completed.clear()
+        return results
+
+    @property
+    def stats(self) -> MultiprocessStats:
+        return self._stats
+
+    @property
+    def failures(self) -> list[WorkerFailure]:
+        """Worker failures recorded so far (injected and unexpected)."""
+        return list(self._failures)
+
+    @property
+    def late_completions(self) -> int:
+        """Results that arrived after their subframe was already resolved."""
+        return self._late_completions
+
+    @property
+    def process_ids(self) -> list[int]:
+        """OS pids of the pool, indexed by worker id (for tests/traces).
+
+        Survives :meth:`close` so callers can correlate a finished run's
+        event stream (``process_id`` payloads) with the pool that
+        produced it.
+        """
+        return list(self._spawned_pids)
+
+    # ------------------------------------------------------------ event loop
+    def _pump(self, timeout_s: float) -> None:
+        """One event-loop step: dispatch, then collect results and deaths."""
+        self._check_deadlines()
+        self._dispatch_ready()
+        live = [worker for worker in self._workers if not worker.dead]
+        if not live:
+            return
+        waitables: dict[object, _WorkerHandle] = {}
+        for worker in live:
+            waitables[worker.conn] = worker
+            waitables[worker.process.sentinel] = worker
+        for obj in _connection_wait(list(waitables), timeout=timeout_s):
+            worker = waitables[obj]
+            if worker.dead:
+                continue
+            # Drain any replies first either way: a result sent just
+            # before death must not be lost to the sentinel firing first.
+            self._drain_conn(worker)
+            if obj is not worker.conn and not worker.process.is_alive():
+                self._handle_worker_death(worker)
+        self._check_deadlines()
+        self._dispatch_ready()
+
+    def _dispatch_ready(self) -> None:
+        for worker in self._workers:
+            if worker.dead or worker.busy is not None:
+                continue
+            task = self._next_task()
+            if task is None:
+                return
+            self._dispatch(worker, task)
+
+    def _next_task(self) -> dict | None:
+        while self._queue:
+            task = self._queue.popleft()
+            if not task["pending"].resolved:
+                return task
+        return None
+
+    def _dispatch(self, worker: _WorkerHandle, task: dict) -> None:
+        wire = dict(task["wire"])  # fault flags are per-dispatch
+        index = wire["subframe"]
+        faults = self._faults
+        if faults is not None:
+            if faults.check_worker_death(worker.worker_id, index):
+                self._emit_fault("worker-death", worker, index)
+                wire["die"] = True
+                worker.expect_death = True
+            else:
+                hang_s = faults.check_worker_hang(worker.worker_id, index)
+                if hang_s is not None:
+                    self._emit_fault("worker-hang", worker, index)
+                    wire["hang_s"] = hang_s
+                if faults.check_task_exception(worker.worker_id, index):
+                    self._emit_fault("task-exception", worker, index)
+                    wire["raise_exc"] = True
+        if self._emit is not None:
+            now = monotonic_ns()
+            for user_slice in task["slices"]:
+                self._emit(
+                    Event(
+                        EventKind.USER_START,
+                        now,
+                        worker.worker_id,
+                        {
+                            "subframe": index,
+                            "user": user_slice.user.user_id,
+                            "process_id": worker.pid,
+                        },
+                    )
+                )
+        worker.busy = task
+        self._send(worker, ("task", wire))
+
+    def _drain_conn(self, worker: _WorkerHandle) -> None:
+        while not worker.dead and worker.conn.poll(0):
+            try:
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                self._handle_worker_death(worker)
+                return
+            self._handle_reply(worker, message)
+
+    def _handle_reply(self, worker: _WorkerHandle, message: tuple) -> None:
+        task = worker.busy
+        worker.busy = None
+        if task is None or task["task_id"] != message[1]:
+            raise RuntimeError(
+                f"worker {worker.worker_id} protocol desync: reply for task "
+                f"{message[1]} while {task['task_id'] if task else None} "
+                "was outstanding"
+            )
+        if message[0] == "ok":
+            _, _, packed, overflowed, stage_ns = message
+            self._stats.slab_overflows += overflowed
+            self._stats.tasks_executed[worker.worker_id] += len(stage_ns)
+            self._stats.users_processed[worker.worker_id] += len(
+                task["positions"]
+            )
+            self._complete_task(worker, task, packed, stage_ns)
+        else:  # ("err", task_id, error, injected)
+            self._requeue_or_abort_task(worker, task, message[2])
+
+    def _complete_task(
+        self,
+        worker: _WorkerHandle,
+        task: dict,
+        packed: list[dict],
+        stage_ns: list,
+    ) -> None:
+        pending = task["pending"]
+        index = pending.subframe.subframe_index
+        self._emit_stage_events(worker, index, len(task["positions"]), stage_ns)
+        results = self._unpack_results(worker, packed)
+        if pending.resolved:
+            self._late_completions += len(results)
+            return
+        if self._emit is not None:
+            now = monotonic_ns()
+            for result in results:
+                self._emit(
+                    Event(
+                        EventKind.USER_FINISH,
+                        now,
+                        worker.worker_id,
+                        {
+                            "subframe": index,
+                            "user": result.user_id,
+                            "process_id": worker.pid,
+                        },
+                    )
+                )
+        for position, result in zip(task["positions"], results):
+            pending.ordered[position] = result
+        pending.remaining_users -= len(results)
+        if pending.remaining_users == 0:
+            self._finish_subframe(pending)
+
+    def _emit_stage_events(
+        self, worker: _WorkerHandle, index: int, users: int, stage_ns: list
+    ) -> None:
+        if self._emit is None:
+            return
+        for kernel, begin, end, batch in stage_ns:
+            data = {
+                "kernel": kernel,
+                "stolen": False,
+                "subframe": index,
+                "batch": batch,
+                "process_id": worker.pid,
+            }
+            if self.emit_spans:
+                self._emit(
+                    Event(
+                        EventKind.SPAN_BEGIN,
+                        begin,
+                        worker.worker_id,
+                        {
+                            "name": kernel,
+                            "cat": "kernel",
+                            "subframe": index,
+                            "users": users,
+                            "process_id": worker.pid,
+                        },
+                    )
+                )
+            self._emit(
+                Event(EventKind.TASK_START, begin, worker.worker_id, data)
+            )
+            self._emit(
+                Event(EventKind.TASK_FINISH, end, worker.worker_id, data)
+            )
+            if self.emit_spans:
+                self._emit(
+                    Event(
+                        EventKind.SPAN_END,
+                        end,
+                        worker.worker_id,
+                        {
+                            "name": kernel,
+                            "cat": "kernel",
+                            "subframe": index,
+                            "users": users,
+                            "process_id": worker.pid,
+                        },
+                    )
+                )
+
+    def _unpack_results(
+        self, worker: _WorkerHandle, packed: list[dict]
+    ) -> list[UserResult]:
+        results = []
+        for entry in packed:
+            if "inline" in entry:
+                payload, llrs = entry["inline"]  # already private copies
+            else:
+                payload = self._copy_from_slab(worker, entry["payload"])
+                llrs = self._copy_from_slab(worker, entry["llrs"])
+            results.append(
+                UserResult(
+                    user_id=entry["user"],
+                    payload=payload,
+                    crc_ok=entry["crc_ok"],
+                    llrs=llrs,
+                )
+            )
+        return results
+
+    def _copy_from_slab(
+        self, worker: _WorkerHandle, descriptor: tuple
+    ) -> np.ndarray:
+        offset, shape, dtype = descriptor
+        view = np.ndarray(
+            tuple(shape),
+            dtype=np.dtype(dtype),
+            buffer=worker.slab.buf,
+            offset=offset,
+        )
+        return view.copy()
+
+    # --------------------------------------------------- faults / retries
+    def _handle_worker_death(self, worker: _WorkerHandle) -> None:
+        """A pool process died: record it, reclaim its orphaned group."""
+        if worker.dead:
+            return
+        worker.dead = True
+        injected = worker.expect_death
+        if injected:
+            error = "killed by injected fault (SIGKILL)"
+            self._stats.worker_deaths += 1
+        else:
+            exitcode = worker.process.exitcode
+            error = f"worker process died unexpectedly (exitcode {exitcode})"
+        self._failures.append(
+            WorkerFailure(
+                worker_id=worker.worker_id,
+                error=error,
+                fatal=not injected,
+                injected=injected,
+            )
+        )
+        task = worker.busy
+        worker.busy = None
+        if task is not None:
+            self._requeue_or_abort_task(worker, task, "worker death")
+        all_dead = all(w.dead for w in self._workers)
+        if all_dead or not injected:
+            reason = (
+                "all workers dead" if all_dead else f"worker failure: {error}"
+            )
+            for pending in list(self._pending.values()):
+                self._finish_subframe(
+                    pending, forced_state=TerminalState.ABORTED, reason=reason
+                )
+
+    def _requeue_or_abort_task(
+        self, worker: _WorkerHandle, task: dict, reason: str
+    ) -> None:
+        """Bounded retry of a failed shape group; abort past the budget."""
+        pending = task["pending"]
+        if pending.resolved:
+            return
+        index = pending.subframe.subframe_index
+        attempts = pending.task_retries.get(task["task_id"], 0)
+        user_ids = [s.user.user_id for s in task["slices"]]
+        if attempts < self._resilience.max_retries:
+            pending.task_retries[task["task_id"]] = attempts + 1
+            self._stats.retries += len(user_ids)
+            if self._emit is not None:
+                now = monotonic_ns()
+                for user_id in user_ids:
+                    self._emit(
+                        Event(
+                            EventKind.USER_RETRY,
+                            now,
+                            worker.worker_id,
+                            {
+                                "subframe": index,
+                                "user": user_id,
+                                "attempt": attempts + 1,
+                                "reason": reason,
+                                "process_id": worker.pid,
+                            },
+                        )
+                    )
+            # Reclaimed work goes to the queue head so recovery from a
+            # killed worker is prompt, not behind the whole backlog.
+            self._queue.appendleft(task)
+            return
+        self._stats.aborted_users += len(user_ids)
+        if self._emit is not None:
+            now = monotonic_ns()
+            for user_id in user_ids:
+                self._emit(
+                    Event(
+                        EventKind.USER_ABORTED,
+                        now,
+                        worker.worker_id,
+                        {
+                            "subframe": index,
+                            "user": user_id,
+                            "was_adopted": True,
+                            "reason": reason,
+                            "process_id": worker.pid,
+                        },
+                    )
+                )
+        pending.aborted_ids.extend(user_ids)
+        pending.remaining_users -= len(user_ids)
+        if pending.remaining_users == 0:
+            self._finish_subframe(pending)
+
+    def _check_deadlines(self) -> None:
+        now = monotonic_ns()
+        expired = [
+            pending
+            for pending in self._pending.values()
+            if pending.deadline_ns is not None and now >= pending.deadline_ns
+        ]
+        for pending in expired:
+            self._finish_subframe(
+                pending,
+                forced_state=TerminalState.ABORTED,
+                reason="deadline expired",
+            )
+
+    def _emit_fault(
+        self, kind: str, worker: _WorkerHandle, subframe: int
+    ) -> None:
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.FAULT,
+                    monotonic_ns(),
+                    worker.worker_id,
+                    {
+                        "fault": kind,
+                        "subframe": subframe,
+                        "process_id": worker.pid,
+                    },
+                )
+            )
+
+    def _raise_on_fatal(self) -> None:
+        fatal = [f for f in self._failures if f.fatal]
+        if fatal:
+            raise WorkerFailuresError(fatal)
+
+    # ------------------------------------------------------------ completion
+    def _classify(
+        self, result: SubframeResult, aborted: list[int]
+    ) -> TerminalState:
+        if aborted:
+            return TerminalState.ABORTED
+        if any(not r.crc_ok for r in result.user_results):
+            return TerminalState.CRC_FAILED
+        return TerminalState.OK
+
+    def _finish_subframe(
+        self,
+        pending: _PendingSubframe,
+        forced_state: TerminalState | None = None,
+        reason: str = "",
+    ) -> None:
+        """Resolve one subframe to its single terminal state (first wins)."""
+        index = pending.subframe.subframe_index
+        first = not pending.resolved
+        pending.resolved = True
+        aborted = list(pending.aborted_ids)
+        if first and forced_state is TerminalState.ABORTED:
+            # Users that never produced a result were abandoned too.
+            done = {r.user_id for r in pending.ordered if r is not None}
+            aborted += [
+                s.user.user_id
+                for s in pending.subframe.slices
+                if s.user.user_id not in done and s.user.user_id not in aborted
+            ]
+            pending.aborted_ids = aborted
+        result = SubframeResult(
+            subframe_index=index,
+            user_results=[r for r in pending.ordered if r is not None],
+            aborted_user_ids=aborted,
+        )
+        state = forced_state or self._classify(result, aborted)
+        if not first:
+            self.ledger.resolve(index, state, reason or "late duplicate")
+            return
+        self.ledger.resolve(index, state, reason)
+        self._pending.pop(index, None)
+        if self._emit is not None:
+            now = monotonic_ns()
+            if self.emit_spans:
+                self._emit(
+                    Event(
+                        EventKind.SPAN_END,
+                        now,
+                        -1,
+                        {
+                            "name": f"subframe {index}",
+                            "cat": "subframe",
+                            "subframe": index,
+                            "process_id": os.getpid(),
+                        },
+                    )
+                )
+            self._emit(
+                Event(
+                    EventKind.SUBFRAME_TERMINAL,
+                    now,
+                    -1,
+                    {
+                        "subframe": index,
+                        "state": state.value,
+                        "aborted_users": len(aborted),
+                        "reason": reason,
+                        "process_id": os.getpid(),
+                    },
+                )
+            )
+        self._completed.append(result)
+        self._outstanding -= 1
+        self._release_grid(pending)
+
+    # --------------------------------------------------------- shared memory
+    def _share_grid(self, grid: np.ndarray) -> _GridShare:
+        key = id(grid)
+        share = self._grid_shares.get(key)
+        if share is None:
+            source = np.ascontiguousarray(grid, dtype=COMPLEX_DTYPE)
+            shm = SharedMemory(create=True, size=source.nbytes)
+            view = np.ndarray(source.shape, dtype=COMPLEX_DTYPE, buffer=shm.buf)
+            view[...] = source
+            share = _GridShare(shm=shm, key=key)
+            self._grid_shares[key] = share
+        return share
+
+    def _release_grid(self, pending: _PendingSubframe) -> None:
+        share = pending.grid_share
+        if share is None:
+            return
+        pending.grid_share = None
+        share.refs -= 1
+        if share.refs > 0:
+            return
+        self._grid_shares.pop(share.key, None)
+        # Workers drop their cached mapping at the next message; Linux
+        # keeps an unlinked segment alive until the last mapping closes,
+        # so a straggler task on this grid still reads valid memory.
+        self._broadcast(("forget", [share.shm.name]))
+        share.shm.close()
+        share.shm.unlink()
+
+    def _ship_banks(self, slices: list[UserSlice]) -> None:
+        """Share DMRS banks for any allocation shape not yet shipped."""
+        keys = {
+            (s.num_subcarriers, s.user.layers) for s in slices
+        } - self._shipped_banks
+        if not keys:
+            return
+        banks = {key: dmrs_bank(*key) for key in sorted(keys)}
+        total = sum(_aligned(bank.nbytes) for bank in banks.values())
+        shm = SharedMemory(create=True, size=max(total, _ALIGN))
+        index: dict[tuple[int, int], tuple[int, tuple]] = {}
+        cursor = 0
+        for key, bank in banks.items():
+            view = np.ndarray(
+                bank.shape, dtype=COMPLEX_DTYPE, buffer=shm.buf, offset=cursor
+            )
+            view[...] = bank
+            index[key] = (cursor, bank.shape)
+            cursor += _aligned(bank.nbytes)
+        self._bank_shms.append(shm)
+        self._shipped_banks |= keys
+        self._broadcast(("banks", shm.name, index))
+
+    def _broadcast(self, message: tuple) -> None:
+        for worker in self._workers:
+            if not worker.dead:
+                self._send(worker, message)
+
+    def _send(self, worker: _WorkerHandle, message) -> bool:
+        try:
+            worker.conn.send(message)
+        except (BrokenPipeError, OSError):
+            # The worker died between polls; the death handler reclaims
+            # whatever task it held (including one just marked busy).
+            self._handle_worker_death(worker)
+            return False
+        return True

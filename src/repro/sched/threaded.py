@@ -30,7 +30,13 @@ from typing import Callable, ClassVar
 
 from ..faults.accounting import SubframeLedger, TerminalState
 from ..faults.injector import InjectedTaskError, InjectedWorkerDeath
-from ..faults.watchdog import ResilienceConfig, RuntimeHung, WorkerFailure
+from ..faults.watchdog import (
+    ResilienceConfig,
+    RuntimeHung,
+    WorkerFailure,
+    monotonic_ns,
+    ns_from_s,
+)
 from ..obs.events import Event, EventKind
 from ..phy.chest import ChestConfig
 from ..uplink.serial import SubframeResult
@@ -299,8 +305,10 @@ class ThreadedRuntime:
             result=SubframeResult(subframe_index=subframe.subframe_index),
         )
         if self._resilience.deadline_s is not None:
-            pending.deadline_ns = time.monotonic_ns() + int(
-                self._resilience.deadline_s * 1e9
+            # ns_from_s rounds instead of truncating: int(s * 1e9) floored
+            # the deadline one tick early at exact boundaries.
+            pending.deadline_ns = monotonic_ns() + ns_from_s(
+                self._resilience.deadline_s
             )
         self.ledger.dispatch(subframe.subframe_index, len(subframe.slices))
         with self._pending_lock:
@@ -421,7 +429,7 @@ class ThreadedRuntime:
         """Abort subframes whose wall-clock deadline expired."""
         poll = self._resilience.watchdog_poll_s
         while not self._watchdog_stop.wait(poll):
-            now = time.monotonic_ns()
+            now = monotonic_ns()
             with self._pending_lock:
                 expired = [
                     p
@@ -650,13 +658,18 @@ class ThreadedRuntime:
         return False
 
     def _interruptible_sleep(self, seconds: float) -> None:
-        """Sleep in shutdown-aware slices (a wedged worker still stops)."""
-        deadline = time.monotonic() + seconds
+        """Sleep in shutdown-aware slices (a wedged worker still stops).
+
+        Uses the same monotonic-ns clock as the subframe deadlines (it
+        previously mixed ``time.monotonic()`` floats into an otherwise
+        ns-integer deadline scheme).
+        """
+        deadline_ns = monotonic_ns() + ns_from_s(seconds)
         while not self._shutdown.is_set():
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
+            remaining_ns = deadline_ns - monotonic_ns()
+            if remaining_ns <= 0:
                 return
-            time.sleep(min(remaining, 0.05))
+            time.sleep(min(remaining_ns / 1e9, 0.05))
 
     def _process_user(
         self, worker_id: int, pending: _PendingSubframe, user_slice: UserSlice

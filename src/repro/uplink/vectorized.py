@@ -51,6 +51,7 @@ from .subframe import SubframeInput, UserSlice
 
 __all__ = [
     "group_slices_by_shape",
+    "process_group",
     "process_user_vectorized",
     "process_subframe_vectorized",
 ]
@@ -231,6 +232,12 @@ def _process_group(
             trace,
             scrambling_c_inits,
         )
+
+
+#: Public name for the shape-group chain: the multiprocess runtime's
+#: workers execute exactly this per dispatched group, so the parallel
+#: backends share one batched code path (and its bit-exactness proofs).
+process_group = _process_group
 
 
 def process_user_vectorized(

@@ -31,7 +31,8 @@ class TestRunBench:
         assert validate_bench_report(report) == []
         assert report["schema"] == SCHEMA_VERSION
         assert set(report["scenarios"]) == {
-            "serial", "vectorized", "threaded", "sim-nonap", "sim-nap-idle"
+            "serial", "vectorized", "threaded", "multiprocess",
+            "sim-nonap", "sim-nap-idle",
         }
 
     def test_sim_scenarios_carry_deterministic_block(self, report):
@@ -230,3 +231,64 @@ class TestVectorizedScenario:
         baseline = copy.deepcopy(report)
         del baseline["scenarios"]["vectorized"]
         assert compare_reports(baseline, report) == []
+
+
+class TestMultiprocessScenario:
+    """The spawn-pool backend's row in the bench matrix."""
+
+    def test_present_with_verification_and_host_fields(self, report):
+        scenario = report["scenarios"]["multiprocess"]
+        assert scenario["backend"] == "multiprocess"
+        assert scenario["bit_exact_vs_serial"] is True
+        assert scenario["workers"] == TINY.threads
+        assert scenario["host_cpus"] >= 1
+        # Spawn cost is reported separately from steady-state throughput.
+        assert scenario["startup_s"] > 0
+        assert scenario["throughput_sf_per_s"] > 0
+
+    def test_kernel_breakdown_uses_canonical_tags(self, report):
+        from repro.uplink.tasks import KERNEL_KINDS
+
+        breakdown = report["scenarios"]["multiprocess"]["kernel_breakdown"]
+        assert set(breakdown) == set(KERNEL_KINDS)
+        for entry in breakdown.values():
+            assert entry["count"] > 0
+
+
+class TestNewScenarioRows:
+    def test_candidate_only_rows_are_reported_not_skipped(self, report):
+        from repro.bench import new_scenario_rows
+
+        baseline = copy.deepcopy(report)
+        del baseline["scenarios"]["multiprocess"]
+        assert new_scenario_rows(baseline, report) == ["multiprocess"]
+        assert new_scenario_rows(report, report) == []
+        # The comparison itself must not treat a new candidate row as a
+        # regression (only baseline rows missing from the candidate are).
+        assert compare_reports(baseline, report, deterministic_only=True) == []
+
+    def test_cli_prints_new_rows(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_a.json"
+        code = main([
+            "bench", "--scale", "smoke", "--seed", "0",
+            "--scenario", "sim-nonap", "--no-overhead",
+            "--out", str(out),
+        ])
+        assert code == 0
+        baseline = json.loads(out.read_text())
+        assert "multiprocess" not in baseline["scenarios"]
+        base_path = tmp_path / "BENCH_base.json"
+        base_path.write_text(json.dumps(baseline))
+        capsys.readouterr()
+        code = main([
+            "bench", "--scale", "smoke", "--seed", "0",
+            "--scenario", "sim-nonap", "--scenario", "vectorized",
+            "--no-overhead", "--deterministic-only",
+            "--out", str(tmp_path / "BENCH_b.json"),
+            "--compare", str(base_path),
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "scenario vectorized: new" in captured

@@ -2,8 +2,9 @@
 
 The gate behind the vectorized fast path: over a seeded scenario matrix
 spanning layer counts, modulations, PRB sizes, and user mixes, the
-serial reference, the work-stealing thread runtime, and the batched
-vectorized backend must produce **identical** CRC verdicts and bit-exact
+serial reference, the work-stealing thread runtime, the batched
+vectorized backend, and the shared-memory multiprocess pool must
+produce **identical** CRC verdicts and bit-exact
 payloads; soft values must be bit-exact too (and, redundantly, allclose
 at 1e-12 — the documented contract).
 
@@ -11,10 +12,13 @@ Run with ``pytest -m slow`` (the CI ``slow-tier`` job); excluded from
 tier-1 by the default ``-m "not slow"`` addopts.
 """
 
+import itertools
+
 import numpy as np
 import pytest
 
 from repro.phy.params import Modulation
+from repro.sched.multiprocess import MultiprocessRuntime
 from repro.sched.threaded import ThreadedRuntime
 from repro.uplink.serial import process_subframe_serial
 from repro.uplink.subframe import SubframeFactory
@@ -44,6 +48,23 @@ USER_MIXES = {
 }
 
 SEEDS = (0, 7)
+
+# The ledger rejects duplicate subframe indices, so every subframe fed
+# through the shared module-scoped pool needs a globally unique index.
+_MP_INDEX = itertools.count()
+
+
+@pytest.fixture(scope="module")
+def mp_pool():
+    """One 2-worker spawn pool shared by the multiprocess tests.
+
+    Spawn start-up re-imports NumPy per child (~1 s each); amortizing a
+    single pool over the whole matrix keeps the slow tier tractable.
+    """
+    runtime = MultiprocessRuntime(num_workers=2)
+    runtime.start()
+    yield runtime
+    runtime.close()
 
 
 def _assert_equivalent(reference, candidate, label):
@@ -98,6 +119,49 @@ def test_multi_user_mixes_all_backends(seed, mix):
             reference,
             by_index[reference.subframe_index],
             f"threaded/{mix}/seed={seed}",
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("mix", sorted(USER_MIXES))
+def test_multiprocess_matches_serial_over_mixes(mp_pool, seed, mix):
+    users = [
+        UserParameters(uid, prb, layers, modulation)
+        for uid, (prb, layers, modulation) in enumerate(USER_MIXES[mix])
+    ]
+    factory = SubframeFactory(seed=seed)
+    subframes = [
+        factory.synthesize(users, next(_MP_INDEX)) for _ in range(3)
+    ]
+    serial = {
+        s.subframe_index: process_subframe_serial(s) for s in subframes
+    }
+    for result in mp_pool.run(subframes):
+        _assert_equivalent(
+            serial[result.subframe_index],
+            result,
+            f"multiprocess/{mix}/seed={seed}",
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_multiprocess_randomized_workload_slice(mp_pool, seed):
+    from repro.uplink.parameter_model import RandomizedParameterModel
+
+    model = RandomizedParameterModel(total_subframes=64, seed=seed)
+    factory = SubframeFactory(seed=seed)
+    subframes = [
+        factory.synthesize(model.uplink_parameters(model_index), next(_MP_INDEX))
+        for model_index in range(24, 32)  # mid-ramp: multi-user subframes
+    ]
+    serial = {
+        s.subframe_index: process_subframe_serial(s) for s in subframes
+    }
+    for result in mp_pool.run(subframes):
+        _assert_equivalent(
+            serial[result.subframe_index],
+            result,
+            f"multiprocess/randomized[{result.subframe_index}] seed={seed}",
         )
 
 

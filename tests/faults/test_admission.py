@@ -85,3 +85,16 @@ class TestValidation:
         estimator = calibrate_from_cost_model(CostModel())
         with pytest.raises(ValueError):
             AdmissionController(estimator, load_factor=-1.0)
+
+    def test_rejects_nonpositive_per_call_load_factor(self):
+        # Regression: the per-call override used to skip the positivity
+        # check the constructor enforces — admit(load_factor=0) silently
+        # produced a zero cost estimate and admitted everything.
+        controller = make_controller()
+        users = make_users(2)
+        with pytest.raises(ValueError, match="load_factor"):
+            controller.admit(users, load_factor=0.0)
+        with pytest.raises(ValueError, match="load_factor"):
+            controller.admit(users, load_factor=-3.0)
+        # None still means "use the configured default".
+        assert controller.admit(users, load_factor=None).admitted == tuple(users)

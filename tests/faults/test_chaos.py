@@ -116,3 +116,85 @@ class TestSurvivalReport:
         assert payload["scenarios"] == 2
         assert payload["survived"] == 1
         assert payload["passed"] is False
+
+
+class TestMultiprocessMatrix:
+    def test_multiprocess_backend_is_opt_in(self):
+        # Default campaign stays sim+threaded (spawn cost); explicit
+        # opt-in adds one scenario per MULTIPROCESS_GROUPS entry.
+        from repro.faults.chaos import MULTIPROCESS_GROUPS
+
+        default = build_matrix(scale="smoke", seeds=1)
+        assert all(s.backend != "multiprocess" for s in default)
+        mp = build_matrix(scale="smoke", seeds=2, backends=("multiprocess",))
+        assert len(mp) == 2 * len(MULTIPROCESS_GROUPS)
+        assert all(s.backend == "multiprocess" for s in mp)
+
+    def test_multiprocess_pool_outlives_death_budget(self):
+        # Replay determinism requires a survivor: the pool is always one
+        # worker larger than the number of armed death faults.
+        from repro.faults.chaos import _SCALES
+
+        for scale in ("smoke", "default"):
+            per_kind = _SCALES[scale]["faults_per_kind"]
+            mp = build_matrix(scale=scale, seeds=1, backends=("multiprocess",))
+            assert all(s.num_workers == max(2, per_kind + 1) for s in mp)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown chaos backend"):
+            build_matrix(scale="smoke", seeds=1, backends=("sim", "gpu"))
+
+    def test_multiprocess_task_exc_scenario_survives(self):
+        scenario = next(
+            s
+            for s in build_matrix(
+                scale="smoke", seeds=1, backends=("multiprocess",)
+            )
+            if s.name == "task-exc"
+        )
+        outcome = run_scenario(scenario)
+        assert outcome.survived, (outcome.checks, outcome.error)
+        assert outcome.dispatched == sum(outcome.counts.values())
+
+
+class TestLedgerFingerprint:
+    @staticmethod
+    def _ledger(states):
+        from repro.faults import SubframeLedger
+
+        ledger = SubframeLedger()
+        for index, state in enumerate(states):
+            ledger.dispatch(index, 2)
+            ledger.resolve(index, state)
+        return ledger
+
+    def test_same_counts_different_assignment_differ(self):
+        # The replay blind spot this closes: identical terminal-state
+        # *counts* but a different per-subframe assignment must not
+        # fingerprint as the same run.
+        from repro.faults import TerminalState
+        from repro.faults.chaos import ledger_fingerprint
+
+        a = self._ledger(
+            [TerminalState.OK, TerminalState.SHED, TerminalState.ABORTED]
+        )
+        b = self._ledger(
+            [TerminalState.OK, TerminalState.ABORTED, TerminalState.SHED]
+        )
+        assert ledger_fingerprint(a)["counts"] == ledger_fingerprint(b)["counts"]
+        assert ledger_fingerprint(a) != ledger_fingerprint(b)
+
+    def test_identical_histories_fingerprint_identically(self):
+        from repro.faults import TerminalState
+        from repro.faults.chaos import ledger_fingerprint
+
+        states = [TerminalState.OK, TerminalState.CRC_FAILED, TerminalState.OK]
+        assert ledger_fingerprint(self._ledger(states)) == ledger_fingerprint(
+            self._ledger(states)
+        )
+
+    def test_fingerprint_is_json_serializable(self):
+        from repro.faults import TerminalState
+        from repro.faults.chaos import ledger_fingerprint
+
+        json.dumps(ledger_fingerprint(self._ledger([TerminalState.OK])))

@@ -241,3 +241,32 @@ class TestAccounting:
         assert runtime.ledger.counts() == {
             "ok": 3, "crc_failed": 0, "shed": 0, "aborted": 0,
         }
+
+
+class TestClockHelpers:
+    """The one ns clock the drain/watchdog paths share."""
+
+    def test_ns_from_s_rounds_instead_of_truncating(self):
+        from repro.faults.watchdog import NS_PER_S, ns_from_s, s_from_ns
+
+        # Regression: the drain/watchdog deadlines used int(s * 1e9),
+        # which floors the float artefact of 4.1 * 1e9 to 4_099_999_999 —
+        # one tick early at every deadline boundary.
+        assert int(4.1 * 1e9) == 4_099_999_999  # the truncation drift
+        assert ns_from_s(4.1) == 4_100_000_000  # the fix
+        assert ns_from_s(0.0) == 0
+        assert ns_from_s(1e-9) == 1
+        assert s_from_ns(ns_from_s(5e-3)) == pytest.approx(5e-3)
+        assert NS_PER_S == 1_000_000_000
+
+    def test_runtime_deadlines_go_through_the_helper(self):
+        # Both parallel runtimes must use the shared helper, not ad-hoc
+        # int(s * 1e9) conversions that reintroduce the drift.
+        import inspect
+
+        from repro.sched import multiprocess, threaded
+
+        for module in (threaded, multiprocess):
+            source = inspect.getsource(module)
+            assert "ns_from_s" in source, module.__name__
+            assert "int(" + "1e9" not in source

@@ -204,3 +204,58 @@ class TestWriteChromeTraceEndToEnd:
         converted = json.load(open(out, encoding="utf-8"))
         names = {e["name"] for e in converted["traceEvents"]}
         assert "chest" in names and "from-the-future" in names
+
+
+class TestPerProcessLanes:
+    def test_process_id_records_get_their_own_chrome_process(self):
+        # Two worker pids -> two Chrome process lanes above
+        # _PID_WORKER_BASE, each with a process_name metadata row naming
+        # the OS pid; a record without process_id stays on pid 1.
+        events = chrome_trace_events([
+            ev(EventKind.TASK_START, t=0, core=0, kernel="chest",
+               process_id=4001),
+            ev(EventKind.TASK_FINISH, t=10, core=0, kernel="chest",
+               process_id=4001),
+            ev(EventKind.TASK_START, t=0, core=1, kernel="symbol",
+               process_id=4002),
+            ev(EventKind.TASK_FINISH, t=10, core=1, kernel="symbol",
+               process_id=4002),
+            ev(EventKind.TASK_START, t=20, core=2, kernel="finalize"),
+            ev(EventKind.TASK_FINISH, t=30, core=2, kernel="finalize"),
+        ], clock="ns")
+        slices = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert slices["chest"]["pid"] >= 10
+        assert slices["symbol"]["pid"] >= 10
+        assert slices["chest"]["pid"] != slices["symbol"]["pid"]
+        assert slices["finalize"]["pid"] == 1  # no process_id: shared lane
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names[slices["chest"]["pid"]] == "worker process 4001"
+        assert names[slices["symbol"]["pid"]] == "worker process 4002"
+
+    def test_worker_lane_assignment_is_stable_per_pid(self):
+        events = chrome_trace_events([
+            ev(EventKind.TASK_START, t=0, core=0, kernel="chest",
+               process_id=7777),
+            ev(EventKind.TASK_FINISH, t=5, core=0, kernel="chest",
+               process_id=7777),
+            ev(EventKind.TASK_START, t=10, core=0, kernel="combiner",
+               process_id=7777),
+            ev(EventKind.TASK_FINISH, t=15, core=0, kernel="combiner",
+               process_id=7777),
+        ], clock="ns")
+        pids = {e["pid"] for e in events if e["ph"] == "X"}
+        assert len(pids) == 1
+
+    def test_user_spans_follow_their_worker_lane(self):
+        events = chrome_trace_events([
+            ev(EventKind.USER_START, t=0, core=1, subframe=3, user=2,
+               process_id=5005),
+            ev(EventKind.USER_FINISH, t=40, core=1, subframe=3, user=2,
+               process_id=5005),
+        ], clock="ns")
+        (span,) = [e for e in events if e["ph"] == "X"]
+        assert span["name"] == "user 2" and span["pid"] >= 10

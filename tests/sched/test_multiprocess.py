@@ -1,0 +1,163 @@
+"""MultiprocessRuntime: bit-exactness, SHM lifecycle, real-death faults.
+
+Tier-1 coverage of the spawn-based pool. Each test spawns its own small
+pool (2 workers, a handful of subframes) because fault plans differ per
+test; the exhaustive cross-backend scenario matrix lives in the slow-tier
+differential suite (``tests/differential/test_backends.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.watchdog import ResilienceConfig
+from repro.obs.recorder import EventRecorder
+from repro.sched.multiprocess import MultiprocessRuntime
+from repro.uplink.parameter_model import RandomizedParameterModel
+from repro.uplink.serial import process_subframe_serial
+from repro.uplink.subframe import SubframeFactory, SubframeInput
+
+NUM_SUBFRAMES = 4
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    model = RandomizedParameterModel(
+        total_subframes=NUM_SUBFRAMES, seed=SEED, max_users=3
+    )
+    factory = SubframeFactory(seed=SEED)
+    subframes = [
+        factory.synthesize(model.uplink_parameters(i), i)
+        for i in range(NUM_SUBFRAMES)
+    ]
+    reference = [process_subframe_serial(s) for s in subframes]
+    return subframes, reference
+
+
+def test_bit_exact_vs_serial_with_process_lanes(workload):
+    subframes, reference = workload
+    recorder = EventRecorder()
+    runtime = MultiprocessRuntime(num_workers=2, observers=[recorder])
+    results = runtime.run(subframes)
+    assert len(results) == NUM_SUBFRAMES
+    for result, expected in zip(results, reference):
+        assert result.equals(expected), f"sf{result.subframe_index} differs"
+    assert runtime.ledger.ok
+    assert runtime.ledger.counts()["ok"] == NUM_SUBFRAMES
+    assert sum(runtime.stats.users_processed) == sum(
+        len(s.slices) for s in subframes
+    )
+    # The event stream carries the process_id dimension: at least the
+    # parent plus one worker pid must appear.
+    pids = {e.data.get("process_id") for e in recorder.events if e.data}
+    pids.discard(None)
+    assert len(pids) >= 2
+    # Stage spans are attributed to worker pids, not the parent's.
+    worker_pids = set(runtime.process_ids)
+    kernel_pids = {
+        e.data.get("process_id")
+        for e in recorder.events
+        if e.kind.value == "task-start"
+    }
+    assert kernel_pids and kernel_pids <= worker_pids
+
+
+def test_worker_death_is_reclaimed_and_retried(workload):
+    subframes, reference = workload
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                kind=FaultKind.WORKER_DEATH, subframe=0, target=0, seed=0
+            ),
+        ),
+        seed=0,
+    )
+    recorder = EventRecorder()
+    runtime = MultiprocessRuntime(
+        num_workers=2,
+        faults=plan,
+        observers=[recorder],
+        resilience=ResilienceConfig(max_retries=2, drain_timeout_s=60.0),
+    )
+    results = runtime.run(subframes)
+    # The SIGKILLed worker's subframe is requeued onto the survivor and
+    # still completes bit-exact.
+    assert runtime.ledger.ok and runtime.ledger.counts()["ok"] == NUM_SUBFRAMES
+    for result, expected in zip(results, reference):
+        assert result.equals(expected)
+    assert runtime.stats.worker_deaths == 1
+    assert runtime.stats.retries > 0
+    assert any(f.injected for f in runtime.failures)
+    kinds = {e.kind.value for e in recorder.events}
+    assert "fault" in kinds and "user-retry" in kinds
+
+
+def test_task_exception_without_retries_aborts_one_subframe(workload):
+    subframes, _ = workload
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                kind=FaultKind.TASK_EXCEPTION, subframe=1, target=-1, seed=0
+            ),
+        ),
+        seed=0,
+    )
+    runtime = MultiprocessRuntime(
+        num_workers=2,
+        faults=plan,
+        resilience=ResilienceConfig(max_retries=0, drain_timeout_s=60.0),
+    )
+    results = runtime.run(subframes)
+    counts = runtime.ledger.counts()
+    assert runtime.ledger.ok
+    assert counts["aborted"] == 1 and counts["ok"] == NUM_SUBFRAMES - 1
+    aborted = [r for r in results if r.aborted_user_ids]
+    assert len(aborted) == 1 and aborted[0].subframe_index == 1
+    assert runtime.stats.aborted_users == len(aborted[0].aborted_user_ids)
+
+
+def test_all_workers_dead_aborts_everything(workload):
+    subframes, _ = workload
+    plan = FaultPlan(
+        specs=tuple(
+            FaultSpec(kind=FaultKind.WORKER_DEATH, subframe=0, target=w, seed=0)
+            for w in range(2)
+        ),
+        seed=0,
+    )
+    runtime = MultiprocessRuntime(
+        num_workers=2,
+        faults=plan,
+        resilience=ResilienceConfig(max_retries=5, drain_timeout_s=60.0),
+    )
+    runtime.run(subframes)
+    # Both pool processes SIGKILLed: the drain loop must still terminate
+    # with every dispatched subframe accounted as aborted.
+    counts = runtime.ledger.counts()
+    assert runtime.ledger.ok and counts["aborted"] == NUM_SUBFRAMES
+    assert runtime.stats.worker_deaths == 2
+
+
+def test_tiny_output_slab_falls_back_to_inline_results(workload):
+    subframes, reference = workload
+    runtime = MultiprocessRuntime(num_workers=2, slab_bytes=4096)
+    results = runtime.run(subframes)
+    # Every payload overflows the minimum 4 KiB slab; results ride the
+    # pipe inline instead, still bit-exact, and the fallback is counted.
+    assert runtime.stats.slab_overflows > 0
+    for result, expected in zip(results, reference):
+        assert result.equals(expected)
+
+
+def test_empty_subframe_resolves_immediately():
+    empty = SubframeInput(
+        subframe_index=9,
+        grid=np.zeros((2, 14, 12), dtype=np.complex128),
+        slices=[],
+        expected_payloads={},
+    )
+    runtime = MultiprocessRuntime(num_workers=2)
+    results = runtime.run([empty])
+    assert len(results) == 1 and not results[0].user_results
+    assert runtime.ledger.counts()["ok"] == 1
