@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow test-invariants bench bench-smoke chaos-smoke multiprocess-smoke lint repro-lint ruff mypy all
+.PHONY: test test-slow test-invariants bench bench-smoke chaos-smoke multiprocess-smoke lint lint-strict repro-lint ruff mypy all
 
 all: test lint
 
@@ -35,10 +35,15 @@ multiprocess-smoke:
 	$(PYTHON) -m pytest -m slow -q tests/differential/test_backends.py -k multiprocess
 	$(PYTHON) -m repro chaos --backend multiprocess --scale smoke --seeds 2 --timeout 600
 
-lint: repro-lint ruff mypy
+lint: repro-lint lint-strict ruff mypy
 
 repro-lint:
 	$(PYTHON) -m repro lint src
+
+lint-strict:
+	$(PYTHON) -m repro lint src/repro \
+		--select REP501,REP502,REP511,REP512,REP521,REP522 \
+		--baseline lint-strict-baseline.json
 
 ruff:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
@@ -49,7 +54,7 @@ ruff:
 
 mypy:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
-		$(PYTHON) -m mypy src/repro/analysis src/repro/obs; \
+		$(PYTHON) -m mypy src/repro/analysis src/repro/obs src/repro/sched; \
 	else \
 		echo "mypy not installed; skipping (pip install -e .[lint])"; \
 	fi

@@ -13,12 +13,25 @@ Rule families (full catalogue: ``repro lint --list-rules`` and
 * ``REP2xx`` simulation determinism (:mod:`repro.analysis.determinism`);
 * ``REP3xx`` obs event-schema consistency (:mod:`repro.analysis.schema`);
 * ``REP4xx`` robustness — no swallowed failures in the runtimes
-  (:mod:`repro.analysis.robustness`).
+  (:mod:`repro.analysis.robustness`);
+* ``REP5xx`` concurrency safety — whole-program lock-order analysis
+  (:mod:`repro.analysis.concurrency`), shared-memory segment lifecycle
+  (:mod:`repro.analysis.shm`), and spawn/pickle boundaries
+  (:mod:`repro.analysis.spawn`); cross-checked at runtime by
+  :mod:`repro.obs.lockdep`.
 
 Importing this package registers all built-in rules.
 """
 
-from . import determinism, locks, robustness, schema  # noqa: F401  (rule registration)
+from . import (  # noqa: F401  (rule registration)
+    concurrency,
+    determinism,
+    locks,
+    robustness,
+    schema,
+    shm,
+    spawn,
+)
 from .baseline import Baseline
 from .context import ModuleContext
 from .driver import LintResult, LintUsageError, collect_files, lint_paths

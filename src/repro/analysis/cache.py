@@ -1,0 +1,119 @@
+"""Content-hash result cache for per-file lint rules.
+
+The full-tree CI lint re-parses and re-checks every file on every push;
+as the rule count grows that cost scales with tree size, not change
+size. This cache keys each file's *per-file* rule findings by a SHA-256
+of (source bytes, active per-file rule ids) and invalidates wholesale
+when the analyzer itself changes (the signature hashes every module in
+``repro.analysis``), so a stale cache can never hide a new rule or a
+rule fix.
+
+Only per-file rules are cached. Project rules (REP3xx schema, REP5xx
+lock order) see the whole tree at once, so their cost is already
+one-pass and their findings can be invalidated by *any* file changing;
+the driver always re-runs them. Suppression and baseline filtering also
+always re-run — they are cheap and depend on the baseline file, which is
+outside the cache key.
+
+Cache entries store raw findings (pre-suppression), so a cached file's
+suppressions still apply when only the baseline changed. The file format
+is one JSON document; a corrupt or version-skewed cache is silently
+discarded (it is a pure accelerator, never a source of truth).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["AnalysisCache", "rules_signature"]
+
+_VERSION = 1
+
+
+def rules_signature() -> str:
+    """Hash of every analyzer module's source: changes invalidate the cache."""
+    digest = hashlib.sha256()
+    package_dir = Path(__file__).parent
+    for module in sorted(package_dir.glob("*.py")):
+        digest.update(module.name.encode())
+        digest.update(module.read_bytes())
+    return digest.hexdigest()
+
+
+class AnalysisCache:
+    """Per-file finding cache, persisted as one JSON file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.signature = rules_signature()
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._files: dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            data.get("version") != _VERSION
+            or data.get("signature") != self.signature
+        ):
+            return  # analyzer changed: start fresh
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = files
+
+    @staticmethod
+    def _key(source: str, rules_token: str) -> str:
+        digest = hashlib.sha256(source.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(rules_token.encode("utf-8"))
+        return digest.hexdigest()
+
+    def lookup(
+        self, relpath: str, source: str, rules_token: str
+    ) -> list[Finding] | None:
+        """Cached raw findings for this exact content, or ``None``."""
+        entry = self._files.get(relpath)
+        if entry is None or entry.get("key") != self._key(source, rules_token):
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding.from_dict(f) for f in entry["findings"]]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def store(
+        self,
+        relpath: str,
+        source: str,
+        rules_token: str,
+        findings: list[Finding],
+    ) -> None:
+        self._files[relpath] = {
+            "key": self._key(source, rules_token),
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": _VERSION,
+            "signature": self.signature,
+            "files": self._files,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        self._dirty = False

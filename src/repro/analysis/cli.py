@@ -15,7 +15,9 @@ import sys
 from typing import Any
 
 from .baseline import Baseline
-from .driver import LintResult, LintUsageError, lint_paths
+from .cache import AnalysisCache
+from .driver import LintResult, LintUsageError, changed_files, lint_paths
+from .findings import Severity
 from .registry import default_rules, rule_catalogue
 
 __all__ = ["run_lint", "result_to_json"]
@@ -28,8 +30,42 @@ def result_to_json(result: LintResult) -> dict[str, Any]:
         "files_checked": result.files_checked,
         "suppressed": result.suppressed,
         "baselined": result.baselined,
+        "cache_hits": result.cache_hits,
         "findings": [f.to_dict() for f in result.findings],
     }
+
+
+def _escape_annotation(value: str, *, property: bool = False) -> str:
+    """Escape per GitHub's workflow-command rules (order matters: % first)."""
+    value = value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property:
+        value = value.replace(":", "%3A").replace(",", "%2C")
+    return value
+
+
+def _print_github(result: LintResult) -> None:
+    """``::error``/``::warning`` workflow commands, one per finding.
+
+    GitHub Actions turns these into inline PR annotations; everything else
+    (the summary line) goes to stderr so it never parses as a command.
+    """
+    for finding in result.findings:
+        command = (
+            "warning" if finding.severity is Severity.WARNING else "error"
+        )
+        print(
+            f"::{command} "
+            f"file={_escape_annotation(finding.path, property=True)},"
+            f"line={finding.line},"
+            f"col={finding.col},"
+            f"title={_escape_annotation(finding.rule_id, property=True)}"
+            f"::{_escape_annotation(finding.message)}"
+        )
+    print(
+        f"{result.files_checked} file(s) checked, "
+        f"{len(result.findings)} finding(s)",
+        file=sys.stderr,
+    )
 
 
 def _print_text(result: LintResult) -> None:
@@ -70,9 +106,17 @@ def run_lint(args) -> int:
             print(f"repro lint: cannot load baseline: {exc}", file=sys.stderr)
             return 2
 
+    cache = None
+    cache_path = getattr(args, "cache", None)
+    if cache_path:
+        cache = AnalysisCache(cache_path)
+
     try:
+        only = changed_files() if getattr(args, "changed", False) else None
         rules = default_rules(select)
-        result = lint_paths(args.paths, rules=rules, baseline=baseline)
+        result = lint_paths(
+            args.paths, rules=rules, baseline=baseline, cache=cache, only=only
+        )
     except (LintUsageError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"repro lint: {message}", file=sys.stderr)
@@ -93,6 +137,8 @@ def run_lint(args) -> int:
 
     if args.format == "json":
         print(json.dumps(result_to_json(result), indent=2))
+    elif args.format == "github":
+        _print_github(result)
     else:
         _print_text(result)
     return 0 if result.ok else 1

@@ -26,8 +26,12 @@ from pathlib import Path
 
 __all__ = ["ModuleContext", "module_name_for"]
 
-_DISABLE_RE = re.compile(r"repro-lint:\s*disable=([A-Z0-9, ]+)")
-_DISABLE_FILE_RE = re.compile(r"repro-lint:\s*disable-file=([A-Z0-9, ]+)")
+# Rule codes only (REP101-style tokens); anything after the code list —
+# "# repro-lint: disable=REP402 best-effort shutdown cleanup" — is the
+# human justification, not part of the directive.
+_CODES = r"[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*"
+_DISABLE_RE = re.compile(rf"repro-lint:\s*disable=({_CODES})")
+_DISABLE_FILE_RE = re.compile(rf"repro-lint:\s*disable-file=({_CODES})")
 _DETERMINISTIC_PRAGMA = "repro-lint: deterministic-scope"
 
 
@@ -59,6 +63,8 @@ class ModuleContext:
     comments: dict[int, str] = field(default_factory=dict)
     #: local alias -> fully qualified dotted name, from import statements.
     import_aliases: dict[str, str] = field(default_factory=dict)
+    #: ``def``/``class`` line -> line of its first decorator.
+    decorator_starts: dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def parse(cls, path: Path, relpath: str, source: str) -> ModuleContext:
@@ -72,18 +78,30 @@ class ModuleContext:
             comments=_collect_comments(source),
         )
         ctx.import_aliases = _collect_import_aliases(tree)
+        ctx.decorator_starts = _collect_decorator_starts(tree)
         return ctx
 
     # ------------------------------------------------------------ pragmas
     def suppressed_rules(self, line: int) -> frozenset[str]:
-        """Rule IDs inline-suppressed for findings on ``line``."""
+        """Rule IDs inline-suppressed for findings on ``line``.
+
+        A suppression applies from the finding's own line (trailing
+        comment), the standalone comment line directly above it, or — when
+        the finding anchors to a decorated ``def``/``class`` — the
+        standalone comment directly above the decorator stack, which is
+        where a reader naturally writes it.
+        """
+        candidates = [line, line - 1]
+        first_decorator = self.decorator_starts.get(line)
+        if first_decorator is not None:
+            candidates.append(first_decorator - 1)
         rules: set[str] = set()
-        for source_line in (line, line - 1):
+        for source_line in candidates:
             comment = self.comments.get(source_line)
             if comment is None:
                 continue
-            if source_line == line - 1 and self._line_has_code(source_line):
-                continue  # trailing comment on the previous statement
+            if source_line != line and self._line_has_code(source_line):
+                continue  # trailing comment on an unrelated statement
             match = _DISABLE_RE.search(comment)
             if match:
                 rules.update(
@@ -139,6 +157,20 @@ def _collect_comments(source: str) -> dict[int, str]:
     except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
         pass
     return comments
+
+
+def _collect_decorator_starts(tree: ast.Module) -> dict[int, int]:
+    """Map each decorated def/class line to its first decorator's line."""
+    starts: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            if node.decorator_list:
+                starts[node.lineno] = min(
+                    d.lineno for d in node.decorator_list
+                )
+    return starts
 
 
 def _collect_import_aliases(tree: ast.Module) -> dict[str, str]:

@@ -1,0 +1,301 @@
+"""Shared-memory segment lifecycle rules (REP511/REP512).
+
+``multiprocessing.shared_memory`` has a two-level lifecycle that Python
+will not manage for you: every process that creates *or attaches* a
+:class:`~multiprocessing.shared_memory.SharedMemory` holds an mmap and
+file descriptor until ``close()``, and the backing ``/dev/shm`` segment
+itself survives until exactly one process — the creating owner —
+``unlink()``\\ s it. PR 6's runtime hand-rolled that discipline
+(refcounted grid segments, worker-side ``close()`` in ``finally``,
+parent-side ``close()+unlink()``); these rules make the discipline
+checkable:
+
+* ``REP511`` — a segment handle that is created/attached in a function
+  must either reach a ``close()`` on that handle or escape the function
+  (returned, stored in a container/object, passed to a callee that takes
+  over the lifecycle). A handle that does neither is a guaranteed
+  fd/mapping leak.
+* ``REP512`` — ``unlink()`` discipline: only the creating owner may
+  unlink (attach-then-unlink destroys a segment someone else owns), and
+  an ``unlink()`` with no ``close()`` on the same handle in the same
+  function leaks the local mapping even though the segment dies.
+
+The analysis recognizes direct ``SharedMemory(...)`` construction
+(``create=True`` ⇒ owner, ``name=...`` attach ⇒ borrower) and
+module-local helper functions that return a segment (e.g. the runtime's
+``_attach_shm``), classified by the construction they wrap. Escape is
+syntactic: any use of the bound name other than attribute access
+(``shm.buf``, ``shm.name``, ``shm.close()``...) hands the handle to code
+this per-function analysis cannot see, and is trusted.
+
+Scope: any file that imports ``multiprocessing.shared_memory`` (directly
+or via the parent package).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from .context import ModuleContext
+from .findings import Finding, Severity
+from .registry import Rule, register
+
+__all__ = ["ShmCloseRule", "ShmUnlinkRule"]
+
+
+def _uses_shared_memory(ctx: ModuleContext) -> bool:
+    return any(
+        "shared_memory" in target or target.endswith("SharedMemory")
+        for target in ctx.import_aliases.values()
+    )
+
+
+def _is_shm_ctor(ctx: ModuleContext, node: ast.Call) -> str | None:
+    """``"create"`` / ``"attach"`` for a direct SharedMemory construction."""
+    qname = ctx.qualified_name(node.func)
+    if qname is None:
+        return None
+    if qname != "SharedMemory" and not qname.endswith(".SharedMemory"):
+        return None
+    for kw in node.keywords:
+        if (
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value
+        ):
+            return "create"
+    return "attach"
+
+
+def _helper_kinds(ctx: ModuleContext) -> dict[str, str]:
+    """Module-level functions that hand out a segment, by wrapped ctor."""
+    helpers: dict[str, str] = {}
+    for stmt in ctx.tree.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                kind = _is_shm_ctor(ctx, node)
+                if kind is not None:
+                    helpers[stmt.name] = kind
+                    break
+    return helpers
+
+
+def _producer_kind(
+    ctx: ModuleContext, node: ast.expr, helpers: dict[str, str]
+) -> str | None:
+    """Classify an expression that yields a fresh segment handle."""
+    if not isinstance(node, ast.Call):
+        return None
+    direct = _is_shm_ctor(ctx, node)
+    if direct is not None:
+        return direct
+    func = node.func
+    if isinstance(func, ast.Name):
+        return helpers.get(func.id)
+    return None
+
+
+@dataclass
+class _Handle:
+    name: str
+    kind: str  # "create" | "attach"
+    line: int
+    col: int
+    closed: bool = False
+    escaped: bool = False
+    unlinks: list[tuple[int, int]] = field(default_factory=list)
+
+
+def _iter_defs(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _parents(fn: ast.AST) -> dict[ast.AST, ast.AST]:
+    parent: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(fn):
+        for child in ast.iter_child_nodes(node):
+            parent[child] = node
+    return parent
+
+
+@dataclass
+class _FunctionShm:
+    """Per-function segment-handle facts for both rules."""
+
+    handles: dict[str, _Handle] = field(default_factory=dict)
+    #: receiver text -> it has a ``.close()`` call in this function.
+    closed_receivers: set[str] = field(default_factory=set)
+    #: (receiver text, line, col) of every ``.unlink()`` call.
+    unlink_sites: list[tuple[str, int, int]] = field(default_factory=list)
+    #: producer calls whose handle is dropped on the floor.
+    discarded: list[tuple[str, int, int]] = field(default_factory=list)
+
+
+def _analyze_function(
+    ctx: ModuleContext,
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    helpers: dict[str, str],
+) -> _FunctionShm:
+    facts = _FunctionShm()
+    parent = _parents(fn)
+
+    for node in ast.walk(fn):
+        # Bindings: shm = SharedMemory(...) / shm = _attach_shm(...)
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            kind = _producer_kind(ctx, node.value, helpers)
+            if kind is not None and isinstance(target, ast.Name):
+                facts.handles.setdefault(
+                    target.id,
+                    _Handle(target.id, kind, node.lineno, node.col_offset),
+                )
+        # Method calls: <recv>.close() / <recv>.unlink()
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = ast.unparse(node.func.value)
+            if node.func.attr == "close":
+                facts.closed_receivers.add(receiver)
+            elif node.func.attr == "unlink":
+                facts.unlink_sites.append(
+                    (receiver, node.lineno, node.col_offset)
+                )
+        # Discarded handles: a producer call that is not bound, returned,
+        # or passed along — e.g. bare `SharedMemory(name=n)` or
+        # `SharedMemory(name=n).buf`.
+        if isinstance(node, ast.Call):
+            kind = _producer_kind(ctx, node, helpers)
+            if kind is not None:
+                up = parent.get(node)
+                if isinstance(up, ast.Expr) or (
+                    isinstance(up, ast.Attribute) and up.attr != "close"
+                ):
+                    facts.discarded.append(
+                        (kind, node.lineno, node.col_offset)
+                    )
+
+    # Escapes: the bound name used as anything but an attribute receiver.
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Name) or not isinstance(node.ctx, ast.Load):
+            continue
+        handle = facts.handles.get(node.id)
+        if handle is None:
+            continue
+        if isinstance(parent.get(node), ast.Attribute):
+            continue  # shm.buf / shm.close() / shm.name
+        handle.escaped = True
+
+    for handle in facts.handles.values():
+        if handle.name in facts.closed_receivers:
+            handle.closed = True
+        handle.unlinks = [
+            (line, col)
+            for receiver, line, col in facts.unlink_sites
+            if receiver == handle.name
+        ]
+    return facts
+
+
+class _ShmRule(Rule):
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not _uses_shared_memory(ctx):
+            return
+        helpers = _helper_kinds(ctx)
+        for fn in _iter_defs(ctx.tree):
+            yield from self.check_function(
+                ctx, fn, _analyze_function(ctx, fn, helpers)
+            )
+
+    def check_function(
+        self,
+        ctx: ModuleContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        facts: _FunctionShm,
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_VERB = {"create": "created", "attach": "attached"}
+
+
+@register
+class ShmCloseRule(_ShmRule):
+    """REP511: every segment handle reaches close() or escapes."""
+
+    rule_id = "REP511"
+    severity = Severity.ERROR
+    description = (
+        "SharedMemory handle is created/attached but neither closed nor "
+        "handed off: the mapping and fd leak"
+    )
+
+    def check_function(
+        self,
+        ctx: ModuleContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        facts: _FunctionShm,
+    ) -> Iterator[Finding]:
+        for handle in facts.handles.values():
+            if handle.closed or handle.escaped:
+                continue
+            yield self.finding(
+                ctx,
+                handle.line,
+                handle.col,
+                f"segment handle '{handle.name}' is "
+                f"{_VERB[handle.kind]} in '{fn.name}' but never reaches "
+                f"'{handle.name}.close()' and never escapes the function; "
+                "the mapping leaks",
+            )
+        for kind, line, col in facts.discarded:
+            yield self.finding(
+                ctx,
+                line,
+                col,
+                f"SharedMemory handle is {_VERB[kind]} and immediately "
+                "discarded; nothing can ever close() this mapping",
+            )
+
+
+@register
+class ShmUnlinkRule(_ShmRule):
+    """REP512: unlink() only by the creating owner, and never without close()."""
+
+    rule_id = "REP512"
+    severity = Severity.ERROR
+    description = (
+        "SharedMemory unlink() by a non-owner (attacher) or without a "
+        "close() on the same handle"
+    )
+
+    def check_function(
+        self,
+        ctx: ModuleContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        facts: _FunctionShm,
+    ) -> Iterator[Finding]:
+        for handle in facts.handles.values():
+            if handle.kind == "attach":
+                for line, col in handle.unlinks:
+                    yield self.finding(
+                        ctx,
+                        line,
+                        col,
+                        f"'{handle.name}' was attached (not created) in "
+                        f"'{fn.name}'; only the creating owner may "
+                        "unlink() a segment",
+                    )
+        for receiver, line, col in facts.unlink_sites:
+            if receiver not in facts.closed_receivers:
+                yield self.finding(
+                    ctx,
+                    line,
+                    col,
+                    f"'{receiver}.unlink()' without a matching "
+                    f"'{receiver}.close()' in '{fn.name}': the segment "
+                    "dies but this process's mapping leaks",
+                )

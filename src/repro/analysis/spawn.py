@@ -1,0 +1,316 @@
+"""Spawn/pickle-boundary rules (REP521/REP522).
+
+The multiprocess runtime uses the ``spawn`` start method: everything
+that reaches a worker — ``Process(target=..., args=...)`` at pool
+start, every object written to a worker pipe with ``send()`` — is
+pickled in the parent and rebuilt in a fresh interpreter. Some values
+survive that trip syntactically but are semantically wrong (or fail
+outright) on the other side:
+
+* locks (a pickled lock either raises or rebuilds unlocked, silently
+  dropping mutual exclusion);
+* open file objects (the descriptor does not travel);
+* RNG state (each side advances its own copy — determinism splits);
+* module-level mutable singletons (the child gets a snapshot; parent
+  mutations after spawn are invisible, a classic source of "works
+  threaded, breaks multiprocess" drift);
+* lambdas and nested functions (not picklable at all under spawn).
+
+* ``REP521`` — a value with one of those shapes crosses a spawn/pipe
+  boundary (``Process`` args/kwargs or a ``send()`` argument). Locks,
+  files, RNG and lambdas are errors; module-level mutable singletons are
+  warnings (sending a snapshot is occasionally intended — suppress with
+  a justification).
+* ``REP522`` — the ``Process(target=...)`` callable itself is
+  unpicklable or drags hidden state: a lambda, a function defined inside
+  another function, or a bound method of a class that owns locks (the
+  whole instance, lock included, is pickled).
+
+Detection is shallow by design: it indexes names assigned from lock
+constructors / ``open()`` / RNG factories and module-level mutable
+literals, then flags those names inside boundary expressions. State
+hidden behind object graphs is the runtime witness's problem, not this
+rule's. Scope: any file that imports :mod:`multiprocessing`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from .concurrency import _is_lock_ctor
+from .context import ModuleContext
+from .findings import Finding, Severity
+from .registry import Rule, register
+
+__all__ = ["SpawnArgumentRule", "SpawnTargetRule"]
+
+_RNG_FACTORIES = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+    }
+)
+
+
+def _uses_multiprocessing(ctx: ModuleContext) -> bool:
+    return any(
+        target == "multiprocessing" or target.startswith("multiprocessing.")
+        for target in ctx.import_aliases.values()
+    )
+
+
+def _is_open_call(ctx: ModuleContext, node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    qname = ctx.qualified_name(node.func)
+    return qname is not None and (
+        qname == "open" or qname.endswith(".open") or qname == "io.open"
+    )
+
+
+def _is_rng_call(ctx: ModuleContext, node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    qname = ctx.qualified_name(node.func)
+    return qname is not None and (
+        qname in _RNG_FACTORIES or qname.endswith(".default_rng")
+    )
+
+
+@dataclass
+class _UnsafeIndex:
+    """Names in one module whose values must not cross a spawn boundary."""
+
+    #: name -> human label ("a lock", "an open file", ...).
+    names: dict[str, str] = field(default_factory=dict)
+    #: module-level mutable literals (dict/list/set) by name.
+    singletons: set[str] = field(default_factory=set)
+    #: class name -> it declares lock attributes.
+    lock_classes: set[str] = field(default_factory=set)
+    #: nested (not module-level) function names.
+    nested_defs: set[str] = field(default_factory=set)
+
+
+def _build_index(ctx: ModuleContext) -> _UnsafeIndex:
+    index = _UnsafeIndex()
+
+    def classify(value: ast.expr | None) -> str | None:
+        if value is None:
+            return None
+        if _is_lock_ctor(ctx, value):
+            return "a lock"
+        if _is_open_call(ctx, value):
+            return "an open file"
+        if _is_rng_call(ctx, value):
+            return "RNG state"
+        return None
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign):
+            label = classify(node.value)
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if label is not None:
+                    index.names[target.id] = label
+        elif isinstance(node, ast.AnnAssign):
+            label = classify(node.value)
+            if label is not None and isinstance(node.target, ast.Name):
+                index.names[node.target.id] = label
+
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.Assign) and isinstance(
+            stmt.value, (ast.Dict, ast.List, ast.Set)
+        ):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    index.singletons.add(target.id)
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Assign) and _is_lock_ctor(
+                    ctx, sub.value
+                ):
+                    index.lock_classes.add(node.name)
+                    break
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(node):
+                if (
+                    sub is not node
+                    and isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                ):
+                    index.nested_defs.add(sub.name)
+    return index
+
+
+def _is_process_call(ctx: ModuleContext, node: ast.Call) -> bool:
+    qname = ctx.qualified_name(node.func)
+    if qname is None:
+        return False
+    return qname == "Process" or qname.endswith(".Process")
+
+
+def _target_expr(node: ast.Call) -> ast.expr | None:
+    for kw in node.keywords:
+        if kw.arg == "target":
+            return kw.value
+    # multiprocessing.Process(group, target, ...)
+    if len(node.args) >= 2:
+        return node.args[1]
+    return None
+
+
+def _payload_exprs(node: ast.Call) -> Iterator[ast.expr]:
+    """The expressions whose values actually travel: args= and kwargs=."""
+    for kw in node.keywords:
+        if kw.arg in ("args", "kwargs"):
+            yield kw.value
+
+
+class _SpawnRule(Rule):
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not _uses_multiprocessing(ctx):
+            return
+        index = _build_index(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self.check_call(ctx, index, node)
+
+    def check_call(
+        self, ctx: ModuleContext, index: _UnsafeIndex, node: ast.Call
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@register
+class SpawnArgumentRule(_SpawnRule):
+    """REP521: no locks/files/RNG/lambdas through spawn args or pipes."""
+
+    rule_id = "REP521"
+    severity = Severity.ERROR
+    description = (
+        "lock, open file, RNG state, lambda, or module-level mutable "
+        "singleton crosses a spawn/pipe boundary (Process args or send())"
+    )
+
+    def check_call(
+        self, ctx: ModuleContext, index: _UnsafeIndex, node: ast.Call
+    ) -> Iterator[Finding]:
+        if _is_process_call(ctx, node):
+            payloads = list(_payload_exprs(node))
+            boundary = "Process(...) argument"
+        elif (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "send"
+        ):
+            payloads = list(node.args)
+            boundary = "pipe send()"
+        else:
+            return
+        for payload in payloads:
+            for sub in ast.walk(payload):
+                if isinstance(sub, ast.Lambda):
+                    yield self.finding(
+                        ctx,
+                        sub.lineno,
+                        sub.col_offset,
+                        f"lambda in a {boundary} cannot be pickled under "
+                        "the spawn start method",
+                    )
+                elif isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, ast.Load
+                ):
+                    label = index.names.get(sub.id)
+                    if label is not None:
+                        yield self.finding(
+                            ctx,
+                            sub.lineno,
+                            sub.col_offset,
+                            f"'{sub.id}' ({label}) crosses a {boundary}; "
+                            "it does not survive pickling to a spawned "
+                            "worker",
+                        )
+                    elif sub.id in index.singletons:
+                        yield Finding(
+                            path=ctx.relpath,
+                            line=sub.lineno,
+                            col=sub.col_offset,
+                            rule_id=self.rule_id,
+                            message=(
+                                f"module-level mutable singleton "
+                                f"'{sub.id}' crosses a {boundary}; the "
+                                "worker gets a divergent snapshot"
+                            ),
+                            severity=Severity.WARNING,
+                        )
+
+
+@register
+class SpawnTargetRule(_SpawnRule):
+    """REP522: Process targets must be picklable, state-free callables."""
+
+    rule_id = "REP522"
+    severity = Severity.ERROR
+    description = (
+        "Process(target=...) is a lambda, nested function, or bound "
+        "method of a lock-owning class; it cannot (or should not) be "
+        "pickled to a spawned worker"
+    )
+
+    def check_call(
+        self, ctx: ModuleContext, index: _UnsafeIndex, node: ast.Call
+    ) -> Iterator[Finding]:
+        if not _is_process_call(ctx, node):
+            return
+        target = _target_expr(node)
+        if target is None:
+            return
+        if isinstance(target, ast.Lambda):
+            yield self.finding(
+                ctx,
+                target.lineno,
+                target.col_offset,
+                "Process target is a lambda; lambdas cannot be pickled "
+                "under the spawn start method",
+            )
+        elif isinstance(target, ast.Name) and target.id in index.nested_defs:
+            yield self.finding(
+                ctx,
+                target.lineno,
+                target.col_offset,
+                f"Process target '{target.id}' is defined inside another "
+                "function; nested functions cannot be pickled under "
+                "spawn — move it to module level",
+            )
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            enclosing = _enclosing_lock_class(ctx, target, index)
+            if enclosing is not None:
+                yield self.finding(
+                    ctx,
+                    target.lineno,
+                    target.col_offset,
+                    f"Process target 'self.{target.attr}' is a bound "
+                    f"method of {enclosing}, which owns locks; spawning "
+                    "pickles the whole instance, lock state included",
+                )
+
+
+def _enclosing_lock_class(
+    ctx: ModuleContext, target: ast.expr, index: _UnsafeIndex
+) -> str | None:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef) and node.name in index.lock_classes:
+            for sub in ast.walk(node):
+                if sub is target:
+                    return node.name
+    return None

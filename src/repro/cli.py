@@ -292,15 +292,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "github"],
         default="text",
-        help="output format (default text)",
+        help="output format (github emits ::error workflow annotations)",
     )
     lint.add_argument(
         "--select",
         default=None,
         metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files git reports as modified or untracked",
+    )
+    lint.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="content-hash result cache; speeds up repeated runs",
     )
     lint.add_argument(
         "--baseline",

@@ -18,7 +18,6 @@ because its injection points live inside the event loop.
 
 from __future__ import annotations
 
-import threading
 from typing import ClassVar
 
 import numpy as np
@@ -119,8 +118,11 @@ class ThreadFaultInjector:
     _GUARDED_BY: ClassVar[dict[str, str]] = {"_armed": "lock"}
 
     def __init__(self, plan: FaultPlan) -> None:
+        # Deferred import: repro.obs -> repro.sim -> repro.faults cycle.
+        from ..obs.lockdep import tracked_lock
+
         self.plan = plan
-        self.lock = threading.Lock()
+        self.lock = tracked_lock("ThreadFaultInjector.lock")
         self._armed: list[FaultSpec] = [
             s
             for s in plan.specs

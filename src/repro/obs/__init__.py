@@ -8,7 +8,9 @@ over :class:`repro.sim.machine.MachineSimulator` and
 :class:`repro.sched.threaded.ThreadedRuntime`. Attach observers via the
 ``observers=`` constructor argument of either backend; set
 ``REPRO_INVARIANTS=1`` to auto-attach a strict
-:class:`SchedulerInvariantChecker` to every simulator run. See
+:class:`SchedulerInvariantChecker` to every simulator run, and
+``REPRO_LOCKDEP=1`` to make every :func:`tracked_lock` in the runtimes
+report acquisition orders to the lock-order witness (``lockdep``). See
 ``docs/observability.md`` for the event schema and CLI usage
 (``repro trace`` / ``repro metrics`` / ``repro bench``).
 """
@@ -23,6 +25,12 @@ from .metrics import (
     MetricsRegistry,
 )
 from .invariants import InvariantViolation, SchedulerInvariantChecker
+from .lockdep import (
+    LockdepError,
+    LockOrderWitness,
+    TrackedLock,
+    tracked_lock,
+)
 from .profiling import KernelStats, Profiler, Span
 from .timeline import (
     chrome_trace_events,
@@ -39,11 +47,15 @@ __all__ = [
     "Histogram",
     "InvariantViolation",
     "KernelStats",
+    "LockOrderWitness",
+    "LockdepError",
     "MetricsCollector",
     "MetricsRegistry",
     "Profiler",
     "SchedulerInvariantChecker",
     "Span",
+    "TrackedLock",
+    "tracked_lock",
     "chrome_trace_events",
     "gating_events_from_active_workers",
     "read_jsonl",

@@ -60,6 +60,7 @@ from dataclasses import dataclass, field
 from multiprocessing import get_context, resource_tracker
 from multiprocessing.connection import wait as _connection_wait
 from multiprocessing.shared_memory import SharedMemory
+from typing import Any
 
 import numpy as np
 
@@ -315,8 +316,10 @@ class _PendingSubframe:
 @dataclass
 class _WorkerHandle:
     worker_id: int
-    process: object
-    conn: object
+    # Any, not object: the spawn context's Process/Connection classes are
+    # picked at runtime and mypy cannot see their methods through object.
+    process: Any
+    conn: Any
     pid: int
     slab: SharedMemory
     busy: dict | None = None  # the task currently dispatched to it
@@ -436,26 +439,41 @@ class MultiprocessRuntime:
             self.ledger = SubframeLedger()
         self._failures.clear()
         init = {"config": self.config, "codec": self.codec}
-        for worker_id in range(self.num_workers):
-            slab = SharedMemory(create=True, size=self.slab_bytes)
-            parent_conn, child_conn = self._ctx.Pipe()
-            process = self._ctx.Process(
-                target=_worker_main,
-                args=(worker_id, child_conn, {**init, "slab": slab.name}),
-                daemon=True,
-                name=f"repro-mp-worker-{worker_id}",
-            )
-            process.start()
-            child_conn.close()  # keep one writer so EOF propagates on death
-            self._workers.append(
-                _WorkerHandle(
-                    worker_id=worker_id,
-                    process=process,
-                    conn=parent_conn,
-                    pid=process.pid,
-                    slab=slab,
+        try:
+            for worker_id in range(self.num_workers):
+                slab = SharedMemory(create=True, size=self.slab_bytes)
+                try:
+                    parent_conn, child_conn = self._ctx.Pipe()
+                    process = self._ctx.Process(
+                        target=_worker_main,
+                        args=(worker_id, child_conn, {**init, "slab": slab.name}),
+                        daemon=True,
+                        name=f"repro-mp-worker-{worker_id}",
+                    )
+                    process.start()
+                except BaseException:
+                    # This worker's slab has no _WorkerHandle yet; nothing
+                    # else will ever release it.
+                    slab.close()
+                    slab.unlink()
+                    raise
+                child_conn.close()  # keep one writer so EOF propagates on death
+                self._workers.append(
+                    _WorkerHandle(
+                        worker_id=worker_id,
+                        process=process,
+                        conn=parent_conn,
+                        pid=process.pid,
+                        slab=slab,
+                    )
                 )
-            )
+        except BaseException:
+            # A later spawn failed: without this, the slabs of the workers
+            # that *did* start would leak (close() is a no-op before
+            # _started is set). Found by dogfooding REP511.
+            self._started = True
+            self.close()
+            raise
         self._spawned_pids = [worker.pid for worker in self._workers]
         self._started = True
 

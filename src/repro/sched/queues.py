@@ -14,9 +14,10 @@ behaviour is identical.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from typing import Generic, TypeVar
+
+from ..obs.lockdep import tracked_lock
 
 T = TypeVar("T")
 
@@ -28,7 +29,7 @@ class WorkStealingDeque(Generic[T]):
 
     def __init__(self) -> None:
         self._items: deque[T] = deque()  # guarded-by: _lock
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("WorkStealingDeque._lock")
 
     def push(self, item: T) -> None:
         """Owner: push a task at the bottom."""
@@ -69,7 +70,7 @@ class GlobalQueue(Generic[T]):
 
     def __init__(self) -> None:
         self._items: deque[T] = deque()  # guarded-by: _lock
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("GlobalQueue._lock")
 
     def put_subframe(self, users: list[T]) -> None:
         """Dispatch a whole subframe's users atomically."""

@@ -38,6 +38,7 @@ from ..faults.watchdog import (
     ns_from_s,
 )
 from ..obs.events import Event, EventKind
+from ..obs.lockdep import tracked_lock
 from ..phy.chest import ChestConfig
 from ..uplink.serial import SubframeResult
 from ..uplink.subframe import SubframeInput, UserSlice
@@ -81,7 +82,9 @@ class RuntimeStats:
     retries: int = 0
     aborted_users: int = 0
     lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+        default_factory=lambda: tracked_lock("RuntimeStats.lock"),
+        repr=False,
+        compare=False,
     )
 
     @property
@@ -100,7 +103,7 @@ class _Latch:
 
     def __init__(self, count: int) -> None:
         self._count = count  # guarded-by: _lock
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("_Latch._lock")
         self._event = threading.Event()
         if count == 0:
             self._event.set()
@@ -123,7 +126,9 @@ class _PendingSubframe:
     subframe: SubframeInput
     remaining_users: int  # guarded-by: lock
     result: SubframeResult  # guarded-by: lock
-    lock: threading.Lock = field(default_factory=threading.Lock)
+    lock: threading.Lock = field(
+        default_factory=lambda: tracked_lock("_PendingSubframe.lock")
+    )
     resolved: bool = False  # guarded-by: lock
     aborted_ids: list[int] = field(default_factory=list)  # guarded-by: lock
     retries: dict[int, int] = field(default_factory=dict)  # guarded-by: lock
@@ -199,9 +204,11 @@ class ThreadedRuntime:
             users_processed=[0] * num_workers,
         )
         self._completed: list[SubframeResult] = []  # guarded-by: _completed_lock
-        self._completed_lock = threading.Lock()
+        self._completed_lock = tracked_lock("ThreadedRuntime._completed_lock")
         self._outstanding = 0  # guarded-by: _outstanding_lock
-        self._outstanding_lock = threading.Lock()
+        self._outstanding_lock = tracked_lock(
+            "ThreadedRuntime._outstanding_lock"
+        )
         self._all_done = threading.Event()
         self._all_done.set()
         self._shutdown = threading.Event()
@@ -215,10 +222,10 @@ class ThreadedRuntime:
         self._external_ledger = ledger
         self.ledger: SubframeLedger = ledger or SubframeLedger()
         self._pending_map: dict[int, _PendingSubframe] = {}  # guarded-by: _pending_lock
-        self._pending_lock = threading.Lock()
+        self._pending_lock = tracked_lock("ThreadedRuntime._pending_lock")
         self._failures: list[WorkerFailure] = []  # guarded-by: _failures_lock
         self._dead_workers: set[int] = set()  # guarded-by: _failures_lock
-        self._failures_lock = threading.Lock()
+        self._failures_lock = tracked_lock("ThreadedRuntime._failures_lock")
         self._late_completions = 0  # guarded-by: _failures_lock
         self._watchdog: threading.Thread | None = None
         self._watchdog_stop = threading.Event()
@@ -881,7 +888,9 @@ class ThreadedRuntime:
                 finally:
                     latch.count_down()
 
-            run.kernel = kernel
+            # Function attribute, read back via getattr in _run_task;
+            # setattr keeps the Callable return type honest for mypy.
+            setattr(run, "kernel", kernel)
             return run
 
         self._locals[worker_id].push_all([wrap(t) for t in tasks])

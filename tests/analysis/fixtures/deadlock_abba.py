@@ -1,0 +1,25 @@
+# repro-lint: concurrency-scope
+"""Deliberate ABBA deadlock: two methods nest the same two locks in
+opposite orders. Under the right interleaving, thread 1 holds ``a``
+waiting for ``b`` while thread 2 holds ``b`` waiting for ``a``.
+``repro lint`` must flag this as REP501 (cycle) and REP502 (neither
+order is declared)."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self.a = threading.Lock()
+        self.b = threading.Lock()
+        self.balance = 0
+
+    def debit_then_credit(self) -> None:
+        with self.a:
+            with self.b:
+                self.balance += 1
+
+    def credit_then_debit(self) -> None:
+        with self.b:
+            with self.a:
+                self.balance -= 1

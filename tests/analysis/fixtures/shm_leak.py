@@ -1,0 +1,20 @@
+"""Deliberate shared-memory lifecycle bugs.
+
+``leak_segment`` maps a segment and lets the handle fall out of scope
+without ``close()`` — the OS mapping outlives the function (REP511).
+``attacher_unlinks`` destroys a segment it merely attached to, pulling
+it out from under the creating owner (REP512).
+"""
+
+from multiprocessing import shared_memory
+
+
+def leak_segment() -> int:
+    shm = shared_memory.SharedMemory(create=True, size=64)
+    return shm.size
+
+
+def attacher_unlinks(name: str) -> None:
+    shm = shared_memory.SharedMemory(name=name)
+    shm.close()
+    shm.unlink()

@@ -1,0 +1,23 @@
+"""Deliberate spawn/pickle-boundary bugs.
+
+A ``threading.Lock`` handed to ``Process(args=...)`` does not survive
+pickling to a spawned worker (REP521), and a lambda target cannot be
+pickled at all (REP522).
+"""
+
+import multiprocessing
+import threading
+
+guard = threading.Lock()
+
+
+def spawn_with_lock() -> None:
+    worker = multiprocessing.Process(target=print, args=(guard,))
+    worker.start()
+    worker.join()
+
+
+def spawn_lambda() -> None:
+    worker = multiprocessing.Process(target=lambda: None)
+    worker.start()
+    worker.join()

@@ -1,0 +1,193 @@
+"""Lock-order analysis: REP501 (cycles) and REP502 (undeclared nesting)."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+ABBA = """
+    # repro-lint: concurrency-scope
+    import threading
+
+    class Runtime:
+        def __init__(self):
+            self.a = threading.Lock()
+            self.b = threading.Lock()
+
+        def one(self):
+            with self.a:
+                with self.b:
+                    pass
+
+        def two(self):
+            with self.b:
+                with self.a:
+                    pass
+"""
+
+NESTED_UNDECLARED = """
+    # repro-lint: concurrency-scope
+    import threading
+
+    class Runtime:
+        def __init__(self):
+            self.outer = threading.Lock()
+            self.inner = threading.Lock()
+
+        def work(self):
+            with self.outer:
+                with self.inner:
+                    pass
+"""
+
+NESTED_DECLARED = """
+    # repro-lint: concurrency-scope
+    import threading
+
+    # lock-order: Runtime.outer -> Runtime.inner
+
+    class Runtime:
+        def __init__(self):
+            self.outer = threading.Lock()
+            self.inner = threading.Lock()
+
+        def work(self):
+            with self.outer:
+                with self.inner:
+                    pass
+"""
+
+CHAIN_DECLARED = """
+    # repro-lint: concurrency-scope
+    import threading
+
+    # lock-order: Runtime.a -> Runtime.b -> Runtime.c
+
+    class Runtime:
+        def __init__(self):
+            self.a = threading.Lock()
+            self.b = threading.Lock()
+            self.c = threading.Lock()
+
+        def skip_the_middle(self):
+            # a -> c is covered transitively by the declared chain.
+            with self.a:
+                with self.c:
+                    pass
+"""
+
+INTERPROCEDURAL = """
+    # repro-lint: concurrency-scope
+    import threading
+
+    class Runtime:
+        def __init__(self):
+            self.a = threading.Lock()
+            self.b = threading.Lock()
+
+        def leaf(self):
+            with self.b:
+                pass
+
+        def outer(self):
+            with self.a:
+                self.leaf()
+"""
+
+SELF_DEADLOCK = """
+    # repro-lint: concurrency-scope
+    import threading
+
+    class Ledger:
+        def __init__(self):
+            self.lock = threading.Lock()
+            self.total = 0
+
+        def add(self, n):
+            with self.lock:
+                self.total += n
+
+        def add_twice(self, n):
+            with self.lock:
+                self.add(n)
+"""
+
+OUT_OF_SCOPE = """
+    import threading
+
+    class Runtime:
+        def __init__(self):
+            self.a = threading.Lock()
+            self.b = threading.Lock()
+
+        def one(self):
+            with self.a:
+                with self.b:
+                    pass
+
+        def two(self):
+            with self.b:
+                with self.a:
+                    pass
+"""
+
+
+def _ids(result):
+    return [f.rule_id for f in result.findings]
+
+
+def test_abba_cycle_is_rep501(lint_snippet):
+    result = lint_snippet(ABBA, select=["REP501"])
+    assert _ids(result) == ["REP501"]
+    assert "conflicting orders" in result.findings[0].message
+
+
+def test_abba_also_undeclared(lint_snippet):
+    result = lint_snippet(ABBA, select=["REP502"])
+    assert _ids(result) == ["REP502", "REP502"]
+
+
+def test_undeclared_nesting_is_rep502(lint_snippet):
+    result = lint_snippet(NESTED_UNDECLARED, select=["REP501", "REP502"])
+    assert _ids(result) == ["REP502"]
+    message = result.findings[0].message
+    assert "# lock-order: Runtime.outer -> Runtime.inner" in message
+
+
+def test_declared_nesting_is_clean(lint_snippet):
+    result = lint_snippet(NESTED_DECLARED, select=["REP501", "REP502"])
+    assert result.ok
+
+
+def test_declaration_chain_covers_transitively(lint_snippet):
+    result = lint_snippet(CHAIN_DECLARED, select=["REP501", "REP502"])
+    assert result.ok
+
+
+def test_nesting_through_a_call_is_seen(lint_snippet):
+    result = lint_snippet(INTERPROCEDURAL, select=["REP502"])
+    assert _ids(result) == ["REP502"]
+    assert "Runtime.leaf" in result.findings[0].message
+
+
+def test_reacquire_through_call_is_rep501(lint_snippet):
+    result = lint_snippet(SELF_DEADLOCK, select=["REP501"])
+    assert _ids(result) == ["REP501"]
+    assert "re-acquired" in result.findings[0].message
+
+
+def test_out_of_scope_module_is_ignored(lint_snippet):
+    # Same ABBA shape, but no pragma and not under a concurrency package.
+    result = lint_snippet(OUT_OF_SCOPE, select=["REP501", "REP502"])
+    assert result.ok
+
+
+def test_committed_abba_fixture_still_fires():
+    result = lint_paths(
+        [FIXTURES / "deadlock_abba.py"],
+        rules=None,
+    )
+    ids = {f.rule_id for f in result.findings}
+    assert "REP501" in ids
+    assert "REP502" in ids

@@ -1,0 +1,82 @@
+"""Scope-coverage regression test: rules must not drift off the runtimes.
+
+Rule families are scoped by package tuples (``ROBUST_PACKAGES``,
+``CONCURRENCY_PACKAGES``, ...). Nothing used to stop a refactor from
+renaming a package out from under its rules — the lint would silently
+pass because nothing was *in scope* anymore. These tests pin the
+contract: every module in the scheduler and fault layers is covered by
+at least one explicitly scoped concurrency/robustness rule.
+"""
+
+from pathlib import Path
+
+from repro.analysis.concurrency import CONCURRENCY_PACKAGES
+from repro.analysis.context import module_name_for
+from repro.analysis.registry import _REGISTRY, rules_covering
+from repro.analysis.robustness import ROBUST_PACKAGES
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: The rule ids that exist specifically to keep the runtimes honest.
+SCOPED_SAFETY_RULES = {
+    rule_id
+    for rule_id, cls in _REGISTRY.items()
+    if rule_id.startswith(("REP4", "REP5")) and cls.packages
+}
+
+
+def _runtime_modules():
+    for package in ("sched", "faults"):
+        for path in sorted((REPO_SRC / "repro" / package).glob("*.py")):
+            yield module_name_for(path)
+
+
+def test_scoped_safety_rules_exist():
+    # Both families present, each with a declared (non-universal) scope.
+    assert any(r.startswith("REP4") for r in SCOPED_SAFETY_RULES)
+    assert any(r.startswith("REP5") for r in SCOPED_SAFETY_RULES)
+
+
+def test_every_runtime_module_is_covered():
+    modules = list(_runtime_modules())
+    assert modules, "no runtime modules found — did src/repro move?"
+    for module in modules:
+        covering = set(rules_covering(module)) & SCOPED_SAFETY_RULES
+        assert covering, (
+            f"{module} is covered by no scoped concurrency/robustness "
+            f"rule; a package rename drifted out of ROBUST_PACKAGES/"
+            f"CONCURRENCY_PACKAGES"
+        )
+
+
+def test_sched_and_faults_have_both_families():
+    for module in ("repro.sched.threaded", "repro.faults.accounting"):
+        covering = set(rules_covering(module))
+        assert {"REP401", "REP402"} <= covering
+        assert {"REP501", "REP502"} <= covering
+
+
+def test_lockdep_witness_module_is_covered():
+    # The witness itself is concurrency-critical code.
+    covering = set(rules_covering("repro.obs.lockdep"))
+    assert {"REP401", "REP402", "REP501", "REP502"} <= covering
+
+
+def test_scope_tuples_name_real_packages():
+    # The inverse drift: a scope tuple naming a package that no longer
+    # exists silently checks nothing.
+    for packages in (ROBUST_PACKAGES, CONCURRENCY_PACKAGES):
+        for package in packages:
+            relative = Path(*package.split("."))
+            assert (REPO_SRC / relative).is_dir(), (
+                f"rule scope names '{package}' but src/{relative} "
+                f"does not exist"
+            )
+
+
+def test_unscoped_rules_cover_everything():
+    covering = rules_covering("repro.made_up.module")
+    # Universal (import-gated) rules still apply anywhere.
+    for rule_id in ("REP001", "REP511", "REP512", "REP521", "REP522"):
+        if rule_id in _REGISTRY:
+            assert rule_id in covering

@@ -1,0 +1,140 @@
+"""Shared-memory lifecycle rules: REP511 (close) and REP512 (unlink)."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+LEAK = """
+    from multiprocessing import shared_memory
+
+    def leak():
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        return shm.size
+"""
+
+DISCARDED = """
+    from multiprocessing import shared_memory
+
+    def fire_and_forget(name):
+        shared_memory.SharedMemory(name=name)
+"""
+
+CLOSED = """
+    from multiprocessing import shared_memory
+
+    def tidy(name):
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            return bytes(shm.buf[:8])
+        finally:
+            shm.close()
+"""
+
+ESCAPES = """
+    from multiprocessing import shared_memory
+
+    def make(size):
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        return shm
+
+    def register(handles, name):
+        shm = shared_memory.SharedMemory(name=name)
+        handles.append(shm)
+"""
+
+ATTACHER_UNLINKS = """
+    from multiprocessing import shared_memory
+
+    def destroy(name):
+        shm = shared_memory.SharedMemory(name=name)
+        shm.close()
+        shm.unlink()
+"""
+
+UNLINK_WITHOUT_CLOSE = """
+    from multiprocessing import shared_memory
+
+    def owner_forgets_close(size):
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        shm.unlink()
+"""
+
+OWNER_FULL_LIFECYCLE = """
+    from multiprocessing import shared_memory
+
+    def owner(size):
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        try:
+            shm.buf[0] = 1
+        finally:
+            shm.close()
+            shm.unlink()
+"""
+
+HELPER_ATTACH = """
+    from multiprocessing import shared_memory
+
+    def _attach(name):
+        return shared_memory.SharedMemory(name=name)
+
+    def use(name):
+        shm = _attach(name)
+        shm.close()
+        shm.unlink()
+"""
+
+
+def _ids(result):
+    return [f.rule_id for f in result.findings]
+
+
+def test_leaked_handle_is_rep511(lint_snippet):
+    result = lint_snippet(LEAK, select=["REP511"])
+    assert _ids(result) == ["REP511"]
+    assert "never reaches 'shm.close()'" in result.findings[0].message
+
+
+def test_discarded_handle_is_rep511(lint_snippet):
+    result = lint_snippet(DISCARDED, select=["REP511"])
+    assert _ids(result) == ["REP511"]
+    assert "discarded" in result.findings[0].message
+
+
+def test_closed_handle_is_clean(lint_snippet):
+    assert lint_snippet(CLOSED, select=["REP511", "REP512"]).ok
+
+
+def test_escaping_handle_is_clean(lint_snippet):
+    # Returning or storing the handle transfers close() responsibility.
+    assert lint_snippet(ESCAPES, select=["REP511", "REP512"]).ok
+
+
+def test_attacher_unlink_is_rep512(lint_snippet):
+    result = lint_snippet(ATTACHER_UNLINKS, select=["REP512"])
+    assert _ids(result) == ["REP512"]
+    assert "only the creating owner" in result.findings[0].message
+
+
+def test_unlink_without_close_is_rep512(lint_snippet):
+    result = lint_snippet(UNLINK_WITHOUT_CLOSE, select=["REP512"])
+    assert _ids(result) == ["REP512"]
+    assert "mapping leaks" in result.findings[0].message
+
+
+def test_owner_lifecycle_is_clean(lint_snippet):
+    assert lint_snippet(OWNER_FULL_LIFECYCLE, select=["REP511", "REP512"]).ok
+
+
+def test_attach_helper_is_classified(lint_snippet):
+    # The handle comes back through a local helper, not the constructor;
+    # the helper's own body classifies it as an attach, so unlink fires.
+    result = lint_snippet(HELPER_ATTACH, select=["REP511", "REP512"])
+    assert _ids(result) == ["REP512"]
+
+
+def test_committed_shm_fixture_still_fires():
+    result = lint_paths([FIXTURES / "shm_leak.py"])
+    ids = {f.rule_id for f in result.findings}
+    assert {"REP511", "REP512"} <= ids

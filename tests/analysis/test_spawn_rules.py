@@ -1,0 +1,178 @@
+"""Spawn/pickle-boundary rules: REP521 (payloads) and REP522 (targets)."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.findings import Severity
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+LOCK_IN_ARGS = """
+    import multiprocessing
+    import threading
+
+    guard = threading.Lock()
+
+    def spawn():
+        p = multiprocessing.Process(target=print, args=(guard,))
+        p.start()
+"""
+
+FILE_IN_ARGS = """
+    import multiprocessing
+
+    log = open("out.txt", "w")
+
+    def spawn():
+        p = multiprocessing.Process(target=print, args=(log,))
+        p.start()
+"""
+
+RNG_THROUGH_PIPE = """
+    import multiprocessing
+    import random
+
+    rng = random.Random(7)
+
+    def ship(conn):
+        conn.send(rng)
+"""
+
+SINGLETON_IN_ARGS = """
+    import multiprocessing
+
+    REGISTRY = {}
+
+    def spawn():
+        p = multiprocessing.Process(target=print, args=(REGISTRY,))
+        p.start()
+"""
+
+LAMBDA_IN_ARGS = """
+    import multiprocessing
+
+    def spawn():
+        p = multiprocessing.Process(target=print, args=(lambda: 1,))
+        p.start()
+"""
+
+PLAIN_ARGS = """
+    import multiprocessing
+
+    def spawn(n):
+        p = multiprocessing.Process(target=print, args=(n, "label", 3.5))
+        p.start()
+"""
+
+LAMBDA_TARGET = """
+    import multiprocessing
+
+    def spawn():
+        p = multiprocessing.Process(target=lambda: None)
+        p.start()
+"""
+
+NESTED_TARGET = """
+    import multiprocessing
+
+    def spawn():
+        def inner():
+            pass
+
+        p = multiprocessing.Process(target=inner)
+        p.start()
+"""
+
+BOUND_METHOD_TARGET = """
+    import multiprocessing
+    import threading
+
+    class Runtime:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def work(self):
+            pass
+
+        def spawn(self):
+            p = multiprocessing.Process(target=self.work)
+            p.start()
+"""
+
+MODULE_LEVEL_TARGET = """
+    import multiprocessing
+
+    def worker(n):
+        return n * 2
+
+    def spawn():
+        p = multiprocessing.Process(target=worker, args=(3,))
+        p.start()
+"""
+
+
+def _ids(result):
+    return [f.rule_id for f in result.findings]
+
+
+def test_lock_in_args_is_rep521(lint_snippet):
+    result = lint_snippet(LOCK_IN_ARGS, select=["REP521"])
+    assert _ids(result) == ["REP521"]
+    assert "a lock" in result.findings[0].message
+
+
+def test_open_file_in_args_is_rep521(lint_snippet):
+    result = lint_snippet(FILE_IN_ARGS, select=["REP521"])
+    assert _ids(result) == ["REP521"]
+    assert "open file" in result.findings[0].message
+
+
+def test_rng_through_pipe_is_rep521(lint_snippet):
+    result = lint_snippet(RNG_THROUGH_PIPE, select=["REP521"])
+    assert _ids(result) == ["REP521"]
+    assert "pipe send()" in result.findings[0].message
+
+
+def test_singleton_in_args_is_a_warning(lint_snippet):
+    # A dict pickles fine -- the bug is the silent snapshot divergence --
+    # so this one is WARNING severity, not ERROR.
+    result = lint_snippet(SINGLETON_IN_ARGS, select=["REP521"])
+    assert _ids(result) == ["REP521"]
+    assert result.findings[0].severity is Severity.WARNING
+    assert "snapshot" in result.findings[0].message
+
+
+def test_lambda_in_args_is_rep521(lint_snippet):
+    result = lint_snippet(LAMBDA_IN_ARGS, select=["REP521"])
+    assert _ids(result) == ["REP521"]
+
+
+def test_plain_args_are_clean(lint_snippet):
+    assert lint_snippet(PLAIN_ARGS, select=["REP521", "REP522"]).ok
+
+
+def test_lambda_target_is_rep522(lint_snippet):
+    result = lint_snippet(LAMBDA_TARGET, select=["REP522"])
+    assert _ids(result) == ["REP522"]
+
+
+def test_nested_def_target_is_rep522(lint_snippet):
+    result = lint_snippet(NESTED_TARGET, select=["REP522"])
+    assert _ids(result) == ["REP522"]
+    assert "module level" in result.findings[0].message
+
+
+def test_bound_method_of_lock_owner_is_rep522(lint_snippet):
+    result = lint_snippet(BOUND_METHOD_TARGET, select=["REP522"])
+    assert _ids(result) == ["REP522"]
+    assert "Runtime" in result.findings[0].message
+
+
+def test_module_level_target_is_clean(lint_snippet):
+    assert lint_snippet(MODULE_LEVEL_TARGET, select=["REP521", "REP522"]).ok
+
+
+def test_committed_spawn_fixture_still_fires():
+    result = lint_paths([FIXTURES / "spawn_lock.py"])
+    ids = {f.rule_id for f in result.findings}
+    assert {"REP521", "REP522"} <= ids

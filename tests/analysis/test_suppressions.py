@@ -1,0 +1,196 @@
+"""Suppression-comment parsing edge cases and baseline path sensitivity."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Baseline, lint_paths
+from repro.analysis.context import ModuleContext
+
+
+def _parse(source: str) -> ModuleContext:
+    return ModuleContext.parse(
+        Path("fixture.py"), "fixture.py", textwrap.dedent(source)
+    )
+
+
+# ------------------------------------------------------- directive parsing
+def test_multiple_codes_on_one_line():
+    ctx = _parse("x = 1  # repro-lint: disable=REP101,REP203\n")
+    assert ctx.suppressed_rules(1) == {"REP101", "REP203"}
+
+
+def test_codes_with_spaces_around_commas():
+    ctx = _parse("x = 1  # repro-lint: disable=REP101 , REP203\n")
+    assert ctx.suppressed_rules(1) == {"REP101", "REP203"}
+
+
+def test_trailing_prose_is_not_a_code():
+    ctx = _parse(
+        "x = 1  # repro-lint: disable=REP402 best-effort shutdown cleanup\n"
+    )
+    assert ctx.suppressed_rules(1) == {"REP402"}
+
+
+def test_trailing_uppercase_prose_is_not_a_code():
+    # Prose that *looks* shouty must still not extend the code list.
+    ctx = _parse("x = 1  # repro-lint: disable=REP402 OK PER REVIEW\n")
+    assert ctx.suppressed_rules(1) == {"REP402"}
+
+
+def test_standalone_comment_suppresses_next_line():
+    ctx = _parse(
+        """
+        # repro-lint: disable=REP201
+        x = now()
+        """
+    )
+    assert "REP201" in ctx.suppressed_rules(3)
+
+
+def test_trailing_comment_on_previous_statement_does_not_leak():
+    ctx = _parse(
+        """
+        x = now()  # repro-lint: disable=REP201
+        y = now()
+        """
+    )
+    assert ctx.suppressed_rules(3) == frozenset()
+
+
+def test_suppression_above_decorated_def():
+    ctx = _parse(
+        """
+        import functools
+
+        # repro-lint: disable=REP402
+        @functools.lru_cache
+        @functools.wraps(print)
+        def helper():
+            pass
+        """
+    )
+    # The finding anchors to the `def` line (7); the suppression sits
+    # above the decorator stack, where a reader naturally writes it.
+    assert "REP402" in ctx.suppressed_rules(7)
+
+
+def test_decorated_def_without_suppression():
+    ctx = _parse(
+        """
+        import functools
+
+        @functools.lru_cache
+        def helper():
+            pass
+        """
+    )
+    assert ctx.suppressed_rules(5) == frozenset()
+
+
+def test_file_level_directive_with_prose():
+    ctx = _parse(
+        "# repro-lint: disable-file=REP201, REP202 benchmark is wall-clock\n"
+        "x = 1\n"
+    )
+    assert ctx.file_suppressed_rules() == {"REP201", "REP202"}
+
+
+# ------------------------------------------------------- end-to-end checks
+SWALLOW = """
+    # repro-lint: concurrency-scope
+    import threading
+
+    class Runtime:
+        def __init__(self):
+            self.a = threading.Lock()
+            self.b = threading.Lock()
+
+        def work(self):
+            with self.a:
+                with self.b:  {comment}
+                    pass
+"""
+
+
+def test_inline_suppression_applies_end_to_end(lint_snippet):
+    noisy = SWALLOW.format(comment="")
+    assert not lint_paths_ok(lint_snippet, noisy)
+    quiet = SWALLOW.format(comment="# repro-lint: disable=REP502")
+    assert lint_paths_ok(lint_snippet, quiet)
+
+
+def lint_paths_ok(lint_snippet, source):
+    return lint_snippet(source, select=["REP502"]).ok
+
+
+# ------------------------------------------------------- baseline renames
+def test_baseline_is_path_sensitive_across_rename(tmp_path):
+    source = textwrap.dedent(
+        """
+        # repro-lint: deterministic-scope
+        import time
+
+        def now():
+            return time.time()
+        """
+    )
+    original = tmp_path / "original.py"
+    original.write_text(source, encoding="utf-8")
+
+    first = lint_paths([original])
+    assert [f.rule_id for f in first.findings] == ["REP201"]
+    baseline = Baseline.from_findings(first.findings)
+
+    # Accepted via baseline: clean.
+    masked = lint_paths([original], baseline=baseline)
+    assert masked.ok and masked.baselined == 1
+
+    # Renaming the file changes the fingerprint: the finding resurfaces
+    # (a baseline grandfathers specific sites, not the defect class).
+    renamed = tmp_path / "renamed.py"
+    original.rename(renamed)
+    resurfaced = lint_paths([renamed], baseline=baseline)
+    assert [f.rule_id for f in resurfaced.findings] == ["REP201"]
+    assert resurfaced.baselined == 0
+
+
+def test_baseline_round_trips_through_disk(tmp_path):
+    source = textwrap.dedent(
+        """
+        # repro-lint: deterministic-scope
+        import time
+
+        def now():
+            return time.time()
+        """
+    )
+    path = tmp_path / "module.py"
+    path.write_text(source, encoding="utf-8")
+    result = lint_paths([path])
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(result.findings).save(baseline_path)
+    reloaded = Baseline.load(baseline_path)
+    assert lint_paths([path], baseline=reloaded).ok
+
+
+def test_line_shift_does_not_resurface_baselined_finding(tmp_path):
+    # Fingerprints are line-independent: adding code above the accepted
+    # site must not resurface it.
+    source = textwrap.dedent(
+        """
+        # repro-lint: deterministic-scope
+        import time
+
+        def now():
+            return time.time()
+        """
+    )
+    path = tmp_path / "module.py"
+    path.write_text(source, encoding="utf-8")
+    baseline = Baseline.from_findings(lint_paths([path]).findings)
+    path.write_text(
+        source.replace("import time", "import time\n\nPAD = 1"),
+        encoding="utf-8",
+    )
+    shifted = lint_paths([path], baseline=baseline)
+    assert shifted.ok and shifted.baselined == 1

@@ -1,0 +1,20 @@
+"""Fault suite: every test runs under the lockdep witness.
+
+Fault injection exercises the recovery paths where ad-hoc lock nesting
+tends to creep in (watchdog vs. worker vs. ledger); the witness turns
+any observed lock-order inversion into a test failure at teardown.
+"""
+
+import pytest
+
+from repro.obs import lockdep
+
+
+@pytest.fixture(autouse=True)
+def lockdep_witness():
+    witness = lockdep.enable()
+    yield witness
+    try:
+        witness.check()
+    finally:
+        lockdep.disable()

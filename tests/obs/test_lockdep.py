@@ -1,0 +1,198 @@
+"""The runtime lock-order witness (``repro.obs.lockdep``)."""
+
+from pathlib import Path
+
+import threading
+
+import pytest
+
+from repro.obs import LockdepError, TrackedLock, lockdep, tracked_lock
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def witness():
+    w = lockdep.enable()
+    yield w
+    lockdep.disable()
+
+
+def test_disabled_returns_plain_lock():
+    lockdep.disable()
+    lock = tracked_lock("Whatever.lock")
+    assert isinstance(lock, type(threading.Lock()))
+
+
+def test_enabled_returns_tracked_lock(witness):
+    lock = tracked_lock("Whatever.lock")
+    assert isinstance(lock, TrackedLock)
+    assert lock.name == "Whatever.lock"
+
+
+def test_env_var_enables(monkeypatch):
+    lockdep.disable()
+    monkeypatch.setenv("REPRO_LOCKDEP", "1")
+    assert lockdep.enabled_by_env()
+    lock = tracked_lock("Env.lock")
+    assert isinstance(lock, TrackedLock)
+    lockdep.disable()
+
+
+def test_nested_acquisition_records_edge(witness):
+    a = tracked_lock("A")
+    b = tracked_lock("B")
+    with a:
+        with b:
+            pass
+    assert ("A", "B") in witness.edges
+    witness.check()  # one consistent order: no inversion
+
+
+def test_abba_is_an_inversion_even_without_deadlock(witness):
+    a = tracked_lock("A")
+    b = tracked_lock("B")
+    # Sequentially in one thread: the run cannot deadlock, but the two
+    # orders together are the ABBA shape that deadlocks under the right
+    # interleaving -- exactly what the witness exists to catch.
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    assert witness.inversions
+    with pytest.raises(LockdepError, match="inversion"):
+        witness.check()
+
+
+def test_abba_across_threads(witness):
+    a = tracked_lock("A")
+    b = tracked_lock("B")
+    with a:
+        with b:
+            pass
+
+    def other():
+        with b:
+            with a:
+                pass
+
+    t = threading.Thread(target=other, name="other")
+    t.start()
+    t.join()
+    with pytest.raises(LockdepError):
+        witness.check()
+
+
+def test_reacquire_same_class_is_reported(witness):
+    # Two instances share the lock-class name: ordering is per class,
+    # like kernel lockdep, so one observed run generalizes.
+    first = tracked_lock("Ledger.lock")
+    second = tracked_lock("Ledger.lock")
+    with first:
+        with second:
+            pass
+    with pytest.raises(LockdepError, match="re-acquired"):
+        witness.check()
+
+
+def test_strict_raises_at_acquisition():
+    lockdep.enable(strict=True)
+    try:
+        a = tracked_lock("A")
+        b = tracked_lock("B")
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockdepError):
+                a.acquire()
+    finally:
+        lockdep.disable()
+
+
+def test_declared_order_contradiction():
+    witness = lockdep.enable(declared={("A", "B")})
+    try:
+        a = tracked_lock("A")
+        b = tracked_lock("B")
+        with b:
+            with a:
+                pass
+        with pytest.raises(LockdepError, match="declared"):
+            witness.check()
+    finally:
+        lockdep.disable()
+
+
+def test_hand_over_hand_release_is_legal(witness):
+    a = tracked_lock("A")
+    b = tracked_lock("B")
+    a.acquire()
+    b.acquire()
+    a.release()  # out-of-order release: hand-over-hand locking
+    b.release()
+    witness.check()
+
+
+def test_assert_subset_flags_unknown_edges(witness):
+    a = tracked_lock("A")
+    b = tracked_lock("B")
+    with a:
+        with b:
+            pass
+    witness.assert_subset_of({("A", "B")})
+    with pytest.raises(LockdepError, match="unknown to the static"):
+        witness.assert_subset_of(set())
+
+
+def test_reset_clears_state(witness):
+    a = tracked_lock("A")
+    b = tracked_lock("B")
+    with a:
+        with b:
+            pass
+    witness.reset()
+    assert not witness.edges
+    witness.check()
+
+
+def test_disable_degrades_existing_locks(witness):
+    lock = tracked_lock("A")
+    lockdep.disable()
+    with lock:  # consults the (now absent) witness at runtime: no-op
+        pass
+    assert not witness.edges
+
+
+def test_runtime_edges_are_subset_of_static_graph():
+    """Close the loop: a real threaded run's acquisition orders must all
+    be known to the static lock graph (observed edges or committed
+    ``# lock-order:`` declarations). A failure here means the static
+    pass has a blind spot and needs a declaration."""
+    from repro.analysis.concurrency import lock_graph_for_paths
+    from repro.sched import ThreadedRuntime
+    from repro.uplink import RandomizedParameterModel, SubframeFactory
+
+    witness = lockdep.enable()
+    try:
+        model = RandomizedParameterModel(
+            total_subframes=8, seed=3, max_users=4
+        )
+        factory = SubframeFactory(seed=3)
+        subframes = [
+            factory.synthesize(model.uplink_parameters(i), i) for i in range(8)
+        ]
+        ThreadedRuntime(num_workers=4).run(subframes)
+        witness.check()
+        graph = lock_graph_for_paths(
+            [
+                REPO_ROOT / "src" / "repro" / "sched",
+                REPO_ROOT / "src" / "repro" / "faults",
+                REPO_ROOT / "src" / "repro" / "obs",
+            ]
+        )
+        witness.assert_subset_of(set(graph.edges) | graph.declared_closure())
+    finally:
+        lockdep.disable()

@@ -1,0 +1,21 @@
+"""Scheduler suite: every test runs under the lockdep witness.
+
+The runtimes create their locks through ``tracked_lock``, so enabling
+the witness here makes every threaded/multiprocess test double as a
+lock-order test: any ABBA ordering observed during the run — even one
+that happened not to deadlock — fails the test at teardown.
+"""
+
+import pytest
+
+from repro.obs import lockdep
+
+
+@pytest.fixture(autouse=True)
+def lockdep_witness():
+    witness = lockdep.enable()
+    yield witness
+    try:
+        witness.check()
+    finally:
+        lockdep.disable()
