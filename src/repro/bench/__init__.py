@@ -21,6 +21,12 @@ from .harness import (
     write_bench_report,
 )
 from .compare import compare_reports, new_scenario_rows
+from .history import (
+    find_history_regressions,
+    format_history,
+    history_table,
+    load_history,
+)
 
 __all__ = [
     "SCALES",
@@ -28,7 +34,11 @@ __all__ = [
     "BenchScale",
     "compare_reports",
     "default_report_path",
+    "find_history_regressions",
+    "format_history",
     "git_revision",
+    "history_table",
+    "load_history",
     "new_scenario_rows",
     "run_bench",
     "validate_bench_report",

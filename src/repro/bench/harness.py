@@ -36,6 +36,8 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..obs.profiling import Profiler
+from ..obs.slo import SLOEngine
+from ..obs.telemetry import TelemetryCollector
 from ..phy.params import Modulation
 from ..uplink.subframe import SubframeFactory
 from ..uplink.tasks import KERNEL_KINDS, UserJob
@@ -232,12 +234,18 @@ def run_threaded_scenario(scale: BenchScale, seed: int) -> dict:
     subframes = _functional_subframes(scale, seed)
     deadline_ns = DEFAULT_MACHINE.subframe_period_s * 1e9
     profiler = Profiler(keep_spans=False, deadline=deadline_ns)
+    engine = SLOEngine(
+        TelemetryCollector(deadline=deadline_ns, workers=scale.threads)
+    )
     runtime = ThreadedRuntime(
-        num_workers=scale.threads, steal_seed=seed, observers=[profiler]
+        num_workers=scale.threads,
+        steal_seed=seed,
+        observers=[profiler, engine],
     )
     start = time.perf_counter()
     results = runtime.run(subframes)
     wall_s = time.perf_counter() - start
+    engine.evaluate(engine.telemetry._last_t)
     return {
         "backend": "threaded",
         "subframes": len(results),
@@ -249,6 +257,7 @@ def run_threaded_scenario(scale: BenchScale, seed: int) -> dict:
         # is kept alongside for the steal-aware parallel-stage numbers.
         "kernel_breakdown": profiler.kernel_breakdown("spans"),
         "task_breakdown": profiler.kernel_breakdown("tasks"),
+        "slo_report": engine.slo_report(),
     }
 
 
@@ -375,7 +384,14 @@ def measure_obs_overhead_pct(scale: BenchScale, seed: int, repeats: int = 3) -> 
     off_times, on_times = [], []
     for _ in range(max(1, repeats)):
         for observers, times in ((None, off_times), ("profiler", on_times)):
-            obs = [Profiler(keep_spans=False)] if observers else None
+            # The "on" configuration carries the full observability stack
+            # the production service mode would: profiling spans plus the
+            # streaming telemetry/SLO pipeline.
+            obs = (
+                [Profiler(keep_spans=False), SLOEngine()]
+                if observers
+                else None
+            )
             runtime = ThreadedRuntime(
                 num_workers=scale.threads, steal_seed=seed, observers=obs
             )
@@ -466,6 +482,11 @@ def run_bench(
             name: runners[name]() for name in SCENARIOS if name in selected
         },
     }
+    threaded = report["scenarios"].get("threaded")
+    if threaded is not None and "slo_report" in threaded:
+        # The SLO section is run-level output (like the overhead numbers),
+        # not a per-scenario metric — lift it to the top of the report.
+        report["slo_report"] = threaded.pop("slo_report")
     if include_overhead:
         report["obs_overhead_pct"] = measure_obs_overhead_pct(scale, seed)
         report["fault_overhead_pct"] = measure_fault_overhead_pct(scale, seed)

@@ -1,0 +1,158 @@
+"""Trend analysis over the committed ``BENCH_*.json`` trajectory.
+
+Every merged PR that moves performance lands a ``BENCH_<n>.json``
+snapshot, but until now nothing read the trajectory back. This module
+aggregates the committed reports into a per-scenario trend table
+(throughput, wall time, deadline-miss rate where the scenario carries
+deterministic metrics) and flags regressions between *consecutive*
+snapshots, so `repro bench --history` answers "when did this scenario
+get slower?" without spelunking through git.
+
+Snapshots are ordered by numeric suffix when the filename matches
+``BENCH_<number>.json`` (the committed convention) and lexically
+otherwise; mixed sets order numeric first.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+
+__all__ = [
+    "find_history_regressions",
+    "format_history",
+    "history_table",
+    "load_history",
+]
+
+_NUMERIC = re.compile(r"BENCH_(\d+)\.json$")
+
+
+def _sort_key(path: str) -> tuple:
+    match = _NUMERIC.search(os.path.basename(path))
+    if match:
+        return (0, int(match.group(1)), path)
+    return (1, 0, path)
+
+
+def load_history(
+    root: str = ".", pattern: str = "BENCH_*.json"
+) -> list[dict]:
+    """Load every snapshot under ``root``, oldest first.
+
+    Unreadable or schema-less files are skipped with a ``skipped`` note
+    in the report entry list rather than aborting the whole trend.
+    """
+    reports = []
+    for path in sorted(glob.glob(os.path.join(root, pattern)), key=_sort_key):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                report = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(report, dict) or "scenarios" not in report:
+            continue
+        report["_path"] = os.path.basename(path)
+        reports.append(report)
+    return reports
+
+
+def history_table(
+    reports: list[dict], threshold: float = 0.30
+) -> dict:
+    """Build the per-scenario trend structure from ordered snapshots.
+
+    Returns ``{"snapshots": [...], "scenarios": {name: [row, ...]}}``
+    where each row carries the snapshot label, throughput, wall time,
+    optional deadline-miss rate, the delta vs the previous snapshot that
+    has the scenario, and a ``regression`` flag when wall-clock
+    throughput dropped by more than ``threshold`` between consecutive
+    snapshots.
+    """
+    scenarios: dict[str, list[dict]] = {}
+    snapshots = []
+    for report in reports:
+        label = report.get("_path", report.get("revision", "?"))
+        snapshots.append(
+            {
+                "label": label,
+                "revision": report.get("revision"),
+                "scale": report.get("scale"),
+                "obs_overhead_pct": report.get("obs_overhead_pct"),
+            }
+        )
+        for name, scenario in sorted(report.get("scenarios", {}).items()):
+            rows = scenarios.setdefault(name, [])
+            throughput = float(scenario.get("throughput_sf_per_s", 0.0))
+            det = scenario.get("deterministic") or {}
+            previous = rows[-1] if rows else None
+            delta = None
+            regression = False
+            if previous and previous["throughput_sf_per_s"] > 0:
+                delta = (
+                    throughput / previous["throughput_sf_per_s"] - 1.0
+                )
+                regression = delta < -threshold
+            rows.append(
+                {
+                    "snapshot": label,
+                    "throughput_sf_per_s": throughput,
+                    "wall_s": float(scenario.get("wall_s", 0.0)),
+                    "deadline_miss_rate": det.get("deadline_miss_rate"),
+                    "delta": delta,
+                    "regression": regression,
+                }
+            )
+    return {"snapshots": snapshots, "scenarios": scenarios}
+
+
+def find_history_regressions(history: dict) -> list[str]:
+    """Human-readable regression lines from a :func:`history_table`."""
+    problems = []
+    for name, rows in sorted(history["scenarios"].items()):
+        for row in rows:
+            if row["regression"]:
+                problems.append(
+                    f"{name} @ {row['snapshot']}: throughput "
+                    f"{row['throughput_sf_per_s']:.1f} sf/s "
+                    f"({row['delta'] * 100:+.1f}% vs previous snapshot)"
+                )
+    return problems
+
+
+def format_history(history: dict) -> str:
+    """Render the trend table as fixed-width text."""
+    lines = []
+    labels = [snap["label"] for snap in history["snapshots"]]
+    lines.append(
+        "bench history: "
+        + " -> ".join(labels) if labels else "bench history: (no snapshots)"
+    )
+    for name, rows in sorted(history["scenarios"].items()):
+        lines.append(f"  {name}:")
+        for row in rows:
+            delta = (
+                f" ({row['delta'] * 100:+6.1f}%)"
+                if row["delta"] is not None
+                else "          "
+            )
+            miss = (
+                f"  miss {row['deadline_miss_rate'] * 100:5.1f}%"
+                if row["deadline_miss_rate"] is not None
+                else ""
+            )
+            flag = "  REGRESSION" if row["regression"] else ""
+            lines.append(
+                f"    {row['snapshot']:<16} "
+                f"{row['throughput_sf_per_s']:9.1f} sf/s{delta}"
+                f"  wall {row['wall_s']:8.3f} s{miss}{flag}"
+            )
+    problems = find_history_regressions(history)
+    if problems:
+        lines.append("regressions between consecutive snapshots:")
+        lines.extend(f"  {p}" for p in problems)
+    else:
+        lines.append("no regressions between consecutive snapshots")
+    return "\n".join(lines)

@@ -118,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute on the serial reference and require bit-exact agreement",
     )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable result including the slo_report "
+        "section (streaming telemetry + SLO evaluation)",
+    )
     _add_timeout(run)
 
     workload = sub.add_parser("workload", help="Figs. 7-9 workload summary")
@@ -183,6 +189,50 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
     )
+    metrics.add_argument(
+        "--format",
+        choices=["text", "json", "prometheus"],
+        default=None,
+        help="output format (prometheus: text exposition for scrapers; "
+        "default text, or json when --json is given)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live telemetry dashboard: attach to a simulator run or "
+        "tail a JSONL trace",
+    )
+    _add_scale(top, 200)
+    _add_obs_run(top)
+    top.add_argument(
+        "--from",
+        dest="from_path",
+        default=None,
+        metavar="FILE",
+        help="replay/tail an existing JSONL trace instead of running a "
+        "simulation (unknown event kinds are tolerated)",
+    )
+    top.add_argument(
+        "--follow",
+        action="store_true",
+        help="with --from: keep tailing the file for new events (Ctrl-C "
+        "to stop)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render exactly one final frame and exit (headless/CI mode)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="refresh interval for live rendering (default 0.5)",
+    )
+    top.add_argument(
+        "--width", type=int, default=78, help="frame width (default 78)"
+    )
 
     bench = sub.add_parser(
         "bench", help="run the pinned benchmark matrix, write BENCH_<rev>.json"
@@ -242,6 +292,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--deterministic-only",
         action="store_true",
         help="compare only machine-independent metrics (for CI)",
+    )
+    bench.add_argument(
+        "--history",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="instead of running: aggregate the committed BENCH_*.json "
+        "trajectory under DIR (default .) into a per-scenario trend "
+        "table, flagging regressions between consecutive snapshots",
+    )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="with --history: emit the trend table as JSON",
     )
     _add_timeout(bench)
 
@@ -373,8 +438,10 @@ def cmd_run(args) -> int:
 
 
 def _run_impl(args) -> int:
+    import json
     import time
 
+    from .obs import SLOEngine
     from .uplink import (
         RandomizedParameterModel,
         SubframeFactory,
@@ -392,40 +459,80 @@ def _run_impl(args) -> int:
         factory.synthesize(model.uplink_parameters(i), i)
         for i in range(args.subframes)
     ]
+    engine = SLOEngine() if args.json else None
     start = time.perf_counter()
     if args.backend == "threaded":
         from .sched import ThreadedRuntime
 
-        results = ThreadedRuntime(num_workers=args.workers).run(subframes)
+        runtime = ThreadedRuntime(
+            num_workers=args.workers,
+            observers=[engine] if engine else None,
+        )
+        results = runtime.run(subframes)
     elif args.backend == "multiprocess":
         from .sched import MultiprocessRuntime
 
-        results = MultiprocessRuntime(num_workers=args.workers).run(subframes)
+        runtime = MultiprocessRuntime(
+            num_workers=args.workers,
+            observers=[engine] if engine else None,
+        )
+        results = runtime.run(subframes)
     else:
-        results = [
-            process_subframe(subframe, backend=args.backend)
-            for subframe in subframes
-        ]
+        # Serial/vectorized emit no scheduler events — drive the
+        # collector's direct feed with per-subframe wall timings instead.
+        results = []
+        for subframe in subframes:
+            begin_ns = time.monotonic_ns()
+            results.append(process_subframe(subframe, backend=args.backend))
+            end_ns = time.monotonic_ns()
+            if engine is not None:
+                engine.telemetry.record_subframe(end_ns, end_ns - begin_ns)
+                engine.telemetry.record_busy(end_ns, end_ns - begin_ns)
+                engine.evaluate(end_ns)
     wall_s = time.perf_counter() - start
     num_users = sum(len(r.user_results) for r in results)
     crc_ok = sum(1 for r in results for u in r.user_results if u.crc_ok)
     throughput = len(results) / wall_s if wall_s else 0.0
+    verified = None
+    if args.verify:
+        by_index = {r.subframe_index: r for r in results}
+        mismatches = [
+            subframe.subframe_index
+            for subframe in subframes
+            if not process_subframe_serial(subframe).equals(
+                by_index[subframe.subframe_index]
+            )
+        ]
+        verified = not mismatches
+    if engine is not None:
+        if engine.telemetry.workers is None:
+            engine.telemetry.workers = (
+                args.workers
+                if args.backend in ("threaded", "multiprocess")
+                else 1
+            )
+        engine.evaluate(engine.telemetry._last_t)
+        payload = {
+            "backend": args.backend,
+            "subframes": len(results),
+            "users": num_users,
+            "crc_ok": crc_ok,
+            "wall_s": wall_s,
+            "throughput_sf_per_s": throughput,
+            "slo_report": engine.slo_report(),
+        }
+        if verified is not None:
+            payload["bit_exact_vs_serial"] = verified
+        print(json.dumps(payload, indent=2))
+        return 0 if verified is not False else 1
     print(
         f"backend={args.backend}: {len(results)} subframes, "
         f"{num_users} users, CRC OK {crc_ok}/{num_users}, "
         f"{wall_s:.3f} s wall ({throughput:.1f} sf/s)"
     )
-    if not args.verify:
+    if verified is None:
         return 0
-    by_index = {r.subframe_index: r for r in results}
-    mismatches = [
-        subframe.subframe_index
-        for subframe in subframes
-        if not process_subframe_serial(subframe).equals(
-            by_index[subframe.subframe_index]
-        )
-    ]
-    if mismatches:
+    if not verified:
         print(f"VERIFY FAILED: subframes {mismatches} differ from serial")
         return 1
     print(f"verify: all {len(subframes)} subframes bit-exact vs serial")
@@ -607,12 +714,101 @@ def cmd_metrics(args) -> int:
     from .experiments import format_metrics
     from .obs import MetricsCollector
 
+    fmt = args.format or ("json" if args.json else "text")
     collector = MetricsCollector()
     _run_observed_sim(args, [collector])
-    if args.json:
+    if fmt == "json":
         print(json.dumps(collector.registry.summary(), indent=2))
+    elif fmt == "prometheus":
+        from .obs import render_prometheus
+
+        print(render_prometheus(collector.registry), end="")
     else:
         print(format_metrics(collector.registry))
+    return 0
+
+
+def cmd_top(args) -> int:
+    import time
+
+    from .obs import SLOEngine, TelemetryCollector, render_dashboard
+
+    if args.from_path is not None:
+        from .obs.dashboard import TraceTailer
+
+        engine = SLOEngine(TelemetryCollector())
+        try:
+            with open(args.from_path, encoding="utf-8") as fh:
+                tailer = TraceTailer(fh, engine)
+                tailer.advance()
+                if args.follow and not args.once:
+                    try:
+                        while True:
+                            print("\x1b[H\x1b[2J", end="")
+                            print(
+                                render_dashboard(
+                                    tailer.snapshot(),
+                                    tailer.slo_report(),
+                                    width=args.width,
+                                    title=f"repro top · {args.from_path}",
+                                )
+                            )
+                            time.sleep(max(0.05, args.interval))
+                            tailer.advance()
+                    except KeyboardInterrupt:
+                        print()
+                        return 130
+        except OSError as exc:
+            print(f"cannot read {args.from_path}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            render_dashboard(
+                tailer.snapshot(),
+                tailer.slo_report(),
+                width=args.width,
+                title=f"repro top · {args.from_path}",
+            )
+        )
+        print(
+            f"{tailer.records} events replayed"
+            + (f", {tailer.skipped} skipped" if tailer.skipped else "")
+        )
+        return 0
+
+    engine = SLOEngine(TelemetryCollector())
+    observers = [engine]
+    if not args.once:
+        # Live mode: piggyback a throttled re-render on the event stream.
+        last_render = [0.0]
+
+        def live_render(event) -> None:
+            now = time.monotonic()
+            if now - last_render[0] >= max(0.05, args.interval):
+                last_render[0] = now
+                print("\x1b[H\x1b[2J", end="")
+                print(
+                    render_dashboard(
+                        engine.telemetry.snapshot(),
+                        engine.slo_report(),
+                        width=args.width,
+                    )
+                )
+
+        observers.append(live_render)
+    try:
+        _run_observed_sim(args, observers)
+    except KeyboardInterrupt:
+        print()
+        return 130
+    if not args.once:
+        print("\x1b[H\x1b[2J", end="")
+    print(
+        render_dashboard(
+            engine.telemetry.snapshot(),
+            engine.slo_report(),
+            width=args.width,
+        )
+    )
     return 0
 
 
@@ -638,6 +834,20 @@ def _bench_impl(args) -> int:
         validate_bench_report,
         write_bench_report,
     )
+
+    if args.history is not None:
+        from .bench import find_history_regressions, format_history, history_table, load_history
+
+        reports = load_history(args.history)
+        if not reports:
+            print(f"no BENCH_*.json snapshots under {args.history}")
+            return 2
+        history = history_table(reports, threshold=args.threshold)
+        if args.json:
+            print(json.dumps(history, indent=2))
+        else:
+            print(format_history(history))
+        return 1 if find_history_regressions(history) else 0
 
     baseline = None
     if args.compare is not None:
@@ -775,6 +985,7 @@ _COMMANDS = {
     "power-study": cmd_power_study,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "top": cmd_top,
     "bench": cmd_bench,
     "report": cmd_report,
     "lint": cmd_lint,

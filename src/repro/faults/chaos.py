@@ -124,6 +124,9 @@ class ScenarioOutcome:
     dispatched: int = 0
     wall_s: float = 0.0
     error: str = ""
+    # SLO telemetry of the first run (timing-dependent, so deliberately
+    # NOT part of the replay fingerprint).
+    slo_report: dict | None = None
 
     @property
     def label(self) -> str:
@@ -158,6 +161,7 @@ class SurvivalReport:
                     "counts": o.counts,
                     "wall_s": round(o.wall_s, 3),
                     "error": o.error,
+                    "slo_report": o.slo_report,
                 }
                 for o in self.outcomes
             ],
@@ -344,9 +348,10 @@ def ledger_fingerprint(ledger: SubframeLedger) -> dict:
 
 
 # ------------------------------------------------------------- execution
-def _run_sim(scenario: ChaosScenario) -> tuple[dict, SubframeLedger, object]:
-    """One simulator run; returns (fingerprint, ledger, checker)."""
+def _run_sim(scenario: ChaosScenario) -> tuple:
+    """One simulator run; returns (fingerprint, ledger, checker, slo)."""
     from ..obs.invariants import SchedulerInvariantChecker
+    from ..obs.slo import SLOEngine
     from ..power.estimator import calibrate_from_cost_model
     from ..sim.cost import CostModel, MachineSpec
     from ..sim.machine import MachineSimulator, SimConfig
@@ -359,11 +364,12 @@ def _run_sim(scenario: ChaosScenario) -> tuple[dict, SubframeLedger, object]:
         )
     )
     checker = SchedulerInvariantChecker(strict=False)
+    engine = SLOEngine()
     ledger = SubframeLedger()
     sim = MachineSimulator(
         cost,
         config=SimConfig(drain_margin_s=0.2),
-        observers=[checker],
+        observers=[checker, engine],
         faults=scenario.plan,
         resilience=scenario.resilience,
         admission=AdmissionController(
@@ -386,12 +392,13 @@ def _run_sim(scenario: ChaosScenario) -> tuple[dict, SubframeLedger, object]:
         "retried": result.retried_users,
         "ledger": ledger_fingerprint(ledger),
     }
-    return fingerprint, ledger, checker
+    return fingerprint, ledger, checker, engine.slo_report()
 
 
-def _run_threaded(scenario: ChaosScenario) -> tuple[dict, SubframeLedger, object]:
-    """One threaded-runtime run; returns (fingerprint, ledger, checker)."""
+def _run_threaded(scenario: ChaosScenario) -> tuple:
+    """One threaded-runtime run; returns (fingerprint, ledger, checker, slo)."""
     from ..obs.invariants import SchedulerInvariantChecker
+    from ..obs.slo import SLOEngine
     from ..sched.threaded import ThreadedRuntime
     from ..uplink.parameter_model import RandomizedParameterModel
     from ..uplink.subframe import SubframeFactory
@@ -409,9 +416,10 @@ def _run_threaded(scenario: ChaosScenario) -> tuple[dict, SubframeLedger, object
     ]
     subframes = corrupt_subframes(subframes, scenario.plan)
     checker = SchedulerInvariantChecker(strict=False)
+    engine = SLOEngine()
     runtime = ThreadedRuntime(
         num_workers=scenario.num_workers,
-        observers=[checker],
+        observers=[checker, engine],
         faults=scenario.plan,
         resilience=scenario.resilience,
     )
@@ -431,19 +439,24 @@ def _run_threaded(scenario: ChaosScenario) -> tuple[dict, SubframeLedger, object
             if r.aborted_user_ids
         },
     }
-    return fingerprint, runtime.ledger, checker
+    return fingerprint, runtime.ledger, checker, engine.slo_report()
 
 
-def _run_multiprocess(
-    scenario: ChaosScenario,
-) -> tuple[dict, SubframeLedger, object]:
-    """One multiprocess-runtime run; returns (fingerprint, ledger, checker).
+def _run_multiprocess(scenario: ChaosScenario) -> tuple:
+    """One multiprocess-runtime run; returns (fingerprint, ledger, checker, slo).
 
     Same scenario shape as the threaded runner, but WORKER_DEATH faults
     SIGKILL real pool processes: the runner proves the orphan-subframe
     reclamation and bounded-retry path against genuine process loss.
+    The attached SLO engine also opts the workers into local telemetry
+    sketching; the report carries an ``mp_merge_check`` comparing the
+    parent-merged payload-bits sketch against a serial reference built
+    from the delivered results (they must agree exactly — bucket-level
+    merge, retries counted once, killed workers never reply).
     """
     from ..obs.invariants import SchedulerInvariantChecker
+    from ..obs.slo import SLOEngine
+    from ..obs.telemetry import QuantileSketch
     from ..sched.multiprocess import MultiprocessRuntime
     from ..uplink.parameter_model import RandomizedParameterModel
     from ..uplink.subframe import SubframeFactory
@@ -461,9 +474,10 @@ def _run_multiprocess(
     ]
     subframes = corrupt_subframes(subframes, scenario.plan)
     checker = SchedulerInvariantChecker(strict=False)
+    engine = SLOEngine()
     runtime = MultiprocessRuntime(
         num_workers=scenario.num_workers,
-        observers=[checker],
+        observers=[checker, engine],
         faults=scenario.plan,
         resilience=scenario.resilience,
     )
@@ -483,7 +497,36 @@ def _run_multiprocess(
             if r.aborted_user_ids
         },
     }
-    return fingerprint, runtime.ledger, checker
+    slo = engine.slo_report()
+    reference = QuantileSketch(
+        relative_accuracy=engine.relative_accuracy
+    )
+    for result in results:
+        for user in result.user_results:
+            reference.observe(float(user.payload.size))
+    merged = engine.telemetry.sketches.get("mp_user_payload_bits")
+    quantiles = (0.0, 0.5, 0.9, 0.99, 1.0)
+    slo["mp_merge_check"] = {
+        "merged_count": merged.count if merged else 0,
+        "reference_count": reference.count,
+        "merged_quantiles": (
+            {str(q): merged.quantile(q) for q in quantiles}
+            if merged
+            else {}
+        ),
+        "reference_quantiles": {
+            str(q): reference.quantile(q) for q in quantiles
+        },
+        "exact": bool(
+            merged is not None
+            and merged.count == reference.count
+            and all(
+                merged.quantile(q) == reference.quantile(q)
+                for q in quantiles
+            )
+        ),
+    }
+    return fingerprint, runtime.ledger, checker, slo
 
 
 _RUNNERS = {
@@ -499,14 +542,15 @@ def run_scenario(scenario: ChaosScenario) -> ScenarioOutcome:
     outcome = ScenarioOutcome(scenario=scenario, survived=False)
     start = time.perf_counter()
     try:
-        fingerprint, ledger, checker = runner(scenario)
-        replay_fp, replay_ledger, _ = runner(scenario)
+        fingerprint, ledger, checker, slo_report = runner(scenario)
+        replay_fp, replay_ledger, _, _ = runner(scenario)
     except Exception as exc:  # scenario crash/hang is a FAILED verdict
         outcome.wall_s = time.perf_counter() - start
         outcome.error = f"{type(exc).__name__}: {exc}"
         outcome.checks = {"terminates": False}
         return outcome
     outcome.wall_s = time.perf_counter() - start
+    outcome.slo_report = slo_report
     outcome.counts = ledger.counts()
     outcome.dispatched = ledger.dispatched
     accounts = (

@@ -17,6 +17,12 @@ report acquisition orders to the lock-order witness (``lockdep``). See
 
 from .events import Event, EventKind
 from .recorder import EventRecorder, read_jsonl
+from .telemetry import (
+    EwmaRate,
+    QuantileSketch,
+    TelemetryCollector,
+    WindowRing,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -32,6 +38,9 @@ from .lockdep import (
     tracked_lock,
 )
 from .profiling import KernelStats, Profiler, Span
+from .slo import SLOEngine, SLOTarget, default_targets
+from .dashboard import TraceTailer, render_dashboard, sparkline
+from .prometheus import parse_prometheus, render_prometheus
 from .timeline import (
     chrome_trace_events,
     gating_events_from_active_workers,
@@ -43,6 +52,7 @@ __all__ = [
     "Event",
     "EventKind",
     "EventRecorder",
+    "EwmaRate",
     "Gauge",
     "Histogram",
     "InvariantViolation",
@@ -52,12 +62,23 @@ __all__ = [
     "MetricsCollector",
     "MetricsRegistry",
     "Profiler",
+    "QuantileSketch",
+    "SLOEngine",
+    "SLOTarget",
     "SchedulerInvariantChecker",
     "Span",
+    "TelemetryCollector",
+    "TraceTailer",
     "TrackedLock",
-    "tracked_lock",
+    "WindowRing",
     "chrome_trace_events",
+    "default_targets",
     "gating_events_from_active_workers",
+    "parse_prometheus",
     "read_jsonl",
+    "render_dashboard",
+    "render_prometheus",
+    "sparkline",
+    "tracked_lock",
     "write_chrome_trace",
 ]

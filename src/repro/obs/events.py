@@ -61,6 +61,17 @@ class EventKind(str, enum.Enum):
     #: A dispatched subframe reached its single terminal state
     #: (payload: ``subframe``, ``state`` in ok/crc_failed/shed/aborted).
     SUBFRAME_TERMINAL = "subframe-terminal"
+    #: An SLO target's fast-window observation exceeded its objective
+    #: (payload: ``slo``, ``metric``, ``objective``, ``observed``,
+    #: ``burn_fast``, ``burn_slow``).
+    SLO_BREACH = "slo-breach"
+    #: An SLO alert started firing: fast-window burn rate reached the
+    #: target's threshold while the slow window confirms sustained burn
+    #: (payload as ``SLO_BREACH``).
+    SLO_ALERT = "slo-alert"
+    #: A previously firing SLO alert stopped firing (payload as
+    #: ``SLO_BREACH``).
+    SLO_RESOLVED = "slo-resolved"
 
 
 class Event:

@@ -79,7 +79,12 @@ __all__ = [
 #: * ``SHED`` — admission control drops users *before* dispatch, so shed
 #:   work never enters the conservation ledger (``DISPATCH`` carries the
 #:   admitted count); the shed outcome itself is validated by the
-#:   terminal-state rule and the :class:`~repro.faults.accounting.SubframeLedger`.
+#:   terminal-state rule and the :class:`~repro.faults.accounting.SubframeLedger`;
+#: * ``SLO_BREACH`` / ``SLO_ALERT`` / ``SLO_RESOLVED`` — pure telemetry
+#:   *outputs* emitted by :class:`repro.obs.slo.SLOEngine` from derived
+#:   windowed aggregates; they describe measurements of scheduler
+#:   behaviour, carry no scheduler state of their own, and never feed
+#:   back into scheduling decisions.
 IGNORED_EVENT_KINDS = frozenset(
     {
         EventKind.GOVERNOR,
@@ -90,6 +95,9 @@ IGNORED_EVENT_KINDS = frozenset(
         EventKind.GATING,
         EventKind.FAULT,
         EventKind.SHED,
+        EventKind.SLO_BREACH,
+        EventKind.SLO_ALERT,
+        EventKind.SLO_RESOLVED,
     }
 )
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from .events import Event, EventKind
+from .telemetry import QuantileSketch
 
 __all__ = [
     "Counter",
@@ -55,39 +56,41 @@ class Gauge:
 
 
 class Histogram:
-    """Stores observations; summarizes as count/mean/percentiles."""
+    """Streaming observations summarized as count/mean/percentiles.
 
-    __slots__ = ("name", "_values")
+    Backed by a bounded :class:`~repro.obs.telemetry.QuantileSketch`, so
+    memory stays O(1) in the observation count (the original list-backed
+    version grew without bound over long runs). Count, mean, min, max,
+    and the 0th/100th percentiles are exact; interior percentiles carry
+    the sketch's ±1% relative-accuracy guarantee. The ``summary()``
+    schema is unchanged.
+    """
+
+    __slots__ = ("name", "_sketch")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._values: list[float] = []
+        self._sketch = QuantileSketch()
 
     def observe(self, value: float) -> None:
-        self._values.append(float(value))
+        self._sketch.observe(float(value))
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._sketch.count
+
+    @property
+    def sketch(self) -> QuantileSketch:
+        return self._sketch
 
     def mean(self) -> float:
-        return float(np.mean(self._values)) if self._values else 0.0
+        return self._sketch.mean()
 
     def percentile(self, p: float) -> float:
-        return float(np.percentile(self._values, p)) if self._values else 0.0
+        return self._sketch.percentile(p)
 
     def summary(self) -> dict[str, float]:
-        if not self._values:
-            return {"count": 0}
-        arr = np.asarray(self._values)
-        return {
-            "count": int(arr.size),
-            "mean": float(arr.mean()),
-            "p50": float(np.percentile(arr, 50)),
-            "p90": float(np.percentile(arr, 90)),
-            "p99": float(np.percentile(arr, 99)),
-            "max": float(arr.max()),
-        }
+        return self._sketch.summary()
 
 
 class MetricsRegistry:

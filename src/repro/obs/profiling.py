@@ -168,6 +168,10 @@ class Profiler:
         self._open_users: dict[tuple[int, int], tuple[int, int]] = {}
         self._sf_begin: dict[int, int] = {}
         self._busy: np.ndarray | None = None
+        # Hot-path handle cache: kernel name -> histogram (skips the
+        # f-string + registry lookup on every task/span close).
+        self._kernel_hists: dict[str, Any] = {}
+        self._span_hists: dict[str, Any] = {}
 
     # ------------------------------------------------------------ observer
     def on_run_start(self, sim: Any) -> None:
@@ -235,12 +239,19 @@ class Profiler:
         if stats is None:
             stats = self.kernels[name] = KernelStats(name)
         stats.add(duration, stolen)
-        self.registry.histogram(f"kernel_{name}").observe(duration)
+        hist = self._kernel_hists.get(name)
+        if hist is None:
+            hist = self._kernel_hists[name] = self.registry.histogram(
+                f"kernel_{name}"
+            )
+        hist.observe(duration)
         if self._busy is not None and event.core >= 0:
             self._busy[event.core] += duration
-        self._record(
-            Span(name, "task", event.core, begin, event.t, {"stolen": stolen})
-        )
+        if self.keep_spans:
+            self._record(
+                Span(name, "task", event.core, begin, event.t,
+                     {"stolen": stolen})
+            )
 
     def _close_span(self, event: Any, data: dict) -> None:
         name = data.get("name", "?")
@@ -254,13 +265,21 @@ class Profiler:
         else:
             return  # unmatched end: dropped begin (ring buffer) — skip
         cat = data.get("cat") or begin_data.get("cat") or "kernel"
-        self._record(Span(name, cat, event.core, begin, event.t, begin_data))
+        if self.keep_spans:
+            self._record(
+                Span(name, cat, event.core, begin, event.t, begin_data)
+            )
         if cat == "kernel":
             stats = self.span_kernels.get(name)
             if stats is None:
                 stats = self.span_kernels[name] = KernelStats(name)
             stats.add(event.t - begin)
-            self.registry.histogram(f"span_{name}").observe(event.t - begin)
+            hist = self._span_hists.get(name)
+            if hist is None:
+                hist = self._span_hists[name] = self.registry.histogram(
+                    f"span_{name}"
+                )
+            hist.observe(event.t - begin)
         elif cat == "subframe":
             self._close_subframe(data.get("subframe", -1), event.t)
 
@@ -271,9 +290,10 @@ class Profiler:
         if opened is not None:
             begin, core = opened
             self.registry.histogram("user_span").observe(event.t - begin)
-            self._record(
-                Span(f"user {key[1]}", "user", core, begin, event.t, data)
-            )
+            if self.keep_spans:
+                self._record(
+                    Span(f"user {key[1]}", "user", core, begin, event.t, data)
+                )
         # The simulator marks subframe completion on the last user out
         # (the threaded runtime emits an explicit subframe span-end).
         if data.get("pending") == 0:
@@ -286,7 +306,10 @@ class Profiler:
         duration = end - begin
         self.registry.counter("subframes_completed").inc()
         self.registry.histogram("subframe_span").observe(duration)
-        self._record(Span(f"subframe {subframe}", "subframe", -1, begin, end))
+        if self.keep_spans:
+            self._record(
+                Span(f"subframe {subframe}", "subframe", -1, begin, end)
+            )
         if self.deadline is not None:
             slack = self.deadline - duration
             self.registry.histogram("deadline_slack").observe(slack)

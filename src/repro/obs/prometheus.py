@@ -1,0 +1,129 @@
+"""Prometheus text-exposition rendering of a metrics registry.
+
+:func:`render_prometheus` turns a
+:class:`~repro.obs.metrics.MetricsRegistry` into the Prometheus text
+exposition format (version 0.0.4): counters as ``counter``, gauges as
+``gauge``, and sketch-backed histograms as ``summary`` metrics with
+``quantile``-labelled samples plus ``_sum``/``_count`` series — so an
+external scraper can consume a run without touching the JSON schema.
+
+:func:`parse_prometheus` parses the same format back into plain dicts;
+the round-trip test pins the output against a committed reference
+fixture so the exposition stays scrape-stable.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .metrics import MetricsRegistry
+
+__all__ = ["parse_prometheus", "render_prometheus"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_PREFIX = "repro_"
+
+#: Quantiles exported per histogram (matches the summary() schema).
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a registry name into a legal Prometheus metric name."""
+    out = _PREFIX + _SANITIZE.sub("_", name)
+    if not _NAME_OK.match(out):  # pragma: no cover - prefix guarantees it
+        out = "_" + out
+    return out
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    v = float(value)
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, counter in sorted(registry.counters.items()):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# HELP {metric} Counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counter.value)}")
+    for name, gauge in sorted(registry.gauges.items()):
+        metric = _metric_name(name)
+        lines.append(f"# HELP {metric} Gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauge.value)}")
+    for name, histogram in sorted(registry.histograms.items()):
+        metric = _metric_name(name)
+        lines.append(f"# HELP {metric} Summary {name}")
+        lines.append(f"# TYPE {metric} summary")
+        for q in SUMMARY_QUANTILES:
+            value = histogram.percentile(q * 100.0)
+            lines.append(
+                f'{metric}{{quantile="{_format_value(q)}"}} '
+                f"{_format_value(value)}"
+            )
+        total = histogram.mean() * histogram.count
+        lines.append(f"{metric}_sum {_format_value(total)}")
+        lines.append(f"{metric}_count {_format_value(histogram.count)}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse text exposition into ``{types: {...}, samples: [...]}``.
+
+    Each sample is ``{"name", "labels", "value"}``. Only the subset of
+    the format that :func:`render_prometheus` emits is supported — it
+    exists so tests can round-trip the exposition against a fixture.
+    """
+    types: dict[str, str] = {}
+    samples: list[dict] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            types[name] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        labels = {
+            m.group("key"): m.group("value")
+            for m in _LABEL.finditer(match.group("labels") or "")
+        }
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)
+        samples.append(
+            {"name": match.group("name"), "labels": labels, "value": value}
+        )
+    return {"types": types, "samples": samples}

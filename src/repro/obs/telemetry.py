@@ -1,0 +1,724 @@
+"""Bounded, mergeable streaming telemetry over the event stream.
+
+The paper tells its whole power-management story through *windowed* time
+series — 100 ms RMS power windows, per-subframe deadline slack, activity
+per DELTA (Figs. 13-16) — while the original metrics layer buffered every
+observation and summarized once at exit. This module provides the
+streaming substrate:
+
+* :class:`QuantileSketch` — a DDSketch-style log-bucketed quantile sketch
+  with a documented *relative* accuracy guarantee, bounded memory, and an
+  **exact merge**: merging two sketches built from disjoint observation
+  sets yields bucket-for-bucket the sketch of the union (so multiprocess
+  workers can sketch locally and the parent merge losslessly);
+* :class:`EwmaRate` — exponentially-weighted event rates;
+* :class:`WindowRing` — fixed-width time windows (the paper's 100 ms RMS
+  cadence) holding count/sum/min/max per window in a bounded ring;
+* :class:`TelemetryCollector` — an observer for any event-emitting
+  backend that folds the stream into sketches and rings live: subframe
+  latency, deadline slack, per-kernel durations, shed/retry/fault/abort
+  counts, and a per-window busy-time series that
+  :meth:`TelemetryCollector.power_windows` converts into the paper's
+  windowed power estimate via
+  :func:`repro.power.model.power_from_busy_fraction`.
+
+Timestamps stay in the emitting backend's native clock (simulator cycles
+or ``monotonic_ns``); ``window`` and ``deadline`` are bound automatically
+from the simulator in ``on_run_start`` and default to the paper's 100 ms
+window / 5 ms DELTA in nanoseconds otherwise. Like the other bundled
+observers, concurrent calls from worker threads are safe under the GIL
+(plain list/dict updates).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any
+
+from .events import EventKind
+
+__all__ = [
+    "DEFAULT_RELATIVE_ACCURACY",
+    "DEFAULT_WINDOW_NS",
+    "DEFAULT_DEADLINE_NS",
+    "EwmaRate",
+    "QuantileSketch",
+    "TelemetryCollector",
+    "WindowRing",
+]
+
+#: Default sketch accuracy: quantile estimates are within ±1% of the true
+#: value (relative error), guaranteed by the log-bucket construction.
+DEFAULT_RELATIVE_ACCURACY = 0.01
+
+#: The paper's measurement window (100 ms) in nanoseconds — the default
+#: for wall-clock backends; the simulator binds 0.1 s in cycles instead.
+DEFAULT_WINDOW_NS = 100_000_000
+
+#: One subframe period (DELTA = 5 ms) in nanoseconds — the default
+#: deadline for wall-clock backends.
+DEFAULT_DEADLINE_NS = 5_000_000
+
+
+class QuantileSketch:
+    """DDSketch-style quantile sketch with relative-accuracy guarantee.
+
+    Values are mapped to logarithmic buckets of ratio
+    ``gamma = (1 + a) / (1 - a)`` where ``a`` is ``relative_accuracy``;
+    any quantile estimate is within ``a`` (relative) of a true value of
+    the observed multiset. Negative values use a mirrored bucket store
+    (deadline slack goes negative on misses) and near-zero values a
+    dedicated counter; ``count``/``sum``/``min``/``max`` are exact.
+
+    **Merge is exact**: two sketches with the same ``gamma`` merge by
+    adding bucket counts, so ``merge`` over per-worker sketches equals
+    the sketch of the union of their observations bucket for bucket
+    (provided no bucket collapse occurred — see ``max_bins``).
+
+    Memory is bounded by ``max_bins`` buckets per store; on overflow the
+    two lowest-magnitude buckets are collapsed (biasing only the extreme
+    low tail), keeping memory O(1) in the observation count.
+    """
+
+    __slots__ = (
+        "relative_accuracy",
+        "max_bins",
+        "gamma",
+        "_inv_log_gamma",
+        "_min_trackable",
+        "_pos",
+        "_neg",
+        "_zeros",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "collapsed",
+    )
+
+    def __init__(
+        self,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+        max_bins: int = 2048,
+    ) -> None:
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError("relative_accuracy must be in (0, 1)")
+        if max_bins < 8:
+            raise ValueError("max_bins must be >= 8")
+        self.relative_accuracy = relative_accuracy
+        self.max_bins = max_bins
+        self.gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._inv_log_gamma = 1.0 / math.log(self.gamma)
+        self._min_trackable = 1e-9
+        self._pos: dict[int, int] = {}
+        self._neg: dict[int, int] = {}
+        self._zeros = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        #: True once any bucket collapse happened (merge is no longer
+        #: guaranteed bucket-exact, quantiles still accuracy-bounded
+        #: away from the collapsed low tail).
+        self.collapsed = False
+
+    # ------------------------------------------------------------- observe
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self._count += 1
+        self._sum += v
+        if v < self._min:
+            self._min = v
+        if v > self._max:
+            self._max = v
+        if v > self._min_trackable:
+            store = self._pos
+            key = math.ceil(math.log(v) * self._inv_log_gamma)
+        elif v < -self._min_trackable:
+            store = self._neg
+            key = math.ceil(math.log(-v) * self._inv_log_gamma)
+        else:
+            self._zeros += 1
+            return
+        store[key] = store.get(key, 0) + 1
+        if len(store) > self.max_bins:
+            self._collapse(store)
+
+    def _collapse(self, store: dict[int, int]) -> None:
+        keys = sorted(store)
+        store[keys[1]] += store.pop(keys[0])
+        self.collapsed = True
+
+    # -------------------------------------------------------------- stats
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    @property
+    def num_bins(self) -> int:
+        """Current bucket count (memory is proportional to this)."""
+        return len(self._pos) + len(self._neg)
+
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def _bucket_value(self, key: int) -> float:
+        # Midpoint estimate of bucket (gamma^(key-1), gamma^key].
+        return 2.0 * self.gamma**key / (self.gamma + 1.0)
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1], within ``relative_accuracy``.
+
+        ``q=0``/``q=1`` return the exact min/max; estimates are clamped
+        into the exact observed range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        if q == 0.0:
+            return self._min
+        if q == 1.0:
+            return self._max
+        rank = q * (self._count - 1)
+        seen = 0.0
+        for key in sorted(self._neg, reverse=True):
+            seen += self._neg[key]
+            if seen > rank:
+                return min(max(-self._bucket_value(key), self._min), self._max)
+        if self._zeros:
+            seen += self._zeros
+            if seen > rank:
+                return 0.0
+        for key in sorted(self._pos):
+            seen += self._pos[key]
+            if seen > rank:
+                return min(max(self._bucket_value(key), self._min), self._max)
+        return self._max
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` in [0, 100] (see :meth:`quantile`)."""
+        return self.quantile(p / 100.0)
+
+    # -------------------------------------------------------------- merge
+    def merge(self, other: QuantileSketch) -> None:
+        """Fold ``other`` into this sketch (exact: bucket counts add)."""
+        if abs(other.gamma - self.gamma) > 1e-12:
+            raise ValueError(
+                "cannot merge sketches with different relative accuracy"
+            )
+        for key, count in other._pos.items():
+            self._pos[key] = self._pos.get(key, 0) + count
+        for key, count in other._neg.items():
+            self._neg[key] = self._neg.get(key, 0) + count
+        self._zeros += other._zeros
+        self._count += other._count
+        self._sum += other._sum
+        if other._count:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+        self.collapsed = self.collapsed or other.collapsed
+        while len(self._pos) > self.max_bins:
+            self._collapse(self._pos)
+        while len(self._neg) > self.max_bins:
+            self._collapse(self._neg)
+
+    # ---------------------------------------------------------- transport
+    def to_dict(self) -> dict:
+        """JSON/pipe-safe representation (exact round trip)."""
+        return {
+            "relative_accuracy": self.relative_accuracy,
+            "max_bins": self.max_bins,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "zeros": self._zeros,
+            "collapsed": self.collapsed,
+            "pos": {str(k): v for k, v in self._pos.items()},
+            "neg": {str(k): v for k, v in self._neg.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> QuantileSketch:
+        sketch = cls(
+            relative_accuracy=payload["relative_accuracy"],
+            max_bins=payload.get("max_bins", 2048),
+        )
+        sketch._pos = {int(k): int(v) for k, v in payload["pos"].items()}
+        sketch._neg = {int(k): int(v) for k, v in payload["neg"].items()}
+        sketch._zeros = int(payload["zeros"])
+        sketch._count = int(payload["count"])
+        sketch._sum = float(payload["sum"])
+        if sketch._count:
+            sketch._min = float(payload["min"])
+            sketch._max = float(payload["max"])
+        sketch.collapsed = bool(payload.get("collapsed", False))
+        return sketch
+
+    def summary(self) -> dict:
+        """Quantile summary (same keys as the metrics histograms)."""
+        if not self._count:
+            return {"count": 0}
+        return {
+            "count": self._count,
+            "mean": self.mean(),
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+        }
+
+
+class EwmaRate:
+    """Exponentially-weighted event rate in the native clock.
+
+    ``observe(t, n)`` decays the running level with half-life
+    ``halflife`` (native clock units) and adds ``n``;
+    :meth:`rate` converts the level to events per native unit
+    (``level * ln 2 / halflife``), optionally decayed to ``now``.
+    """
+
+    __slots__ = ("halflife", "_level", "_t")
+
+    def __init__(self, halflife: float) -> None:
+        if halflife <= 0:
+            raise ValueError("halflife must be positive")
+        self.halflife = float(halflife)
+        self._level = 0.0
+        self._t: float | None = None
+
+    def observe(self, t: float, count: float = 1.0) -> None:
+        if self._t is None:
+            self._level = count
+        else:
+            dt = max(0.0, t - self._t)
+            self._level = self._level * 0.5 ** (dt / self.halflife) + count
+        self._t = t
+
+    def rate(self, now: float | None = None) -> float:
+        """Events per native clock unit (0.0 before any observation)."""
+        if self._t is None:
+            return 0.0
+        level = self._level
+        if now is not None and now > self._t:
+            level *= 0.5 ** ((now - self._t) / self.halflife)
+        return level * math.log(2.0) / self.halflife
+
+
+class WindowRing:
+    """Fixed-width time windows with bounded history.
+
+    Window ``i`` covers ``[i * window, (i + 1) * window)`` in the native
+    clock. Each window keeps count/sum/min/max; at most ``capacity``
+    windows are retained (older ones fall off the ring). Out-of-order
+    timestamps (worker-thread skew) fold into the newest open window so
+    per-observation cost stays O(1).
+    """
+
+    __slots__ = ("window", "capacity", "_entries")
+
+    def __init__(self, window: float, capacity: int = 64) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.window = float(window)
+        self.capacity = capacity
+        # Each entry: [window_index, count, sum, min, max].
+        self._entries: deque[list] = deque(maxlen=capacity)
+
+    def add(self, t: float, value: float = 1.0) -> None:
+        index = int(t // self.window)
+        entries = self._entries
+        if entries and index <= entries[-1][0]:
+            entry = entries[-1]
+            entry[1] += 1
+            entry[2] += value
+            if value < entry[3]:
+                entry[3] = value
+            if value > entry[4]:
+                entry[4] = value
+        else:
+            entries.append([index, 1, value, value, value])
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_index(self) -> int | None:
+        return self._entries[-1][0] if self._entries else None
+
+    def series(self) -> list[dict]:
+        """Per-window aggregates, oldest first (open window included)."""
+        return [
+            {
+                "window": entry[0],
+                "t": entry[0] * self.window,
+                "count": entry[1],
+                "sum": entry[2],
+                "min": entry[3],
+                "max": entry[4],
+                "mean": entry[2] / entry[1],
+            }
+            for entry in self._entries
+        ]
+
+    def totals(
+        self, last: int | None = None, ref: int | None = None
+    ) -> tuple[int, float]:
+        """(count, sum) over the last ``last`` windows (all if None).
+
+        Windows with no events are not stored, so "last ``last``
+        windows" is judged by window *index*, not entry position:
+        only entries with ``index > ref - last`` count, where ``ref``
+        defaults to this ring's newest index. Pass the clock's current
+        window as ``ref`` so sparse rings (e.g. deadline misses) age
+        out even when no new events land in them.
+        """
+        entries = list(self._entries)
+        if last is not None:
+            threshold = ref if ref is not None else self.last_index
+            if threshold is not None:
+                entries = [e for e in entries if e[0] > threshold - last]
+        return (
+            sum(e[1] for e in entries),
+            float(sum(e[2] for e in entries)),
+        )
+
+
+class TelemetryCollector:
+    """Observer folding the event stream into streaming aggregates.
+
+    Works on every event-emitting backend: bound to a
+    :class:`~repro.sim.machine.MachineSimulator` run it adopts the
+    simulated clock (cycles; window = 0.1 s, deadline = DELTA); on the
+    threaded/multiprocess runtimes timestamps are ``monotonic_ns`` and
+    the defaults are the paper's 100 ms window and 5 ms deadline.
+
+    Maintains:
+
+    * sketches — ``subframe_latency``, ``deadline_slack`` (negative on
+      misses), and ``kernel_<name>`` durations;
+    * rings — per-window subframe latency, deadline misses, dispatched
+      users, shed/retry/fault/abort counts, and busy time (the basis of
+      :meth:`power_windows`);
+    * counters and EWMA rates for subframe completions and misses.
+
+    ``merge_shard`` folds a multiprocess worker's locally-built sketch
+    shard in (exact merge); the multiprocess runtime calls it
+    automatically for any attached observer exposing the method.
+
+    Serial/vectorized backends emit no events; drive
+    :meth:`record_subframe` directly instead (``repro run --json`` does).
+    """
+
+    def __init__(
+        self,
+        window: float | None = None,
+        deadline: float | None = None,
+        workers: int | None = None,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+        ring_windows: int = 64,
+        power_params: Any = None,
+    ) -> None:
+        self.window = window
+        self.deadline = deadline
+        self.workers = workers
+        self.relative_accuracy = relative_accuracy
+        self.ring_windows = ring_windows
+        self.power_params = power_params
+        self.clock: str = "ns"
+        self.clock_hz: float | None = None
+        self.sketches: dict[str, QuantileSketch] = {}
+        self.counters: dict[str, int] = {}
+        self.rates: dict[str, EwmaRate] = {}
+        self.rings: dict[str, WindowRing] = {}
+        self.terminal_counts: dict[str, int] = {}
+        self.process_ids: dict[int, int] = {}
+        self.core_busy: dict[int, float] = {}
+        self._sf_begin: dict[int, float] = {}
+        self._open_tasks: dict[int, float] = {}
+        self._last_t: float = 0.0
+
+    # ----------------------------------------------------------- plumbing
+    def sketch(self, name: str) -> QuantileSketch:
+        sketch = self.sketches.get(name)
+        if sketch is None:
+            sketch = self.sketches[name] = QuantileSketch(
+                self.relative_accuracy
+            )
+        return sketch
+
+    def ring(self, name: str) -> WindowRing:
+        ring = self.rings.get(name)
+        if ring is None:
+            ring = self.rings[name] = WindowRing(
+                self._window(), self.ring_windows
+            )
+        return ring
+
+    def rate(self, name: str) -> EwmaRate:
+        rate = self.rates.get(name)
+        if rate is None:
+            # Half-life of one window: "recent" means the current window.
+            rate = self.rates[name] = EwmaRate(self._window())
+        return rate
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def _window(self) -> float:
+        if self.window is None:
+            self.window = float(DEFAULT_WINDOW_NS)
+        return self.window
+
+    def _deadline(self) -> float:
+        if self.deadline is None:
+            self.deadline = float(DEFAULT_DEADLINE_NS)
+        return self.deadline
+
+    # ----------------------------------------------------------- observer
+    def on_run_start(self, sim: Any) -> None:
+        machine = sim.machine
+        self.clock = "cycles"
+        self.clock_hz = machine.clock_hz
+        if self.window is None:
+            self.window = 0.1 * machine.clock_hz
+        if self.deadline is None:
+            self.deadline = float(machine.subframe_period_cycles)
+        if self.workers is None:
+            self.workers = machine.num_workers
+
+    def __call__(self, event: Any) -> None:
+        kind = event.kind
+        t = event.t
+        self._last_t = t
+        data = event.data or {}
+        if event.core >= 0 and "process_id" in data:
+            self.process_ids[event.core] = int(data["process_id"])
+        if kind is EventKind.TASK_START:
+            self._open_tasks[event.core] = t
+        elif kind is EventKind.TASK_FINISH:
+            self._task_finish(event, data)
+        elif kind is EventKind.DISPATCH:
+            self._sf_begin[data.get("subframe", -1)] = t
+            self.ring("users").add(t, data.get("users", 0))
+        elif kind is EventKind.SUBFRAME_TERMINAL:
+            self._terminal(event, data)
+        elif kind is EventKind.SHED:
+            shed = data.get("users", 0)
+            self._count("shed_users", shed)
+            self.ring("shed_users").add(t, shed)
+        elif kind is EventKind.FAULT:
+            self._count("faults")
+            self.ring("faults").add(t)
+        elif kind is EventKind.USER_RETRY:
+            self._count("retries")
+            self.ring("retries").add(t)
+        elif kind is EventKind.USER_ABORTED:
+            self._count("aborted_users")
+            self.ring("aborted_users").add(t)
+
+    def _task_finish(self, event: Any, data: dict) -> None:
+        # Hottest handler (one call per task per kernel stage): dict
+        # operations are inlined rather than routed through the lazy
+        # sketch()/ring()/_count() factories.
+        cycles = data.get("cycles")
+        if cycles is not None:
+            duration = float(cycles)
+        else:
+            begin = self._open_tasks.pop(event.core, None)
+            if begin is None:
+                return
+            duration = float(event.t - begin)
+        counters = self.counters
+        counters["tasks"] = counters.get("tasks", 0) + 1
+        kernel = data.get("kernel")
+        if kernel:
+            name = "kernel_" + kernel
+            sketch = self.sketches.get(name)
+            if sketch is None:
+                sketch = self.sketch(name)
+            sketch.observe(duration)
+        ring = self.rings.get("busy")
+        if ring is None:
+            ring = self.ring("busy")
+        ring.add(event.t, duration)
+        core = event.core
+        if core >= 0:
+            busy = self.core_busy
+            busy[core] = busy.get(core, 0.0) + duration
+
+    def _terminal(self, event: Any, data: dict) -> None:
+        t = event.t
+        state = data.get("state", "ok")
+        self.terminal_counts[state] = self.terminal_counts.get(state, 0) + 1
+        self._count("subframes")
+        self.rate("subframes").observe(t)
+        self.ring("subframes").add(t)
+        begin = self._sf_begin.pop(data.get("subframe", -1), None)
+        if begin is None:
+            return
+        self.record_subframe(t, t - begin)
+
+    # --------------------------------------------------------- direct feed
+    def record_subframe(self, t: float, latency: float) -> None:
+        """Record one completed subframe's latency at time ``t``.
+
+        The event path calls this from ``SUBFRAME_TERMINAL``; backends
+        that emit no events (serial/vectorized) call it directly with
+        wall-clock nanoseconds.
+        """
+        latency = float(latency)
+        self.sketch("subframe_latency").observe(latency)
+        self.ring("latency").add(t, latency)
+        slack = self._deadline() - latency
+        self.sketch("deadline_slack").observe(slack)
+        if slack < 0:
+            self._count("deadline_misses")
+            self.ring("deadline_misses").add(t)
+            self.rate("deadline_misses").observe(t)
+
+    def record_busy(self, t: float, duration: float) -> None:
+        """Account ``duration`` of busy time ending at ``t`` (direct feed)."""
+        self.ring("busy").add(t, float(duration))
+
+    # -------------------------------------------------------------- merge
+    def merge_shard(self, shard: dict) -> None:
+        """Fold one worker's telemetry shard in (exact sketch merge).
+
+        The first shard for a name is adopted as-is (keeping the shard's
+        own accuracy); later shards for the same name merge into it, so
+        all workers of one pool must share one accuracy — the runtime's
+        init handshake guarantees that.
+        """
+        for name, payload in shard.get("sketches", {}).items():
+            incoming = QuantileSketch.from_dict(payload)
+            existing = self.sketches.get(name)
+            if existing is None:
+                self.sketches[name] = incoming
+            else:
+                existing.merge(incoming)
+        for name, amount in shard.get("counters", {}).items():
+            self._count(name, int(amount))
+
+    # ------------------------------------------------------------- derived
+    def _current_window(self) -> int:
+        """Window index of the latest observed timestamp."""
+        return int(self._last_t // self._window())
+
+    def deadline_miss_rate(self, last: int | None = None) -> float:
+        """Missed fraction of completed subframes (optionally windowed).
+
+        Both rings are aligned on the clock's current window so a miss
+        recorded ``last`` windows ago ages out even though the sparse
+        miss ring gained no newer entries since.
+        """
+        ref = self._current_window() if last is not None else None
+        subframes, _ = self.ring("subframes").totals(last, ref)
+        if not subframes:
+            return 0.0
+        misses, _ = self.ring("deadline_misses").totals(last, ref)
+        return misses / subframes
+
+    def shed_rate(self, last: int | None = None) -> float:
+        """Shed users as a fraction of all dispatched + shed users."""
+        ref = self._current_window() if last is not None else None
+        shed = self.ring("shed_users").totals(last, ref)[1]
+        users = self.ring("users").totals(last, ref)[1]
+        total = users + shed
+        if total <= 0:
+            return 0.0
+        return shed / total
+
+    def power_windows(self, last: int | None = None) -> list[dict]:
+        """Per-window power estimate (W), the Figs. 13-16 / 100 ms analog.
+
+        Busy fraction per window is summed task time divided by the
+        window's total core capacity (``window * workers``); power is
+        :func:`repro.power.model.power_from_busy_fraction` — base power
+        plus per-core compute draw for the busy fraction and reactive-nap
+        draw for the remainder.
+        """
+        from ..power.model import power_from_busy_fraction
+
+        workers = self.workers or 1
+        window = self._window()
+        series = self.ring("busy").series()
+        if last is not None:
+            series = series[-last:]
+        capacity = window * workers
+        out = []
+        for entry in series:
+            busy_frac = min(1.0, entry["sum"] / capacity)
+            out.append(
+                {
+                    "window": entry["window"],
+                    "t": entry["t"],
+                    "busy_fraction": busy_frac,
+                    "power_w": float(
+                        power_from_busy_fraction(
+                            busy_frac, workers, self.power_params
+                        )
+                    ),
+                }
+            )
+        return out
+
+    def mean_power_w(self, last: int | None = None) -> float:
+        windows = self.power_windows(last)
+        if not windows:
+            from ..power.model import power_from_busy_fraction
+
+            return float(
+                power_from_busy_fraction(0.0, self.workers or 1,
+                                         self.power_params)
+            )
+        return sum(w["power_w"] for w in windows) / len(windows)
+
+    # ------------------------------------------------------------ snapshot
+    def snapshot(self) -> dict:
+        """JSON-serializable live view of every aggregate."""
+        seconds = None
+        if self.clock == "cycles" and self.clock_hz:
+            seconds = self._window() / self.clock_hz
+        elif self.clock == "ns":
+            seconds = self._window() / 1e9
+        return {
+            "clock": self.clock,
+            "clock_hz": self.clock_hz,
+            "window": self._window(),
+            "window_s": seconds,
+            "deadline": self._deadline(),
+            "workers": self.workers,
+            "counters": dict(sorted(self.counters.items())),
+            "terminal_counts": dict(sorted(self.terminal_counts.items())),
+            "deadline_miss_rate": self.deadline_miss_rate(),
+            "shed_rate": self.shed_rate(),
+            "sketches": {
+                name: sketch.summary()
+                for name, sketch in sorted(self.sketches.items())
+            },
+            "series": {
+                name: ring.series()
+                for name, ring in sorted(self.rings.items())
+            },
+            "power_windows": self.power_windows(),
+            "core_busy": dict(sorted(self.core_busy.items())),
+            "process_ids": dict(sorted(self.process_ids.items())),
+            "last_t": self._last_t,
+        }

@@ -28,7 +28,12 @@ import numpy as np
 
 from ..sim.trace import CoreState, OccupancyTrace
 
-__all__ = ["PowerModelParams", "PowerModel", "PowerTrace"]
+__all__ = [
+    "PowerModelParams",
+    "PowerModel",
+    "PowerTrace",
+    "power_from_busy_fraction",
+]
 
 
 @dataclass(frozen=True)
@@ -94,6 +99,30 @@ class PowerTrace:
     def mean_above_base(self) -> float:
         """Average power with the 14 W base subtracted (Table I's view)."""
         return float((self.total_w - self.base_power_w).mean())
+
+
+def power_from_busy_fraction(
+    busy_fraction,
+    num_workers: int,
+    params: PowerModelParams | None = None,
+):
+    """Windowed power estimate from a busy fraction (no occupancy trace).
+
+    The streaming telemetry layer only sees task durations, not per-core
+    state occupancies, so its per-window power estimate assumes each of
+    ``num_workers`` cores draws compute power for the window's busy
+    fraction and reactive-nap power for the remainder (the NAP policy's
+    steady state) — the live analog of the paper's 100 ms RMS windows,
+    without the thermal feedback loop. Accepts a scalar or array of busy
+    fractions (clipped to [0, 1]) and returns watts with matching shape.
+    """
+    p = params or PowerModelParams()
+    busy = np.clip(np.asarray(busy_fraction, dtype=np.float64), 0.0, 1.0)
+    dynamic = num_workers * (
+        busy * p.compute_power_w + (1.0 - busy) * p.reactive_nap_power_w
+    )
+    result = p.base_power_w + dynamic
+    return float(result) if result.ndim == 0 else result
 
 
 class PowerModel:

@@ -182,12 +182,50 @@ def _pack_results(
     return packed, overflowed
 
 
+def _build_shard(
+    results: list[UserResult],
+    stage_ns: list[tuple[str, int, int, int]],
+    telemetry: dict,
+) -> dict:
+    """Sketch this task's work locally; the parent exact-merges shards.
+
+    Sketches live in an ``mp_``-prefixed namespace so they never collide
+    with the parent's event-derived sketches (the parent re-emits stage
+    events, which would double-count otherwise). ``mp_user_payload_bits``
+    is deterministic (payload sizes, not timings), which is what the
+    differential suite compares against a serial reference.
+    """
+    from ..obs.telemetry import QuantileSketch
+
+    accuracy = telemetry.get("relative_accuracy", 0.01)
+    sketches: dict[str, QuantileSketch] = {}
+
+    def sketch(name: str) -> QuantileSketch:
+        found = sketches.get(name)
+        if found is None:
+            found = sketches[name] = QuantileSketch(accuracy)
+        return found
+
+    for kernel, begin, end, _batch in stage_ns:
+        sketch(f"mp_kernel_{kernel}").observe(float(end - begin))
+    for result in results:
+        sketch("mp_user_payload_bits").observe(float(result.payload.size))
+    return {
+        "sketches": {name: s.to_dict() for name, s in sketches.items()},
+        "counters": {
+            "mp_worker_tasks": 1,
+            "mp_worker_users": len(results),
+        },
+    }
+
+
 def _execute_task(
     task: dict,
     grids: dict[str, tuple[SharedMemory, np.ndarray]],
     config: ChestConfig | None,
     codec,
     slab: SharedMemory,
+    telemetry: dict | None = None,
 ) -> tuple:
     """Run one shape group against the shared grid; reply over the pipe."""
     task_id = task["task_id"]
@@ -225,7 +263,12 @@ def _execute_task(
             lambda kernel, batch: _StageSpan(kernel, batch, stage_ns),
         )
         packed, overflowed = _pack_results(results, slab)
-        return ("ok", task_id, packed, overflowed, stage_ns)
+        shard = (
+            _build_shard(results, stage_ns, telemetry)
+            if telemetry is not None
+            else None
+        )
+        return ("ok", task_id, packed, overflowed, stage_ns, shard)
     except Exception as exc:
         return ("err", task_id, f"{type(exc).__name__}: {exc}", False)
 
@@ -237,6 +280,7 @@ def _worker_main(worker_id: int, conn, init: dict) -> None:
     banks: list[SharedMemory] = []
     config = init["config"]
     codec = init["codec"]
+    telemetry = init.get("telemetry")
     try:
         while True:
             message = conn.recv()
@@ -251,7 +295,11 @@ def _worker_main(worker_id: int, conn, init: dict) -> None:
                     if entry is not None:
                         entry[0].close()
             else:  # ("task", {...})
-                conn.send(_execute_task(message[1], grids, config, codec, slab))
+                conn.send(
+                    _execute_task(
+                        message[1], grids, config, codec, slab, telemetry
+                    )
+                )
     except (EOFError, BrokenPipeError, KeyboardInterrupt) as exc:
         # Parent vanished or interactive interrupt: nothing to report to
         # (the pipe is gone) — fall through to cleanup and exit 0 so the
@@ -399,6 +447,14 @@ class MultiprocessRuntime:
         self.ledger: SubframeLedger = ledger or SubframeLedger()
         self.emit_spans = emit_spans
         self.observers = list(observers) if observers is not None else []
+        # Observers exposing merge_shard (TelemetryCollector, SLOEngine)
+        # opt the workers into local sketching; shards ride the existing
+        # reply pipe and are exact-merged here in the parent.
+        self._merge_observers = [
+            observer
+            for observer in self.observers
+            if hasattr(observer, "merge_shard")
+        ]
         if not self.observers:
             self._emit = None
         elif len(self.observers) == 1:
@@ -439,6 +495,12 @@ class MultiprocessRuntime:
             self.ledger = SubframeLedger()
         self._failures.clear()
         init = {"config": self.config, "codec": self.codec}
+        if self._merge_observers:
+            accuracy = min(
+                getattr(observer, "relative_accuracy", 0.01)
+                for observer in self._merge_observers
+            )
+            init["telemetry"] = {"relative_accuracy": accuracy}
         try:
             for worker_id in range(self.num_workers):
                 slab = SharedMemory(create=True, size=self.slab_bytes)
@@ -785,13 +847,13 @@ class MultiprocessRuntime:
                 "was outstanding"
             )
         if message[0] == "ok":
-            _, _, packed, overflowed, stage_ns = message
+            _, _, packed, overflowed, stage_ns, shard = message
             self._stats.slab_overflows += overflowed
             self._stats.tasks_executed[worker.worker_id] += len(stage_ns)
             self._stats.users_processed[worker.worker_id] += len(
                 task["positions"]
             )
-            self._complete_task(worker, task, packed, stage_ns)
+            self._complete_task(worker, task, packed, stage_ns, shard)
         else:  # ("err", task_id, error, injected)
             self._requeue_or_abort_task(worker, task, message[2])
 
@@ -801,6 +863,7 @@ class MultiprocessRuntime:
         task: dict,
         packed: list[dict],
         stage_ns: list,
+        shard: dict | None = None,
     ) -> None:
         pending = task["pending"]
         index = pending.subframe.subframe_index
@@ -809,6 +872,13 @@ class MultiprocessRuntime:
         if pending.resolved:
             self._late_completions += len(results)
             return
+        # Merge after the late-completion gate: a task whose subframe was
+        # already resolved (deadline abort) must not contribute, so every
+        # user's work is counted exactly once — killed workers never
+        # reply, and their retried task re-sketches on another worker.
+        if shard is not None:
+            for observer in self._merge_observers:
+                observer.merge_shard(shard)
         if self._emit is not None:
             now = monotonic_ns()
             for result in results:

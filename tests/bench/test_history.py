@@ -1,0 +1,95 @@
+"""`repro bench --history`: snapshot ordering, deltas, regression flags."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    find_history_regressions,
+    format_history,
+    history_table,
+    load_history,
+)
+
+
+def _snapshot(path, scenarios, revision="rev"):
+    report = {
+        "schema": "repro-bench/1",
+        "revision": revision,
+        "scale": "smoke",
+        "scenarios": {
+            name: {"throughput_sf_per_s": tp, "wall_s": 1.0}
+            for name, tp in scenarios.items()
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh)
+
+
+def test_load_orders_by_numeric_suffix_and_skips_junk(tmp_path):
+    _snapshot(tmp_path / "BENCH_10.json", {"serial": 30.0})
+    _snapshot(tmp_path / "BENCH_2.json", {"serial": 20.0})
+    _snapshot(tmp_path / "BENCH_1.json", {"serial": 10.0})
+    (tmp_path / "BENCH_bad.json").write_text("{not json")
+    (tmp_path / "BENCH_empty.json").write_text('{"no": "scenarios"}')
+    reports = load_history(os.fspath(tmp_path))
+    assert [r["_path"] for r in reports] == [
+        "BENCH_1.json", "BENCH_2.json", "BENCH_10.json",
+    ]
+
+
+def test_history_table_deltas_and_regressions(tmp_path):
+    _snapshot(tmp_path / "BENCH_1.json", {"serial": 100.0, "threaded": 50.0})
+    _snapshot(tmp_path / "BENCH_2.json", {"serial": 120.0, "threaded": 30.0})
+    history = history_table(
+        load_history(os.fspath(tmp_path)), threshold=0.30
+    )
+    serial = history["scenarios"]["serial"]
+    assert serial[0]["delta"] is None
+    assert serial[1]["delta"] == pytest.approx(0.2)
+    assert not serial[1]["regression"]
+    threaded = history["scenarios"]["threaded"]
+    assert threaded[1]["delta"] == pytest.approx(-0.4)
+    assert threaded[1]["regression"]
+    problems = find_history_regressions(history)
+    assert len(problems) == 1
+    assert "threaded @ BENCH_2.json" in problems[0]
+
+
+def test_scenario_absent_from_middle_snapshot_compares_across_gap(tmp_path):
+    _snapshot(tmp_path / "BENCH_1.json", {"serial": 100.0, "mp": 10.0})
+    _snapshot(tmp_path / "BENCH_2.json", {"serial": 100.0})
+    _snapshot(tmp_path / "BENCH_3.json", {"serial": 100.0, "mp": 4.0})
+    history = history_table(load_history(os.fspath(tmp_path)))
+    mp = history["scenarios"]["mp"]
+    assert len(mp) == 2
+    assert mp[1]["delta"] == pytest.approx(-0.6)
+    assert mp[1]["regression"]
+
+
+def test_format_history_is_readable(tmp_path):
+    _snapshot(tmp_path / "BENCH_1.json", {"serial": 100.0})
+    _snapshot(tmp_path / "BENCH_2.json", {"serial": 40.0})
+    history = history_table(load_history(os.fspath(tmp_path)))
+    text = format_history(history)
+    assert "BENCH_1.json -> BENCH_2.json" in text
+    assert "REGRESSION" in text
+    assert "regressions between consecutive snapshots:" in text
+
+
+def test_format_history_empty():
+    assert "(no snapshots)" in format_history(
+        history_table([])
+    )
+
+
+def test_committed_trajectory_loads():
+    # The repo root carries the real BENCH_<n>.json trail; the trend
+    # table must build from it without error.
+    root = os.path.join(os.path.dirname(__file__), "..", "..")
+    reports = load_history(root)
+    assert reports, "expected committed BENCH_*.json snapshots"
+    history = history_table(reports)
+    assert history["scenarios"]
+    assert format_history(history)

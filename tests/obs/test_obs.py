@@ -99,11 +99,14 @@ class TestMetricsRegistry:
         for v in range(1, 101):
             h.observe(v)
         assert h.count == 100
+        # count/mean/max are exact; percentiles come from the bounded
+        # quantile sketch, accurate to its documented ±1% relative error
+        # (3% tolerance leaves headroom for interpolation differences).
         assert h.mean() == pytest.approx(50.5)
-        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(50) == pytest.approx(50.5, rel=0.03)
         summary = h.summary()
         assert summary["max"] == 100
-        assert summary["p90"] == pytest.approx(90.1)
+        assert summary["p90"] == pytest.approx(90.1, rel=0.03)
 
     def test_summary_is_json_serializable(self):
         reg = MetricsRegistry()
