@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow test-invariants bench bench-smoke chaos-smoke multiprocess-smoke lint lint-strict repro-lint ruff mypy all
+.PHONY: test test-slow test-invariants bench bench-smoke chaos-smoke multiprocess-smoke serve-smoke lint lint-strict repro-lint ruff mypy all
 
 all: test lint
 
@@ -34,6 +34,17 @@ multiprocess-smoke:
 	$(PYTHON) -m pytest -x -q tests/sched/test_multiprocess.py tests/test_spawn_safety.py
 	$(PYTHON) -m pytest -m slow -q tests/differential/test_backends.py -k multiprocess
 	$(PYTHON) -m repro chaos --backend multiprocess --scale smoke --seeds 2 --timeout 600
+
+serve-smoke:
+	$(PYTHON) -m pytest -x -q tests/serve
+	$(PYTHON) -m repro serve --cells 4 --subframes 40 --no-pace \
+		--arrival poisson --rate 2.0 --seed 0 --timeout 300 --json > SERVE_smoke.json
+	$(PYTHON) -c "import json; from repro.serve import validate_serve_report; \
+		problems = validate_serve_report(json.load(open('SERVE_smoke.json'))); \
+		assert not problems, problems; print('serve report: schema OK')"
+	$(PYTHON) -m repro serve --cells 2 --subframes 40 --no-pace \
+		--backend threaded --workers 2 --faults --seed 1 --timeout 300
+	$(PYTHON) -m pytest -m slow -q tests/serve/test_soak.py
 
 lint: repro-lint lint-strict ruff mypy
 

@@ -74,6 +74,7 @@ CONCURRENCY_PACKAGES: tuple[str, ...] = (
     "repro.sched",
     "repro.faults",
     "repro.obs",
+    "repro.serve",
 )
 
 _CONCURRENCY_PRAGMA = "repro-lint: concurrency-scope"

@@ -43,6 +43,7 @@ ROBUST_PACKAGES: tuple[str, ...] = (
     "repro.sim",
     "repro.faults",
     "repro.obs",
+    "repro.serve",
 )
 
 

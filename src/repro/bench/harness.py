@@ -19,7 +19,12 @@ policies:
   bounding policies; these also report a fully *deterministic* block
   (kernel cycles, deadline-miss rate, task/steal counts) that is
   machine-independent, so CI can compare it across hosts with tight
-  thresholds while wall-clock throughput is compared loosely.
+  thresholds while wall-clock throughput is compared loosely;
+* ``serve`` — the streaming service mode (``repro serve``) as an unpaced
+  multi-cell flood on the vectorized backend: sustained users/hour with
+  backpressure and admission shedding active, per-kernel wall clock
+  attributed through a stage-timed processor injected into the serve
+  loop, and the ledger invariant checked (``ledger_ok``).
 
 Reports are schema ``repro-bench/1``; :func:`validate_bench_report`
 checks structure without any external dependency.
@@ -64,6 +69,7 @@ SCENARIOS = (
     "multiprocess",
     "sim-nonap",
     "sim-nap-idle",
+    "serve",
 )
 
 
@@ -370,6 +376,64 @@ def run_sim_scenario(scale: BenchScale, seed: int, policy_name: str) -> dict:
     }
 
 
+def run_serve_scenario(scale: BenchScale, seed: int) -> dict:
+    """The streaming service mode as an unpaced multi-cell flood.
+
+    Arrivals are offered as fast as the loop can generate them (no DELTA
+    pacing), so the row measures the *sustained* service rate with
+    backpressure and admission shedding live — the serve-mode analog of
+    batch throughput. Per-kernel wall clock is attributed by injecting a
+    stage-timed vectorized processor into the serve loop; the per-cell
+    executor threads update the totals under a lock.
+    """
+    from ..obs.lockdep import tracked_lock
+    from ..serve import ServeConfig, serve
+    from ..uplink.vectorized import process_subframe_vectorized
+
+    totals: dict[str, list[int]] = {k: [0, 0] for k in KERNEL_KINDS}
+    lock = tracked_lock("bench.serve.stage_totals")
+
+    @contextmanager
+    def stage_timer(kernel: str, batch: int):
+        begin = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter_ns() - begin
+            with lock:
+                totals[kernel][0] += elapsed
+                totals[kernel][1] += 1
+
+    config = ServeConfig(
+        cells=max(2, scale.threads),
+        subframes=min(1_000, max(40, scale.sim_subframes)),
+        backend="vectorized",
+        pace=False,
+        seed=seed,
+        keep_results=False,
+        processor=lambda subframe: process_subframe_vectorized(
+            subframe, stage_timer=stage_timer
+        ),
+    )
+    report = serve(config).report
+    return {
+        "backend": "serve",
+        "cells": config.cells,
+        "subframes": report["dispatched"],
+        "subframes_per_cell": config.subframes,
+        "workers": config.cells,
+        "wall_s": report["wall_s"],
+        "throughput_sf_per_s": report["throughput_sf_per_s"],
+        "users_per_hour": report["users_per_hour"],
+        "served_users": report["served_users"],
+        "shed_users": report["shed_users"],
+        "backpressure_hits": report["backpressure_hits"],
+        "terminal_counts": report["terminal_counts"],
+        "ledger_ok": report["ledger_ok"],
+        "kernel_breakdown": _breakdown_from_totals(totals),
+    }
+
+
 def measure_obs_overhead_pct(scale: BenchScale, seed: int, repeats: int = 3) -> float:
     """Full-profiling slowdown vs. hooks-off on the threaded runtime.
 
@@ -472,6 +536,7 @@ def run_bench(
         "multiprocess": lambda: run_multiprocess_scenario(scale, seed),
         "sim-nonap": lambda: run_sim_scenario(scale, seed, "NONAP"),
         "sim-nap-idle": lambda: run_sim_scenario(scale, seed, "NAP+IDLE"),
+        "serve": lambda: run_serve_scenario(scale, seed),
     }
     report: dict = {
         "schema": SCHEMA_VERSION,
@@ -550,6 +615,17 @@ def validate_bench_report(report: Any) -> list[str]:
             if not isinstance(scenario.get("bit_exact_vs_serial"), bool):
                 problems.append(
                     f"{name}: missing boolean field 'bit_exact_vs_serial'"
+                )
+        if scenario.get("backend") == "serve":
+            if not isinstance(
+                scenario.get("users_per_hour"), (int, float)
+            ):
+                problems.append(
+                    f"{name}: missing numeric field 'users_per_hour'"
+                )
+            if not isinstance(scenario.get("ledger_ok"), bool):
+                problems.append(
+                    f"{name}: missing boolean field 'ledger_ok'"
                 )
         if scenario.get("backend") == "sim":
             deterministic = scenario.get("deterministic")

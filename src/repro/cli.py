@@ -234,6 +234,145 @@ def build_parser() -> argparse.ArgumentParser:
         "--width", type=int, default=78, help="frame width (default 78)"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="streaming service mode: multi-cell subframe arrivals at "
+        "DELTA cadence with backpressure and admission shedding",
+    )
+    serve.add_argument(
+        "--cells", type=int, default=4, help="number of cells (default 4)"
+    )
+    serve.add_argument(
+        "--subframes",
+        type=int,
+        default=200,
+        help="ticks (subframe slots) per cell (default 200)",
+    )
+    serve.add_argument(
+        "--delta",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="arrival cadence per cell (default 0.005 = the paper's DELTA)",
+    )
+    serve.add_argument(
+        "--arrival",
+        choices=["constant", "poisson", "diurnal", "mmtc"],
+        default="constant",
+        help="offered-load process (default constant)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=4.0,
+        help="mean offered users/subframe (poisson; mmtc base rate)",
+    )
+    serve.add_argument(
+        "--daily-users",
+        type=float,
+        default=50_000.0,
+        help="total daily users for --arrival diurnal (default 50000)",
+    )
+    serve.add_argument(
+        "--subframes-per-hour",
+        type=int,
+        default=100,
+        help="diurnal time compression: ticks per simulated hour",
+    )
+    serve.add_argument(
+        "--burst-size",
+        type=float,
+        default=60.0,
+        help="mMTC mean users per synchronized burst window",
+    )
+    serve.add_argument(
+        "--burst-period",
+        type=int,
+        default=100,
+        help="mMTC burst period in ticks (default 100)",
+    )
+    serve.add_argument(
+        "--burst-window",
+        type=int,
+        default=10,
+        help="mMTC burst window length in ticks (default 10)",
+    )
+    serve.add_argument(
+        "--mix",
+        choices=["mmtc", "mixed"],
+        default="mmtc",
+        help="device mix for random arrivals (default mmtc: 2-PRB QPSK)",
+    )
+    serve.add_argument(
+        "--users",
+        type=int,
+        default=4,
+        help="cap on users per subframe (default 4, matches repro run)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["serial", "vectorized", "threaded", "multiprocess"],
+        default="vectorized",
+        help="per-cell execution backend (default vectorized)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="workers per cell shard (threaded/multiprocess)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="bounded in-flight subframes per cell (default 8)",
+    )
+    serve.add_argument(
+        "--backpressure",
+        choices=["shed", "block"],
+        default="shed",
+        help="policy at full queue: shed the subframe or block the "
+        "producer (default shed)",
+    )
+    serve.add_argument(
+        "--no-pace",
+        action="store_true",
+        help="disable DELTA pacing: offer arrivals as fast as possible "
+        "(flood test)",
+    )
+    serve.add_argument(
+        "--synthesize",
+        action="store_true",
+        help="synthesize IQ grids per subframe (CRCs pass; slower) "
+        "instead of the paper's pre-generated pool",
+    )
+    serve.add_argument(
+        "--max-activity",
+        type=float,
+        default=0.9,
+        help="admission budget: Eq. 4 activity ceiling (default 0.9)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    serve.add_argument(
+        "--faults",
+        action="store_true",
+        help="chaos variant: inject worker deaths, task exceptions, and "
+        "overload windows; the run must degrade via shedding",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a line-flushed JSONL event trace (tail it live with "
+        "'repro top --from FILE --follow')",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable repro-serve/1 report",
+    )
+    _add_timeout(serve)
+
     bench = sub.add_parser(
         "bench", help="run the pinned benchmark matrix, write BENCH_<rev>.json"
     )
@@ -260,10 +399,11 @@ def build_parser() -> argparse.ArgumentParser:
             "multiprocess",
             "sim-nonap",
             "sim-nap-idle",
+            "serve",
         ],
         default=None,
         metavar="NAME",
-        help="run a subset of the matrix (repeatable; default: all six)",
+        help="run a subset of the matrix (repeatable; default: all seven)",
     )
     bench.add_argument(
         "--no-overhead",
@@ -738,7 +878,10 @@ def cmd_top(args) -> int:
 
         engine = SLOEngine(TelemetryCollector())
         try:
-            with open(args.from_path, encoding="utf-8") as fh:
+            # Binary mode: a live writer can leave a partial multi-byte
+            # UTF-8 sequence at EOF, which a text-mode read() would
+            # raise on; the tailer buffers partial lines as bytes.
+            with open(args.from_path, "rb") as fh:
                 tailer = TraceTailer(fh, engine)
                 tailer.advance()
                 if args.follow and not args.once:
@@ -970,6 +1113,94 @@ def cmd_chaos(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_serve(args) -> int:
+    import json
+
+    from .faults import hang_guard
+    from .serve import ServeConfig, serve, validate_serve_report
+
+    config = ServeConfig(
+        cells=args.cells,
+        subframes=args.subframes,
+        delta_s=args.delta,
+        arrival=args.arrival,
+        rate=args.rate,
+        daily_users=args.daily_users,
+        subframes_per_hour=args.subframes_per_hour,
+        burst_size=args.burst_size,
+        burst_period=args.burst_period,
+        burst_window=args.burst_window,
+        mix=args.mix,
+        max_users=args.users,
+        backend=args.backend,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        backpressure=args.backpressure,
+        pace=not args.no_pace,
+        synthesize=args.synthesize,
+        max_activity=args.max_activity,
+        seed=args.seed,
+        faults=args.faults,
+        trace_path=args.trace,
+        keep_results=False,
+    )
+    with hang_guard(args.timeout):
+        try:
+            result = serve(config)
+        except KeyboardInterrupt:
+            print("\ninterrupted — cells shut down cleanly", file=sys.stderr)
+            return 130
+    report = result.report
+    problems = validate_serve_report(report)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        counts = report["terminal_counts"]
+        print(
+            f"served {report['cells']} cells x "
+            f"{report['subframes_per_cell']} subframes "
+            f"({report['arrival']} arrivals, {report['backend']} backend"
+            f"{', paced' if report['paced'] else ', unpaced'}) "
+            f"in {report['wall_s']:.3f} s"
+        )
+        print(
+            f"  {report['dispatched']} dispatched: "
+            + "  ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        )
+        print(
+            f"  users: offered {report['offered_users']}, admitted "
+            f"{report['admitted_users']}, shed {report['shed_users']}, "
+            f"served {report['served_users']} "
+            f"({report['users_per_hour']:,.0f}/hour)"
+        )
+        print(
+            f"  backpressure hits {report['backpressure_hits']}, "
+            f"throughput {report['throughput_sf_per_s']:.1f} sf/s, "
+            f"ledger {'OK' if report['ledger_ok'] else 'BROKEN'}"
+        )
+        if args.faults:
+            print(
+                "  chaos: shedding "
+                + (
+                    "engaged"
+                    if report["faults"]["shedding_engaged"]
+                    else "NOT ENGAGED"
+                )
+                + f", {report['faults']['faults_seen']} fault(s) fired"
+            )
+        for line in result.errors:
+            print(f"  error: {line}", file=sys.stderr)
+        for line in problems:
+            print(f"  report schema: {line}", file=sys.stderr)
+    failed = (
+        not report["ledger_ok"]
+        or bool(problems)
+        or bool(result.errors)
+        or (args.faults and not report["faults"]["shedding_engaged"])
+    )
+    return 1 if failed else 0
+
+
 def cmd_lint(args) -> int:
     from .analysis.cli import run_lint
 
@@ -986,6 +1217,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "top": cmd_top,
+    "serve": cmd_serve,
     "bench": cmd_bench,
     "report": cmd_report,
     "lint": cmd_lint,

@@ -116,6 +116,20 @@ def render_dashboard(
     if terminal:
         states = "  ".join(f"{k}={v}" for k, v in sorted(terminal.items()))
         lines.append(f"terminal   {states}")
+    arrivals = counters.get("arrivals", 0)
+    if arrivals:
+        # Serve-mode ingest signals (ARRIVAL/BACKPRESSURE events).
+        line = (
+            f"arrivals {arrivals:>8d}   "
+            f"backpressure {counters.get('backpressure', 0):>5d}"
+        )
+        lag = sketches.get("arrival_lag", {})
+        if lag.get("count"):
+            line += (
+                "   lag p99"
+                + _fmt_duration(lag["p99"], clock, clock_hz)
+            )
+        lines.append(line)
     lines.append(rule)
 
     latency = sketches.get("subframe_latency", {})
@@ -144,6 +158,13 @@ def render_dashboard(
         lines.append(
             f"misses/w   {sparkline(values, spark_w):<{spark_w}}  "
             f"last {values[-1]:8.0f}"
+        )
+    depth_series = series.get("queue_depth", [])
+    if depth_series:
+        values = _series_values(depth_series, "mean")
+        lines.append(
+            f"queue/w    {sparkline(values, spark_w):<{spark_w}}  "
+            f"last {values[-1]:8.2f}"
         )
     power = snapshot.get("power_windows", [])
     if power:
@@ -200,18 +221,26 @@ class TraceTailer:
 
     Replays every decodable record through ``observer`` (a
     :class:`TelemetryCollector` or an :class:`SLOEngine`), skipping
-    records whose ``kind`` is unknown (traces from newer versions) and
-    holding back a partial final line so a trace that is still being
-    appended to can be tailed incrementally with repeated
-    :meth:`advance` calls.
+    records whose ``kind`` is unknown (traces from newer versions) or
+    that are not JSON objects, and holding back a partial final line so
+    a trace that is still being appended to can be tailed incrementally
+    with repeated :meth:`advance` calls.
+
+    The stream may be text or binary. Prefer binary (``open(path,
+    "rb")``) when tailing a live writer: a text-mode ``read()`` raises
+    ``UnicodeDecodeError`` if it lands mid-way through a multi-byte
+    UTF-8 sequence, while the binary path simply buffers the partial
+    bytes until the writer completes the line.
     """
 
-    def __init__(self, stream: IO[str], observer: Any) -> None:
+    def __init__(self, stream: IO[Any], observer: Any) -> None:
         self.stream = stream
         self.observer = observer
         self.records = 0
         self.skipped = 0
-        self._buffer = ""
+        #: Held-back partial trailing line; bytes or str to match the
+        #: stream, bound on the first non-empty read.
+        self._buffer: Any = None
 
     def advance(self) -> int:
         """Consume everything new in the stream; return records fed."""
@@ -219,8 +248,11 @@ class TraceTailer:
         if not chunk:
             return 0
         fed = 0
+        if self._buffer is None:
+            self._buffer = chunk[:0]
         self._buffer += chunk
-        lines = self._buffer.split("\n")
+        newline = b"\n" if isinstance(self._buffer, bytes) else "\n"
+        lines = self._buffer.split(newline)
         self._buffer = lines.pop()
         for line in lines:
             line = line.strip()
@@ -228,7 +260,7 @@ class TraceTailer:
                 continue
             try:
                 record = json.loads(line)
-            except json.JSONDecodeError:
+            except (json.JSONDecodeError, UnicodeDecodeError):
                 self.skipped += 1
                 continue
             if self._feed(record):
@@ -238,7 +270,9 @@ class TraceTailer:
         self.records += fed
         return fed
 
-    def _feed(self, record: dict) -> bool:
+    def _feed(self, record: Any) -> bool:
+        if not isinstance(record, dict):
+            return False
         try:
             kind = EventKind(record["kind"])
         except (KeyError, ValueError):

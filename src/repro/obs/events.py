@@ -72,6 +72,15 @@ class EventKind(str, enum.Enum):
     #: A previously firing SLO alert stopped firing (payload as
     #: ``SLO_BREACH``).
     SLO_RESOLVED = "slo-resolved"
+    #: One serve-mode subframe arrival landed at a cell (payload:
+    #: ``cell``, ``subframe`` global id, ``users`` offered, ``lag_ns``
+    #: behind the DELTA cadence, ``queue_depth`` at arrival).
+    ARRIVAL = "arrival"
+    #: A cell's bounded queue was full at arrival time and the serve
+    #: loop applied backpressure — shed the subframe or blocked the
+    #: producer (payload: ``cell``, ``subframe``, ``users``,
+    #: ``queue_depth``, ``policy``).
+    BACKPRESSURE = "backpressure"
 
 
 class Event:

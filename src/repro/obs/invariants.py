@@ -85,6 +85,12 @@ __all__ = [
 #:   windowed aggregates; they describe measurements of scheduler
 #:   behaviour, carry no scheduler state of their own, and never feed
 #:   back into scheduling decisions.
+#: * ``ARRIVAL`` / ``BACKPRESSURE`` — serve-mode ingest events emitted by
+#:   :mod:`repro.serve.loop` *before* a subframe enters any scheduler
+#:   (arrival lag, queue depth, and drop-at-the-door decisions); they
+#:   describe the stream feeding the runtimes, not simulator core state,
+#:   and their accounting is validated by the serve run's shared
+#:   :class:`~repro.faults.accounting.SubframeLedger` instead.
 IGNORED_EVENT_KINDS = frozenset(
     {
         EventKind.GOVERNOR,
@@ -98,6 +104,8 @@ IGNORED_EVENT_KINDS = frozenset(
         EventKind.SLO_BREACH,
         EventKind.SLO_ALERT,
         EventKind.SLO_RESOLVED,
+        EventKind.ARRIVAL,
+        EventKind.BACKPRESSURE,
     }
 )
 

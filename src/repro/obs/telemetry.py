@@ -532,6 +532,20 @@ class TelemetryCollector:
         elif kind is EventKind.USER_ABORTED:
             self._count("aborted_users")
             self.ring("aborted_users").add(t)
+        elif kind is EventKind.ARRIVAL:
+            self._count("arrivals")
+            self.sketch("arrival_lag").observe(float(data.get("lag_ns", 0)))
+            self.ring("queue_depth").add(t, float(data.get("queue_depth", 0)))
+        elif kind is EventKind.BACKPRESSURE:
+            # A backpressure drop is shedding too: fold its users into the
+            # shed accounting so the shed-rate SLO reflects *all* load the
+            # serve layer refused, not just admission-control decisions.
+            users = data.get("users", 0)
+            self._count("backpressure")
+            self.ring("backpressure").add(t)
+            if users:
+                self._count("shed_users", users)
+                self.ring("shed_users").add(t, users)
 
     def _task_finish(self, event: Any, data: dict) -> None:
         # Hottest handler (one call per task per kernel stage): dict

@@ -1,0 +1,53 @@
+"""Streaming base-station service mode (``repro serve``).
+
+The batch drivers answer "how fast can the receiver chew through N
+subframes"; this package answers the operational question the paper's
+DELTA cadence poses: does the receiver *keep up* when subframes arrive
+every 5 ms across many cells, and does overload degrade into shedding
+instead of deadline collapse? See ``docs/serving.md``.
+
+* :mod:`repro.serve.arrivals` — seeded offered-load processes
+  (constant-rate, Poisson, diurnal, mMTC synchronized bursts);
+* :mod:`repro.serve.cell` — per-cell shards: arrival stream, Eq. 3-4
+  admission, bounded queue, and an execution backend;
+* :mod:`repro.serve.loop` — the asyncio ingest loop, backpressure, and
+  ledger-first accounting;
+* :mod:`repro.serve.report` — the ``repro-serve/1`` report schema.
+"""
+
+from .arrivals import (
+    ARRIVAL_KINDS,
+    ConstantRateArrivals,
+    DiurnalArrivals,
+    MmtcBurstArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from .cell import CELL_STRIDE, CellShard, offset_plan
+from .loop import (
+    SERVE_BACKENDS,
+    ServeConfig,
+    ServeResult,
+    serve,
+    serve_async,
+)
+from .report import SERVE_SCHEMA, validate_serve_report
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "CELL_STRIDE",
+    "CellShard",
+    "ConstantRateArrivals",
+    "DiurnalArrivals",
+    "MmtcBurstArrivals",
+    "PoissonArrivals",
+    "SERVE_BACKENDS",
+    "SERVE_SCHEMA",
+    "ServeConfig",
+    "ServeResult",
+    "make_arrivals",
+    "offset_plan",
+    "serve",
+    "serve_async",
+    "validate_serve_report",
+]

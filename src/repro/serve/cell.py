@@ -1,0 +1,259 @@
+"""Per-cell scheduler shards for the serve loop.
+
+Each simulated cell owns one :class:`CellShard`: its arrival process, a
+:class:`~repro.uplink.subframe.SubframeFactory`, a per-cell
+:class:`~repro.faults.admission.AdmissionController` (the Eq. 3-4
+estimator shedding against the DELTA budget), a bounded in-flight queue,
+and an execution backend — inline (serial/vectorized, run on a dedicated
+single thread so the ingest loop never blocks) or a real scheduler
+runtime (threaded/multiprocess) sharing the serve run's global
+:class:`~repro.faults.accounting.SubframeLedger`.
+
+Subframe identity: cell ``c``'s tick ``k`` dispatches as global id
+``c * CELL_STRIDE + k``, so ids are unique across cells in the shared
+ledger while cell 0's ids equal its ticks — which keeps a single-cell
+serve run bit-exact with the batch driver at the same seed (the
+synthesis RNG is keyed on the subframe id).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..faults.accounting import SubframeLedger
+from ..faults.admission import AdmissionController, AdmissionDecision
+from ..faults.plan import FaultKind, FaultPlan, FaultSpec
+from ..faults.watchdog import ResilienceConfig
+from ..power import calibrate_from_cost_model
+from ..sim import CostModel
+from ..uplink.serial import SubframeResult, process_subframe
+from ..uplink.subframe import SubframeFactory, SubframeInput
+from ..uplink.user import UserParameters
+
+__all__ = ["CELL_STRIDE", "CellShard", "offset_plan"]
+
+#: Global-id stride between cells: cell ``c``, tick ``k`` dispatches as
+#: subframe id ``c * CELL_STRIDE + k``. Wide enough that no bounded serve
+#: run can collide across cells, and cell 0 keeps ``id == tick``.
+CELL_STRIDE = 10_000_000
+
+#: Backends executed inline on a per-cell thread (no scheduler runtime).
+_INLINE_BACKENDS = ("serial", "vectorized")
+
+
+def offset_plan(plan: FaultPlan, offset: int) -> FaultPlan:
+    """Rebase a fault plan's subframe indices into a cell's global-id space.
+
+    Plans are generated per cell over local ticks ``[0, num_subframes)``;
+    the runtimes arm specs by the *global* subframe id they observe, so
+    every spec shifts by the cell's id offset.
+    """
+    specs = tuple(
+        FaultSpec(
+            kind=spec.kind,
+            subframe=spec.subframe + offset,
+            target=spec.target,
+            param=spec.param,
+            seed=spec.seed,
+        )
+        for spec in plan.specs
+    )
+    return FaultPlan(specs=specs, seed=plan.seed)
+
+
+class CellShard:
+    """One cell's arrival stream, admission control, and backend.
+
+    The shard is driven by the asyncio serve loop (single consumer); its
+    counters are only mutated from loop callbacks, so they need no lock.
+    Runtime backends receive the shared ``ledger`` so their own
+    dispatch/resolve accounting lands in the serve run's global ledger.
+    """
+
+    def __init__(
+        self,
+        cell_id: int,
+        arrivals: Any,
+        seed: int = 0,
+        backend: str = "vectorized",
+        workers: int = 2,
+        queue_depth: int = 8,
+        synthesize: bool = False,
+        max_activity: float = 0.9,
+        ledger: SubframeLedger | None = None,
+        faults: FaultPlan | None = None,
+        resilience: ResilienceConfig | None = None,
+        observers: list | None = None,
+        processor: Callable[[SubframeInput], SubframeResult] | None = None,
+    ) -> None:
+        if cell_id < 0:
+            raise ValueError("cell_id must be >= 0")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.cell_id = cell_id
+        self.arrivals = arrivals
+        self.backend = backend
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.synthesize = synthesize
+        self.factory = SubframeFactory(seed=seed)
+        self.admission = AdmissionController(
+            calibrate_from_cost_model(CostModel()), max_activity=max_activity
+        )
+        self.ledger = ledger if ledger is not None else SubframeLedger()
+        self._processor = processor
+        self.runtime: Any = None
+        if backend not in _INLINE_BACKENDS:
+            self.runtime = self._make_runtime(
+                backend, faults, resilience, observers
+            )
+        # --- loop-owned state (single consumer, no lock needed) ---------
+        self.inflight = 0
+        self.max_depth = 0
+        self.dispatched = 0
+        self.offered_users = 0
+        self.admitted_users = 0
+        self.shed_users = 0
+        self.backpressure_hits = 0
+        self.served_users = 0
+        self.crc_ok_users = 0
+        self.terminal_counts: dict[str, int] = {}
+        self.last_tick: int | None = None
+        self.monotone = True
+        #: Users admitted per in-flight global id (for served accounting).
+        self.users_of: dict[int, int] = {}
+        #: Ids dispatched-as-shed that never occupied the queue.
+        self._unqueued: set[int] = set()
+
+    def _make_runtime(
+        self,
+        backend: str,
+        faults: FaultPlan | None,
+        resilience: ResilienceConfig | None,
+        observers: list | None,
+    ) -> Any:
+        plan = None
+        if faults is not None:
+            plan = offset_plan(
+                faults.of_kinds(
+                    frozenset(
+                        {FaultKind.WORKER_DEATH, FaultKind.TASK_EXCEPTION}
+                    )
+                ),
+                self.global_id(0),
+            )
+        if backend == "threaded":
+            from ..sched.threaded import ThreadedRuntime
+
+            return ThreadedRuntime(
+                num_workers=self.workers,
+                observers=observers,
+                emit_spans=False,
+                faults=plan,
+                resilience=resilience,
+                ledger=self.ledger,
+            )
+        if backend == "multiprocess":
+            from ..sched.multiprocess import MultiprocessRuntime
+
+            return MultiprocessRuntime(
+                num_workers=self.workers,
+                observers=observers,
+                emit_spans=False,
+                faults=plan,
+                resilience=resilience,
+                ledger=self.ledger,
+            )
+        raise ValueError(f"unknown serve backend {backend!r}")
+
+    # ------------------------------------------------------------- identity
+    def global_id(self, tick: int) -> int:
+        return self.cell_id * CELL_STRIDE + tick
+
+    @property
+    def inline(self) -> bool:
+        return self.runtime is None
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        if self.runtime is not None:
+            self.runtime.start()
+
+    def stop(self) -> None:
+        if self.runtime is not None:
+            if self.backend == "threaded":
+                self.runtime._halt_threads()
+            else:
+                self.runtime.close()
+
+    def abort(self) -> None:
+        if self.runtime is not None:
+            self.runtime.abort()
+
+    # ------------------------------------------------------------- dispatch
+    def make_subframe(self, tick: int, users: list[UserParameters]) -> SubframeInput:
+        index = self.global_id(tick)
+        if self.synthesize:
+            return self.factory.synthesize(users, index)
+        return self.factory.from_pool(users, index)
+
+    def admit(
+        self, users: list[UserParameters], load_factor: float | None = None
+    ) -> AdmissionDecision:
+        return self.admission.admit(users, load_factor=load_factor)
+
+    def process(self, subframe: SubframeInput) -> SubframeResult:
+        """Inline execution (runs on the shard's dedicated thread)."""
+        if self._processor is not None:
+            return self._processor(subframe)
+        return process_subframe(subframe, backend=self.backend)
+
+    # ------------------------------------------------------------- tracking
+    def note_dispatch(
+        self, tick: int, gid: int, users: int, queued: bool = True
+    ) -> None:
+        """Track one ledger dispatch; ``queued=False`` for subframes shed
+        before execution, which never occupy the in-flight queue."""
+        if self.last_tick is not None and tick <= self.last_tick:
+            self.monotone = False
+        self.last_tick = tick
+        self.dispatched += 1
+        self.users_of[gid] = users
+        if queued:
+            self.inflight += 1
+            if self.inflight > self.max_depth:
+                self.max_depth = self.inflight
+        else:
+            self._unqueued.add(gid)
+
+    def note_terminal(self, gid: int, state: str, crc_ok: int = 0) -> int:
+        """Account one terminal; returns the subframe's admitted users."""
+        users = self.users_of.pop(gid, 0)
+        if gid in self._unqueued:
+            self._unqueued.discard(gid)
+        else:
+            self.inflight = max(0, self.inflight - 1)
+        self.terminal_counts[state] = self.terminal_counts.get(state, 0) + 1
+        if state in ("ok", "crc_failed"):
+            self.served_users += users
+            self.crc_ok_users += crc_ok
+        return users
+
+    def summary(self) -> dict:
+        """Per-cell report row (plain data)."""
+        return {
+            "cell": self.cell_id,
+            "backend": self.backend,
+            "dispatched": self.dispatched,
+            "terminal_counts": dict(sorted(self.terminal_counts.items())),
+            "offered_users": self.offered_users,
+            "admitted_users": self.admitted_users,
+            "shed_users": self.shed_users,
+            "served_users": self.served_users,
+            "crc_ok_users": self.crc_ok_users,
+            "backpressure_hits": self.backpressure_hits,
+            "max_queue_depth": self.max_depth,
+            "last_tick": self.last_tick,
+            "monotone_ids": self.monotone,
+            "arrivals": self.arrivals.describe(),
+        }

@@ -1,0 +1,773 @@
+"""Streaming base-station service mode: the async serve loop.
+
+Batch drivers (``repro run``/``repro bench``) push a fixed worklist
+through a backend as fast as it will go. A base station does not get
+that luxury: subframes *arrive*, one per cell per DELTA (the paper's
+5 ms cadence), whether or not the receiver is keeping up. This module
+is that arrival side. :func:`serve` runs an asyncio ingest loop with
+one producer per cell: each tick it draws the cell's offered users from
+a seeded arrival process (:mod:`repro.serve.arrivals`), applies
+backpressure against the cell's bounded in-flight queue, runs the
+Eq. 3-4 admission controller, and hands the admitted subframe to the
+cell's backend shard (:class:`repro.serve.cell.CellShard`) — inline
+serial/vectorized execution on a dedicated thread, or a real
+threaded/multiprocess scheduler runtime.
+
+Accounting is ledger-first: every arrival that offers users is entered
+into one shared :class:`~repro.faults.accounting.SubframeLedger` and
+driven to exactly one terminal state (ok / crc_failed / shed /
+aborted), including subframes refused by backpressure or admission
+control and subframes orphaned by worker failures (reconciled to
+``aborted`` at drain). ``report()["ledger_ok"]`` is therefore the
+serve-mode survival criterion: overload and chaos must degrade into
+*shed*, never into silently lost work.
+
+Telemetry rides the PR 8 stream: the loop emits ``ARRIVAL`` /
+``BACKPRESSURE`` / ``DISPATCH`` / ``SHED`` / ``SUBFRAME_TERMINAL``
+events into an :class:`~repro.obs.slo.SLOEngine`, so ``repro serve
+--json`` yields the same ``repro-slo/1`` burn-rate report as batch
+runs, and ``--trace`` writes a line-flushed JSONL stream that
+``repro top --from <path> --follow`` can tail live.
+
+Threading model: the asyncio loop owns every shard counter and the
+ledger-facing serve paths. Runtime worker threads only touch the loop's
+state via ``call_soon_threadsafe`` (terminal marshaling); inline
+processing happens on per-cell single-thread executors whose results
+are consumed back on the loop. The multiprocess runtime's replies are
+pumped from a loop task, so no second thread ever calls into it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import IO, Any
+
+from concurrent.futures import ThreadPoolExecutor
+
+from ..faults.accounting import LedgerError, SubframeLedger, TerminalState
+from ..faults.plan import FaultKind, FaultPlan, FaultSpec
+from ..faults.watchdog import (
+    ResilienceConfig,
+    RuntimeHung,
+    monotonic_ns,
+    ns_from_s,
+)
+from ..obs.events import Event, EventKind
+from ..obs.lockdep import tracked_lock
+from ..obs.slo import SLOEngine
+from ..obs.telemetry import TelemetryCollector
+from ..uplink.serial import SubframeResult
+from .arrivals import ARRIVAL_KINDS, make_arrivals
+from .cell import CellShard
+
+__all__ = [
+    "SERVE_BACKENDS",
+    "ServeConfig",
+    "ServeResult",
+    "serve",
+    "serve_async",
+]
+
+#: Execution backends a serve cell can shard onto.
+SERVE_BACKENDS = ("serial", "vectorized", "threaded", "multiprocess")
+
+#: Backpressure policies when a cell's in-flight queue is full.
+BACKPRESSURE_POLICIES = ("shed", "block")
+
+#: Worker-core remap stride: cell ``c``'s runtime core ``k`` reports as
+#: core ``c * _CORE_STRIDE + k`` so per-core telemetry stays distinct.
+_CORE_STRIDE = 256
+
+
+@dataclass
+class ServeConfig:
+    """One serve run's shape (all knobs the CLI exposes, plus test hooks)."""
+
+    #: Number of cells; each owns an arrival process and a backend shard.
+    cells: int = 4
+    #: Ticks (subframe slots) per cell.
+    subframes: int = 200
+    #: Arrival cadence in seconds (the paper's DELTA = 5 ms).
+    delta_s: float = 0.005
+    #: Arrival process kind (see :data:`repro.serve.arrivals.ARRIVAL_KINDS`).
+    arrival: str = "constant"
+    #: Mean offered users per subframe (poisson / mmtc base rate).
+    rate: float = 4.0
+    #: Total daily users for the diurnal process.
+    daily_users: float = 50_000.0
+    #: Diurnal time compression: ticks per simulated hour.
+    subframes_per_hour: int = 100
+    #: mMTC synchronized-burst shape.
+    burst_size: float = 60.0
+    burst_period: int = 100
+    burst_window: int = 10
+    #: Device mix for the random processes ("mmtc" or "mixed").
+    mix: str = "mmtc"
+    #: Cap on users per subframe (matches ``repro run --users`` default).
+    max_users: int = 4
+    #: Execution backend for every cell shard.
+    backend: str = "vectorized"
+    #: Workers per runtime shard (threaded/multiprocess only).
+    workers: int = 2
+    #: Bounded in-flight queue depth per cell.
+    queue_depth: int = 8
+    #: Backpressure policy at full queue: "shed" drops, "block" waits.
+    backpressure: str = "shed"
+    #: Pace arrivals at DELTA (False = as-fast-as-possible, for tests).
+    pace: bool = True
+    #: Synthesize IQ grids per subframe (True) or draw from the pool.
+    synthesize: bool = False
+    #: Base seed; cell ``c`` draws arrivals with ``seed + c * stride``.
+    seed: int = 0
+    cell_seed_stride: int = 1_000_003
+    #: Admission budget (Eq. 4 activity ceiling).
+    max_activity: float = 0.9
+    #: Chaos mode: inject worker deaths / task exceptions / overload.
+    faults: bool = False
+    #: Ticks an injected overload window stays active.
+    overload_window: int = 20
+    #: Per-subframe watchdog deadline under --faults (seconds).
+    faults_deadline_s: float = 2.0
+    #: Drain timeout for runtime shards at shutdown (seconds).
+    drain_timeout_s: float = 60.0
+    #: Keep per-subframe results (differential tests; off for long runs).
+    keep_results: bool = True
+    #: JSONL trace path (line-flushed; ``repro top --follow`` tails it).
+    trace_path: str | None = None
+    #: Optional inline processor override (``SubframeInput -> SubframeResult``)
+    #: for serial/vectorized cells — the bench harness injects a
+    #: stage-timed processor here to attribute per-kernel wall clock.
+    processor: Any = None
+
+    def validate(self) -> None:
+        if self.cells < 1:
+            raise ValueError("cells must be >= 1")
+        if self.subframes < 1:
+            raise ValueError("subframes must be >= 1")
+        if self.delta_s <= 0:
+            raise ValueError("delta_s must be positive")
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ValueError(f"unknown arrival process {self.arrival!r}")
+        if self.backend not in SERVE_BACKENDS:
+            raise ValueError(f"unknown serve backend {self.backend!r}")
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {self.backpressure!r}"
+            )
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.max_users < 1:
+            raise ValueError("max_users must be >= 1")
+
+
+@dataclass
+class ServeResult:
+    """What :func:`serve` returns: the report plus test-facing handles."""
+
+    report: dict
+    results: dict[int, SubframeResult] = field(default_factory=dict)
+    ledger: SubframeLedger | None = None
+    engine: SLOEngine | None = None
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.report.get("ledger_ok")) and not self.errors
+
+
+class _JsonlTraceSink:
+    """Line-flushed JSONL event sink (tailable while being written)."""
+
+    def __init__(self, path: str) -> None:
+        self._fh: IO[str] = open(path, "w", encoding="utf-8")
+        # Runtime worker threads emit concurrently with the loop thread.
+        self._lock = tracked_lock("_JsonlTraceSink._lock")
+
+    def __call__(self, event: Event) -> None:
+        line = json.dumps(event.to_dict()) + "\n"
+        with self._lock:
+            self._fh.write(line)
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.close()
+
+
+class _RuntimeWatcher:
+    """Observer bridging one cell's runtime events into the serve loop.
+
+    Task/fault/retry events forward synchronously (the collectors are
+    GIL-safe, same as every batch runtime observer) with worker cores
+    remapped into the cell's core band. ``SUBFRAME_TERMINAL`` instead
+    marshals onto the loop thread, where the shard's counters and the
+    backpressure capacity signal live. The runtime's own ``DISPATCH``
+    is swallowed — the serve loop already emitted its cell-tagged one.
+    """
+
+    def __init__(self, server: _Server) -> None:
+        self._server = server
+        self._cell: CellShard | None = None
+
+    def bind(self, cell: CellShard) -> None:
+        """Late-bind the shard (the runtime is built inside CellShard,
+        so the watcher must exist before the cell it watches)."""
+        self._cell = cell
+
+    def __call__(self, event: Event) -> None:
+        if self._cell is None:  # pragma: no cover - bound before start()
+            return
+        kind = event.kind
+        if kind is EventKind.SUBFRAME_TERMINAL:
+            data = event.data or {}
+            self._server.loop.call_soon_threadsafe(
+                self._server._on_runtime_terminal,
+                self._cell,
+                int(data.get("subframe", -1)),
+                str(data.get("state", TerminalState.ABORTED.value)),
+                event.t,
+            )
+            return
+        if kind is EventKind.DISPATCH:
+            return
+        core = event.core
+        if core >= 0:
+            core = self._cell.cell_id * _CORE_STRIDE + core
+        data = dict(event.data) if event.data else {}
+        data.setdefault("cell", self._cell.cell_id)
+        self._server.emit(Event(kind, event.t, core, data))
+
+    def merge_shard(self, shard: dict) -> None:
+        self._server.engine.merge_shard(shard)
+
+
+class _Server:
+    """One serve run: cells, producers, drains, and the final report."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        config.validate()
+        self.config = config
+        self.errors: list[str] = []
+        self.results: dict[int, SubframeResult] = {}
+        self.ledger = SubframeLedger()
+        self.trace_sink: _JsonlTraceSink | None = (
+            _JsonlTraceSink(config.trace_path) if config.trace_path else None
+        )
+        self.engine = SLOEngine(TelemetryCollector(), sink=self.trace_sink)
+        self.telemetry = self.engine.telemetry
+        inline = config.backend in ("serial", "vectorized")
+        self.telemetry.workers = (
+            config.cells if inline else config.cells * config.workers
+        )
+        resilience = None
+        if config.faults:
+            resilience = ResilienceConfig(
+                deadline_s=config.faults_deadline_s,
+                drain_timeout_s=config.drain_timeout_s,
+            )
+        self.cells: list[CellShard] = []
+        self.overloads: list[tuple[FaultSpec, ...]] = []
+        for cell_id in range(config.cells):
+            plan = self._cell_plan(cell_id) if config.faults else None
+            # The runtimes freeze their observer fan-out at construction,
+            # so the watcher must be handed in (and late-bound) rather
+            # than appended afterwards.
+            watcher = _RuntimeWatcher(self)
+            cell = CellShard(
+                cell_id,
+                self._cell_arrivals(cell_id),
+                seed=config.seed,
+                backend=config.backend,
+                workers=config.workers,
+                queue_depth=config.queue_depth,
+                synthesize=config.synthesize,
+                max_activity=config.max_activity,
+                ledger=self.ledger,
+                faults=plan,
+                resilience=resilience,
+                observers=[watcher],
+                processor=config.processor,
+            )
+            watcher.bind(cell)
+            self.cells.append(cell)
+            self.overloads.append(
+                tuple(plan.of_kinds(frozenset({FaultKind.OVERLOAD})).specs)
+                if plan is not None
+                else ()
+            )
+        self.loop: Any = None  # bound in run()
+        self._capacity: list[asyncio.Event] = []
+        self._executors: list[ThreadPoolExecutor | None] = []
+        self._inline_tasks: set[asyncio.Task] = set()
+        self._pump_stop = False
+        self._start_ns = 0
+
+    # ------------------------------------------------------------ factories
+    def _cell_arrivals(self, cell_id: int) -> Any:
+        config = self.config
+        return make_arrivals(
+            config.arrival,
+            seed=config.seed + config.cell_seed_stride * cell_id,
+            rate=config.rate,
+            max_users=config.max_users,
+            total_subframes=max(2, config.subframes),
+            daily_users=config.daily_users,
+            subframes_per_hour=config.subframes_per_hour,
+            burst_size=config.burst_size,
+            burst_period=config.burst_period,
+            burst_window=config.burst_window,
+            mix=config.mix,
+        )
+
+    def _cell_plan(self, cell_id: int) -> FaultPlan:
+        config = self.config
+        inline = config.backend in ("serial", "vectorized")
+        kinds = (
+            (FaultKind.OVERLOAD,)
+            if inline
+            else (
+                FaultKind.WORKER_DEATH,
+                FaultKind.TASK_EXCEPTION,
+                FaultKind.OVERLOAD,
+            )
+        )
+        return FaultPlan.generate(
+            seed=config.seed + config.cell_seed_stride * cell_id + 1,
+            num_subframes=config.subframes,
+            num_workers=max(1, config.workers),
+            kinds=kinds,
+            faults_per_kind=max(1, config.subframes // 100),
+        )
+
+    def _overload_factor(self, cell_id: int, tick: int) -> float | None:
+        """Active injected overload multiplier at ``tick``, else None."""
+        window = self.config.overload_window
+        factor: float | None = None
+        for spec in self.overloads[cell_id]:
+            if spec.subframe <= tick < spec.subframe + window:
+                factor = max(factor or 1.0, spec.param)
+        return factor
+
+    # ------------------------------------------------------------- emission
+    def emit(self, event: Event) -> None:
+        self.engine(event)
+        if self.trace_sink is not None:
+            self.trace_sink(event)
+
+    # ------------------------------------------------------------ terminals
+    def _finish(
+        self, cell: CellShard, gid: int, state: str, t: int, crc_ok: int = 0
+    ) -> None:
+        """Loop-thread terminal accounting + uniform serve terminal event."""
+        cell.note_terminal(gid, state, crc_ok)
+        self.emit(
+            Event(
+                EventKind.SUBFRAME_TERMINAL,
+                t,
+                -1,
+                {
+                    "subframe": gid,
+                    "state": state,
+                    "cell": cell.cell_id,
+                    "cell_subframe": gid - cell.global_id(0),
+                },
+            )
+        )
+        self._capacity[cell.cell_id].set()
+
+    def _on_runtime_terminal(
+        self, cell: CellShard, gid: int, state: str, t: int
+    ) -> None:
+        if gid not in cell.users_of:
+            return  # duplicate or pre-reconciled terminal
+        self._finish(cell, gid, state, t)
+
+    async def _complete_inline(
+        self, cell: CellShard, gid: int, fut: asyncio.Future
+    ) -> None:
+        try:
+            result, begin_ns, end_ns = await fut
+        except Exception as exc:  # noqa: BLE001 - recorded and accounted
+            now = monotonic_ns()
+            self.ledger.resolve(gid, TerminalState.ABORTED, reason=repr(exc))
+            self.errors.append(
+                f"cell {cell.cell_id} subframe {gid}: {exc!r}"
+            )
+            self._finish(cell, gid, TerminalState.ABORTED.value, now)
+            return
+        crc_ok = sum(1 for u in result.user_results if u.crc_ok)
+        state = (
+            TerminalState.OK
+            if crc_ok == len(result.user_results)
+            else TerminalState.CRC_FAILED
+        )
+        self.ledger.resolve(gid, state, reason="serve-inline")
+        self.telemetry.record_busy(end_ns, end_ns - begin_ns)
+        if self.config.keep_results:
+            self.results[gid] = result
+        self._finish(cell, gid, state.value, end_ns, crc_ok)
+
+    # ------------------------------------------------------------- producer
+    async def _await_capacity(self, cell: CellShard) -> None:
+        event = self._capacity[cell.cell_id]
+        while cell.inflight >= cell.queue_depth:
+            event.clear()
+            if cell.inflight < cell.queue_depth:
+                break
+            try:
+                await asyncio.wait_for(event.wait(), timeout=0.05)
+            # repro-lint: disable=REP402 poll heartbeat; while re-checks inflight
+            except asyncio.TimeoutError:
+                continue
+
+    def _shed_whole(
+        self, cell: CellShard, tick: int, gid: int, users: int, reason: str
+    ) -> None:
+        """Account one subframe refused before dispatch (ledger: shed)."""
+        self.ledger.dispatch(gid, users)
+        self.ledger.resolve(gid, TerminalState.SHED, reason=reason)
+        cell.note_dispatch(tick, gid, 0, queued=False)
+        cell.shed_users += users
+        self._finish(cell, gid, TerminalState.SHED.value, monotonic_ns())
+
+    async def _run_cell(self, cell: CellShard) -> None:
+        config = self.config
+        delta_ns = ns_from_s(config.delta_s)
+        loop = self.loop
+        for tick in range(config.subframes):
+            scheduled = self._start_ns + tick * delta_ns
+            now = monotonic_ns()
+            if config.pace and now < scheduled:
+                await asyncio.sleep((scheduled - now) / 1e9)
+                now = monotonic_ns()
+            elif not config.pace:
+                # Unpaced runs still yield so terminals/pumps interleave.
+                await asyncio.sleep(0)
+                now = monotonic_ns()
+            lag_ns = max(0, now - scheduled) if config.pace else 0
+            users = cell.arrivals.users_for(tick)
+            gid = cell.global_id(tick)
+            cell.offered_users += len(users)
+            self.emit(
+                Event(
+                    EventKind.ARRIVAL,
+                    now,
+                    -1,
+                    {
+                        "cell": cell.cell_id,
+                        "subframe": gid,
+                        "users": len(users),
+                        "lag_ns": lag_ns,
+                        "queue_depth": cell.inflight,
+                    },
+                )
+            )
+            if not users:
+                continue
+            if cell.inflight >= cell.queue_depth:
+                cell.backpressure_hits += 1
+                self.emit(
+                    Event(
+                        EventKind.BACKPRESSURE,
+                        now,
+                        -1,
+                        {
+                            "cell": cell.cell_id,
+                            "subframe": gid,
+                            "users": len(users),
+                            "queue_depth": cell.inflight,
+                            "policy": config.backpressure,
+                        },
+                    )
+                )
+                if config.backpressure == "shed":
+                    self._shed_whole(
+                        cell, tick, gid, len(users), "backpressure"
+                    )
+                    continue
+                await self._await_capacity(cell)
+                now = monotonic_ns()
+            decision = cell.admit(
+                users, load_factor=self._overload_factor(cell.cell_id, tick)
+            )
+            if decision.shed:
+                cell.shed_users += len(decision.shed)
+                self.emit(
+                    Event(
+                        EventKind.SHED,
+                        now,
+                        -1,
+                        {
+                            "cell": cell.cell_id,
+                            "subframe": gid,
+                            "users": len(decision.shed),
+                            "estimated_activity": decision.estimated_activity,
+                            "budget_activity": decision.budget_activity,
+                        },
+                    )
+                )
+            admitted = list(decision.admitted)
+            if not admitted:
+                self.ledger.dispatch(gid, len(users))
+                self.ledger.resolve(gid, TerminalState.SHED, reason="admission")
+                cell.note_dispatch(tick, gid, 0, queued=False)
+                self._finish(
+                    cell, gid, TerminalState.SHED.value, monotonic_ns()
+                )
+                continue
+            cell.admitted_users += len(admitted)
+            subframe = cell.make_subframe(tick, admitted)
+            self.emit(
+                Event(
+                    EventKind.DISPATCH,
+                    monotonic_ns(),
+                    -1,
+                    {
+                        "subframe": gid,
+                        "users": len(admitted),
+                        "cell": cell.cell_id,
+                    },
+                )
+            )
+            cell.note_dispatch(tick, gid, len(admitted))
+            if cell.inline:
+                self.ledger.dispatch(gid, len(admitted))
+                fut = loop.run_in_executor(
+                    self._executors[cell.cell_id], self._process_inline,
+                    cell, subframe,
+                )
+                task = loop.create_task(self._complete_inline(cell, gid, fut))
+                self._inline_tasks.add(task)
+                task.add_done_callback(self._inline_tasks.discard)
+            else:
+                try:
+                    cell.runtime.submit(subframe)
+                except Exception as exc:  # noqa: BLE001 - accounted below
+                    self.errors.append(
+                        f"cell {cell.cell_id} submit {gid}: {exc!r}"
+                    )
+                    if not self.ledger.is_resolved(gid):
+                        try:
+                            self.ledger.resolve(
+                                gid,
+                                TerminalState.ABORTED,
+                                reason="submit-failed",
+                            )
+                        except LedgerError:
+                            # submit failed before its own dispatch call
+                            self.ledger.dispatch(gid, len(admitted))
+                            self.ledger.resolve(
+                                gid,
+                                TerminalState.ABORTED,
+                                reason="submit-failed",
+                            )
+                    self._finish(
+                        cell, gid, TerminalState.ABORTED.value, monotonic_ns()
+                    )
+
+    @staticmethod
+    def _process_inline(
+        cell: CellShard, subframe: Any
+    ) -> tuple[SubframeResult, int, int]:
+        begin = monotonic_ns()
+        result = cell.process(subframe)
+        return result, begin, monotonic_ns()
+
+    # ----------------------------------------------------------------- pump
+    async def _pump_runtimes(self) -> None:
+        """Pump multiprocess replies from the loop thread.
+
+        The MP runtime only surfaces worker replies (and observer events)
+        during ``submit``/``drain`` calls; with a blocked or idle producer
+        nothing would pump them, so this task does — always from the loop
+        thread, because the runtime is not safe for concurrent callers.
+        """
+        mp_cells = [
+            c for c in self.cells if c.backend == "multiprocess"
+        ]
+        if not mp_cells:
+            return
+        while not self._pump_stop:
+            for cell in mp_cells:
+                try:
+                    cell.runtime._pump(0.0)
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    self.errors.append(
+                        f"cell {cell.cell_id} pump: {exc!r}"
+                    )
+            await asyncio.sleep(0.002)
+
+    # ---------------------------------------------------------------- drain
+    async def _drain(self) -> None:
+        from ..sched.threaded import WorkerFailuresError
+
+        runtime_cells = [c for c in self.cells if c.runtime is not None]
+        for cell in runtime_cells:
+            try:
+                # Blocking in the loop thread is fine here: pacing is
+                # over and terminal callbacks queue until drain returns.
+                cell.runtime.drain(timeout=self.config.drain_timeout_s)
+            except (WorkerFailuresError, RuntimeHung) as exc:
+                self.errors.append(
+                    f"cell {cell.cell_id} drain: {exc!r}"
+                )
+                try:
+                    cell.runtime.abort()
+                except Exception as abort_exc:  # noqa: BLE001 - recorded
+                    self.errors.append(
+                        f"cell {cell.cell_id} abort: {abort_exc!r}"
+                    )
+        # Let marshaled terminal callbacks land, bounded.
+        for _ in range(2000):
+            if all(c.inflight == 0 for c in runtime_cells):
+                break
+            await asyncio.sleep(0.001)
+        for cell in runtime_cells:
+            self._reconcile(cell)
+
+    def _reconcile(self, cell: CellShard) -> None:
+        """Force any still-inflight subframe to a ledger terminal."""
+        for gid in sorted(cell.users_of):
+            state = self.ledger.state_of(gid)
+            if state is None:
+                self.ledger.resolve(
+                    gid, TerminalState.ABORTED, reason="serve-reconcile"
+                )
+                state = TerminalState.ABORTED
+            self._finish(cell, gid, state.value, monotonic_ns())
+
+    def _collect_runtime_results(self) -> None:
+        for cell in self.cells:
+            if cell.runtime is None:
+                continue
+            try:
+                results = cell.runtime.collect_results()
+            except Exception as exc:  # noqa: BLE001 - recorded
+                self.errors.append(
+                    f"cell {cell.cell_id} collect: {exc!r}"
+                )
+                continue
+            for result in results:
+                crc_ok = sum(1 for u in result.user_results if u.crc_ok)
+                cell.crc_ok_users += crc_ok
+                if self.config.keep_results:
+                    self.results[result.subframe_index] = result
+
+    # ------------------------------------------------------------------ run
+    async def run(self) -> ServeResult:
+        config = self.config
+        self.loop = asyncio.get_running_loop()
+        self._capacity = [asyncio.Event() for _ in self.cells]
+        self._executors: list[ThreadPoolExecutor | None] = [
+            ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"serve-cell{c.cell_id}"
+            )
+            if c.inline
+            else None
+            for c in self.cells
+        ]
+        wall_begin = time.perf_counter()
+        pump_task = None
+        try:
+            for cell in self.cells:
+                cell.start()
+            pump_task = self.loop.create_task(self._pump_runtimes())
+            self._start_ns = monotonic_ns()
+            await asyncio.gather(
+                *(self._run_cell(cell) for cell in self.cells)
+            )
+            if self._inline_tasks:
+                await asyncio.gather(*tuple(self._inline_tasks))
+            self._pump_stop = True
+            await pump_task
+            pump_task = None
+            await self._drain()
+            self._collect_runtime_results()
+        finally:
+            self._pump_stop = True
+            if pump_task is not None:
+                pump_task.cancel()
+            for cell in self.cells:
+                try:
+                    cell.stop()
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    self.errors.append(
+                        f"cell {cell.cell_id} stop: {exc!r}"
+                    )
+            for executor in self._executors:
+                if executor is not None:
+                    executor.shutdown(wait=True)
+            if self.trace_sink is not None:
+                self.trace_sink.close()
+        wall_s = max(1e-9, time.perf_counter() - wall_begin)
+        return ServeResult(
+            report=self._report(wall_s),
+            results=self.results,
+            ledger=self.ledger,
+            engine=self.engine,
+            errors=self.errors,
+        )
+
+    # --------------------------------------------------------------- report
+    def _report(self, wall_s: float) -> dict:
+        config = self.config
+        counts = self.ledger.counts()
+        dispatched = self.ledger.dispatched
+        offered = sum(c.offered_users for c in self.cells)
+        admitted = sum(c.admitted_users for c in self.cells)
+        shed = sum(c.shed_users for c in self.cells)
+        served = sum(c.served_users for c in self.cells)
+        crc_ok = sum(c.crc_ok_users for c in self.cells)
+        backpressure = sum(c.backpressure_hits for c in self.cells)
+        snapshot = self.telemetry.snapshot()
+        shedding_engaged = bool(
+            shed or backpressure or counts.get(TerminalState.SHED.value, 0)
+        )
+        return {
+            "schema": "repro-serve/1",
+            "seed": config.seed,
+            "cells": config.cells,
+            "subframes_per_cell": config.subframes,
+            "delta_s": config.delta_s,
+            "arrival": config.arrival,
+            "backend": config.backend,
+            "workers": config.workers,
+            "paced": config.pace,
+            "backpressure": config.backpressure,
+            "queue_depth": config.queue_depth,
+            "wall_s": wall_s,
+            "dispatched": dispatched,
+            "terminal_counts": {k: v for k, v in sorted(counts.items())},
+            "ledger_ok": bool(self.ledger.ok),
+            "offered_users": offered,
+            "admitted_users": admitted,
+            "shed_users": shed,
+            "backpressure_hits": backpressure,
+            "served_users": served,
+            "crc_ok_users": crc_ok,
+            "throughput_sf_per_s": dispatched / wall_s,
+            "users_per_hour": served / wall_s * 3600.0,
+            "arrival_lag": snapshot["sketches"].get("arrival_lag", {}),
+            "queue_depth_series": snapshot["series"].get("queue_depth", []),
+            "per_cell": [cell.summary() for cell in self.cells],
+            "faults": {
+                "enabled": config.faults,
+                "shedding_engaged": shedding_engaged,
+                "faults_seen": snapshot["counters"].get("faults", 0),
+            },
+            "slo": self.engine.slo_report(),
+            "errors": list(self.errors),
+        }
+
+
+async def serve_async(config: ServeConfig | None = None) -> ServeResult:
+    """Run one serve session on the current event loop."""
+    return await _Server(config or ServeConfig()).run()
+
+
+def serve(config: ServeConfig | None = None) -> ServeResult:
+    """Run one serve session to completion (blocking wrapper)."""
+    return asyncio.run(serve_async(config or ServeConfig()))

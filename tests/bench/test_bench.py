@@ -32,7 +32,7 @@ class TestRunBench:
         assert report["schema"] == SCHEMA_VERSION
         assert set(report["scenarios"]) == {
             "serial", "vectorized", "threaded", "multiprocess",
-            "sim-nonap", "sim-nap-idle",
+            "sim-nonap", "sim-nap-idle", "serve",
         }
 
     def test_sim_scenarios_carry_deterministic_block(self, report):
@@ -253,6 +253,41 @@ class TestMultiprocessScenario:
         assert set(breakdown) == set(KERNEL_KINDS)
         for entry in breakdown.values():
             assert entry["count"] > 0
+
+
+class TestServeScenario:
+    """The streaming service mode's row in the bench matrix."""
+
+    def test_present_with_service_fields(self, report):
+        scenario = report["scenarios"]["serve"]
+        assert scenario["backend"] == "serve"
+        assert scenario["cells"] >= 2
+        assert scenario["ledger_ok"] is True
+        assert scenario["throughput_sf_per_s"] > 0
+        assert scenario["users_per_hour"] >= 0
+        # Every dispatched subframe reached exactly one terminal state.
+        assert scenario["subframes"] == sum(
+            scenario["terminal_counts"].values()
+        )
+
+    def test_kernel_breakdown_uses_canonical_tags(self, report):
+        from repro.uplink.tasks import KERNEL_KINDS
+
+        breakdown = report["scenarios"]["serve"]["kernel_breakdown"]
+        assert set(breakdown) == set(KERNEL_KINDS)
+        served = report["scenarios"]["serve"]["terminal_counts"]
+        processed = served["ok"] + served["crc_failed"]
+        if processed:
+            for entry in breakdown.values():
+                assert entry["count"] > 0
+
+    def test_validator_flags_missing_service_fields(self, report):
+        broken = copy.deepcopy(report)
+        del broken["scenarios"]["serve"]["users_per_hour"]
+        del broken["scenarios"]["serve"]["ledger_ok"]
+        problems = validate_bench_report(broken)
+        assert any("users_per_hour" in p for p in problems)
+        assert any("ledger_ok" in p for p in problems)
 
 
 class TestNewScenarioRows:

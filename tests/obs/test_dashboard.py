@@ -143,6 +143,40 @@ class TestTraceTailer:
         assert tailer.advance() == 1
         assert tailer.skipped == 2
 
+    def test_binary_stream_split_record_mid_read(self, tmp_path):
+        """Regression: ``repro top --follow`` tails the file in binary mode;
+        a record appended in two writes — split mid-way through a
+        multi-byte UTF-8 character — must be buffered and retried, not
+        crash with UnicodeDecodeError or be half-parsed."""
+        record = json.dumps(
+            {"kind": "dispatch", "t": 0, "core": -1, "subframe": 0,
+             "users": 1, "note": "µcell"},
+            ensure_ascii=False,
+        ).encode("utf-8")
+        cut = record.find("µ".encode("utf-8")) + 1  # inside the 2-byte char
+        path = tmp_path / "trace.jsonl"
+        with open(path, "wb") as writer:
+            writer.write(record + b"\n" + record[:cut])
+            writer.flush()
+            with open(path, "rb") as reader:
+                tailer = TraceTailer(reader, TelemetryCollector(window=100.0))
+                assert tailer.advance() == 1  # partial tail held back
+                assert tailer.advance() == 0  # still waiting, no crash
+                writer.write(record[cut:] + b"\n")
+                writer.flush()
+                assert tailer.advance() == 1  # completed line now parses
+        assert tailer.records == 2
+        assert tailer.skipped == 0
+
+    def test_binary_stream_undecodable_line_is_skipped(self):
+        bad = b"\xff\xfe not utf-8 at all\n"
+        good = _record("dispatch", 0, subframe=0, users=1).encode() + b"\n"
+        tailer = TraceTailer(
+            io.BytesIO(bad + good), TelemetryCollector(window=100.0)
+        )
+        assert tailer.advance() == 1
+        assert tailer.skipped == 1
+
     def test_slo_engine_observer_produces_report(self):
         lines = [
             _record("dispatch", 0, subframe=0, users=2),

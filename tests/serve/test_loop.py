@@ -1,0 +1,193 @@
+"""Serve-loop behavior tests: backpressure, admission shedding, tracing.
+
+These drive :func:`repro.serve.serve` with a cheap fake processor (an
+empty :class:`SubframeResult` after a short sleep) so the tests exercise
+the *control plane* — queueing, shedding, ledger accounting, reporting —
+without paying for PHY decoding.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.faults.accounting import TerminalState
+from repro.serve import ServeConfig, ServeResult, serve, validate_serve_report
+from repro.uplink.serial import SubframeResult
+
+
+def _slow_fake_processor(delay_s):
+    def process(subframe):
+        time.sleep(delay_s)
+        return SubframeResult(subframe_index=subframe.subframe_index)
+
+    return process
+
+
+def _config(**overrides):
+    base = dict(
+        cells=1,
+        subframes=40,
+        arrival="constant",
+        max_users=4,
+        backend="vectorized",
+        pace=False,
+        queue_depth=1,
+        max_activity=100.0,
+        seed=3,
+        keep_results=False,
+        processor=_slow_fake_processor(0.003),
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+class TestBackpressure:
+    def test_shed_policy_drops_at_full_queue(self):
+        result = serve(_config(backpressure="shed"))
+        assert result.ok
+        report = result.report
+        assert report["backpressure_hits"] > 0
+        assert report["terminal_counts"]["shed"] > 0
+        # Nothing is lost: every arrival reached a terminal state.
+        assert report["dispatched"] == 40
+        assert sum(report["terminal_counts"].values()) == 40
+
+    def test_block_policy_never_sheds(self):
+        result = serve(_config(backpressure="block"))
+        assert result.ok
+        report = result.report
+        assert report["terminal_counts"]["shed"] == 0
+        assert report["shed_users"] == 0
+        assert report["dispatched"] == 40
+        assert report["admitted_users"] == report["offered_users"]
+
+    def test_queue_depth_bounds_inflight(self):
+        depth = 2
+        result = serve(_config(backpressure="shed", queue_depth=depth))
+        assert result.ok
+        for cell in result.report["per_cell"]:
+            assert cell["max_queue_depth"] <= depth
+
+
+class TestAdmissionShedding:
+    def test_zero_budget_sheds_every_subframe(self):
+        result = serve(
+            _config(backpressure="block", max_activity=1e-9, processor=None)
+        )
+        assert result.ok
+        report = result.report
+        assert report["terminal_counts"]["shed"] == 40
+        assert report["shed_users"] == report["offered_users"]
+        assert report["served_users"] == 0
+        assert report["faults"]["shedding_engaged"] is True
+
+    def test_default_budget_admits_light_load(self):
+        result = serve(_config(backpressure="block", max_activity=0.9))
+        assert result.ok
+        assert result.report["shed_users"] == 0
+
+
+class TestReport:
+    def test_report_passes_schema_validation(self):
+        result = serve(_config())
+        assert validate_serve_report(result.report) == []
+
+    def test_report_is_json_serializable(self):
+        result = serve(_config(subframes=10))
+        assert json.loads(json.dumps(result.report))["schema"] == "repro-serve/1"
+
+    def test_slo_block_uses_pr8_schema(self):
+        result = serve(_config(subframes=10))
+        assert result.report["slo"]["schema"] == "repro-slo/1"
+
+    def test_multi_cell_ids_never_collide(self):
+        result = serve(_config(cells=3, subframes=15, backpressure="block"))
+        assert result.ok
+        assert result.report["dispatched"] == 45
+        per_cell = result.report["per_cell"]
+        assert [c["cell"] for c in per_cell] == [0, 1, 2]
+        assert all(c["dispatched"] == 15 for c in per_cell)
+        assert all(c["monotone_ids"] for c in per_cell)
+
+    def test_users_per_hour_is_consistent(self):
+        result = serve(_config(backpressure="block"))
+        report = result.report
+        expected = report["served_users"] / report["wall_s"] * 3600.0
+        assert report["users_per_hour"] == pytest.approx(expected)
+
+
+class TestTrace:
+    def test_trace_jsonl_carries_serve_events(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        result = serve(
+            _config(subframes=12, backpressure="shed", trace_path=str(path))
+        )
+        assert result.ok
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {record["kind"] for record in records}
+        assert "arrival" in kinds
+        assert "subframe-terminal" in kinds
+        arrivals = [r for r in records if r["kind"] == "arrival"]
+        assert len(arrivals) == 12
+        for record in arrivals:
+            assert record["cell"] == 0
+            assert record["lag_ns"] >= 0
+            assert record["queue_depth"] >= 0
+
+    def test_backpressure_events_name_the_policy(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        serve(_config(trace_path=str(path)))
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        hits = [r for r in records if r["kind"] == "backpressure"]
+        assert hits, "expected backpressure at queue_depth=1 with a slow shard"
+        assert all(r["policy"] == "shed" for r in hits)
+
+
+class TestFaultsMode:
+    def test_inline_chaos_survives_with_overload_shedding(self):
+        result = serve(
+            _config(
+                subframes=60,
+                backpressure="block",
+                max_activity=0.9,
+                faults=True,
+                processor=None,
+            )
+        )
+        assert result.ok
+        report = result.report
+        assert report["faults"]["enabled"] is True
+        assert sum(report["terminal_counts"].values()) == 60
+        assert validate_serve_report(report) == []
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"cells": 0},
+            {"subframes": 0},
+            {"delta_s": 0.0},
+            {"arrival": "bogus"},
+            {"backend": "quantum"},
+            {"backpressure": "yolo"},
+            {"queue_depth": 0},
+            {"max_users": 0},
+        ],
+    )
+    def test_bad_values_raise(self, overrides):
+        with pytest.raises(ValueError):
+            serve(_config(**overrides))
+
+    def test_result_ok_requires_clean_errors(self):
+        result = ServeResult(report={"ledger_ok": True}, errors=["boom"])
+        assert not result.ok
+        assert ServeResult(report={"ledger_ok": True}).ok
+        assert not ServeResult(report={"ledger_ok": False}).ok
+
+
+def test_terminal_states_cover_the_report_keys():
+    states = {state.value for state in TerminalState}
+    result = serve(_config(subframes=5))
+    assert set(result.report["terminal_counts"]) == states

@@ -1,0 +1,101 @@
+"""CLI tests for ``repro serve``: exit codes, --json schema, --faults."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.serve import validate_serve_report
+
+BASE = [
+    "serve",
+    "--cells",
+    "2",
+    "--subframes",
+    "20",
+    "--no-pace",
+    "--backend",
+    "vectorized",
+    "--arrival",
+    "poisson",
+    "--rate",
+    "2.0",
+    "--seed",
+    "5",
+]
+
+
+class TestParser:
+    def test_serve_command_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(BASE)
+        assert args.cells == 2
+        assert args.no_pace is True
+        assert args.backend == "vectorized"
+
+    def test_defaults_match_serve_config(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.cells == 4
+        assert args.subframes == 200
+        assert args.arrival == "constant"
+        assert args.backpressure == "shed"
+        assert args.json is False
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "--arrival", "bogus"],
+            ["serve", "--backend", "quantum"],
+            ["serve", "--backpressure", "yolo"],
+            ["serve", "--mix", "exotic"],
+        ],
+    )
+    def test_bad_choices_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+
+class TestServeCommand:
+    def test_text_mode_reports_ledger_ok(self, capsys):
+        assert main(BASE) == 0
+        out = capsys.readouterr().out
+        assert "served 2 cells x 20 subframes" in out
+        assert "ledger OK" in out
+        assert "/hour" in out
+
+    def test_json_mode_emits_valid_report(self, capsys):
+        assert main(BASE + ["--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro-serve/1"
+        assert validate_serve_report(report) == []
+        assert report["cells"] == 2
+        assert report["paced"] is False
+        assert report["slo"]["schema"] == "repro-slo/1"
+
+    def test_json_mode_is_seed_deterministic(self, capsys):
+        # Block (don't shed) at full queue: under "shed" the ok/shed split
+        # depends on decode wall-clock, so only blocking runs repeat exactly.
+        argv = BASE + ["--json", "--backpressure", "block"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        # Wall-clock fields differ run to run; the workload must not.
+        for key in ("dispatched", "offered_users", "terminal_counts", "seed"):
+            assert first[key] == second[key]
+
+    def test_faults_variant_survives_with_shedding(self, capsys):
+        assert main(BASE + ["--faults"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos: shedding engaged" in out
+
+    def test_trace_flag_writes_tailable_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "serve-trace.jsonl"
+        assert main(BASE + ["--trace", str(path)]) == 0
+        capsys.readouterr()
+        kinds = {
+            json.loads(line)["kind"]
+            for line in path.read_text().splitlines()
+        }
+        assert "arrival" in kinds
+        assert "subframe-terminal" in kinds

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.obs",
     "repro.bench",
+    "repro.serve",
 ]
 
 
