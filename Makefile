@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow test-invariants bench bench-smoke chaos-smoke multiprocess-smoke serve-smoke lint lint-strict repro-lint ruff mypy all
+.PHONY: test test-slow test-invariants bench bench-smoke chaos-smoke multiprocess-smoke serve-smoke supervision-smoke lint lint-strict repro-lint ruff mypy all
 
 all: test lint
 
@@ -45,6 +45,23 @@ serve-smoke:
 	$(PYTHON) -m repro serve --cells 2 --subframes 40 --no-pace \
 		--backend threaded --workers 2 --faults --seed 1 --timeout 300
 	$(PYTHON) -m pytest -m slow -q tests/serve/test_soak.py
+
+supervision-smoke:
+	$(PYTHON) -m pytest -x -q tests/serve/test_supervision.py \
+		tests/serve/test_checkpoint.py tests/serve/test_overload_properties.py \
+		benchmarks/test_supervision_overhead.py
+	$(PYTHON) -m repro serve --cells 2 --subframes 100 --no-pace \
+		--backend multiprocess --workers 2 --faults --respawn \
+		--backpressure block --seed 5 --timeout 600 \
+		--json-out SUPERVISION_smoke.json
+	$(PYTHON) -c "import json; from repro.serve import validate_serve_report; \
+		r = json.load(open('SUPERVISION_smoke.json')); \
+		problems = validate_serve_report(r); assert not problems, problems; \
+		sup = r['supervisor']; \
+		assert r['ledger_ok'] and sup['respawns'] >= 1 and not sup['fail_stop'], sup; \
+		print('supervision: %d deaths healed by %d respawns, ledger OK' \
+		% (sup['deaths'], sup['respawns']))"
+	$(PYTHON) scripts/supervision_smoke.py
 
 lint: repro-lint lint-strict ruff mypy
 

@@ -360,6 +360,48 @@ def build_parser() -> argparse.ArgumentParser:
         "overload windows; the run must degrade via shedding",
     )
     serve.add_argument(
+        "--respawn",
+        action="store_true",
+        help="supervised worker respawn (multiprocess backend): heal "
+        "worker deaths under a bounded restart budget instead of "
+        "aborting the shard",
+    )
+    serve.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="SLO-driven adaptive admission: AIMD load shedding with "
+        "hysteresis driven by the burn-rate engine",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="write crash-safe repro-ckpt/1 snapshots to FILE "
+        "(atomic tmp+fsync+rename)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between periodic checkpoint snapshots (default 1.0)",
+    )
+    serve.add_argument(
+        "--resume",
+        default=None,
+        metavar="FILE",
+        help="resume a killed run from its checkpoint (config signature "
+        "must match; already-resolved subframes are not re-run)",
+    )
+    serve.add_argument(
+        "--max-wall",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock guard: stop producing after SECONDS, drain, and "
+        "exit 124 (resumable when --checkpoint is set)",
+    )
+    serve.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -370,6 +412,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the machine-readable repro-serve/1 report",
+    )
+    serve.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="atomically write the repro-serve/1 report to FILE",
     )
     _add_timeout(serve)
 
@@ -1041,6 +1089,9 @@ def _bench_impl(args) -> int:
     if report.get("fault_overhead_pct") is not None:
         print(f"  resilience (zero-fault) overhead: "
               f"{report['fault_overhead_pct']:.1f}%")
+    if report.get("supervision_overhead_pct") is not None:
+        print(f"  supervision (zero-death) overhead: "
+              f"{report['supervision_overhead_pct']:.1f}%")
     print(f"report written to {out}")
 
     if baseline is not None:
@@ -1143,6 +1194,12 @@ def cmd_serve(args) -> int:
         faults=args.faults,
         trace_path=args.trace,
         keep_results=False,
+        adaptive=args.adaptive,
+        respawn=args.respawn,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every_s=args.checkpoint_every,
+        resume_path=args.resume,
+        max_wall_s=args.max_wall,
     )
     with hang_guard(args.timeout):
         try:
@@ -1150,8 +1207,17 @@ def cmd_serve(args) -> int:
         except KeyboardInterrupt:
             print("\ninterrupted — cells shut down cleanly", file=sys.stderr)
             return 130
+        except ValueError as exc:
+            # Config rejection or a non-resumable checkpoint: exit 2,
+            # the CLI's configuration-error convention.
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
     report = result.report
     problems = validate_serve_report(report)
+    if args.json_out:
+        from .ioutil import atomic_write_json
+
+        atomic_write_json(args.json_out, report)
     if args.json:
         print(json.dumps(report, indent=2))
     else:
@@ -1188,6 +1254,33 @@ def cmd_serve(args) -> int:
                 )
                 + f", {report['faults']['faults_seen']} fault(s) fired"
             )
+        supervisor = report["supervisor"]
+        if supervisor.get("enabled"):
+            print(
+                f"  supervisor: {supervisor['deaths']} death(s), "
+                f"{supervisor['respawns']} respawn(s)"
+                + (", FAIL-STOP" if supervisor["fail_stop"] else "")
+            )
+        adaptive = report["adaptive"]
+        if adaptive.get("enabled"):
+            print(
+                f"  adaptive: load_factor {adaptive['load_factor']:.3f}, "
+                f"{adaptive['degrades']} degrade(s), "
+                f"{adaptive['recovers']} recover(s)"
+            )
+        ckpt = report["checkpoint"]
+        if ckpt.get("enabled"):
+            print(
+                f"  checkpoint: segment {ckpt['segments']}, "
+                f"{ckpt['writes']} write(s), "
+                + ("complete" if ckpt["completed"] else "resumable")
+            )
+        if report["max_wall"]["hit"]:
+            print(
+                f"  max-wall: guard tripped at "
+                f"{report['max_wall']['limit_s']}s — exiting 124",
+                file=sys.stderr,
+            )
         for line in result.errors:
             print(f"  error: {line}", file=sys.stderr)
         for line in problems:
@@ -1198,7 +1291,13 @@ def cmd_serve(args) -> int:
         or bool(result.errors)
         or (args.faults and not report["faults"]["shedding_engaged"])
     )
-    return 1 if failed else 0
+    if failed:
+        return 1
+    if report["max_wall"]["hit"]:
+        # timeout(1)'s convention: the guard tripped, the run is clean
+        # but incomplete (and resumable when --checkpoint was set).
+        return 124
+    return 0
 
 
 def cmd_lint(args) -> int:

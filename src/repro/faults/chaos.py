@@ -75,6 +75,18 @@ MULTIPROCESS_GROUPS: tuple[tuple[str, tuple[FaultKind, ...]], ...] = (
                FaultKind.PAYLOAD_BITFLIP)),
 )
 
+#: Supervised-respawn scenarios (``--backend multiprocess-respawn``): the
+#: pool runs with a :class:`~repro.serve.supervisor.WorkerSupervisor`
+#: attached, so repeated worker kills must end ledger-OK with zero lost
+#: subframes *and* at least one respawn — plus the usual replay check.
+#: Fingerprints of the fail-stop ``multiprocess`` scenarios above are
+#: untouched because respawn stays opt-in.
+RESPAWN_GROUPS: tuple[tuple[str, tuple[FaultKind, ...]], ...] = (
+    ("respawn-death", (FaultKind.WORKER_DEATH,)),
+    ("crash-loop", (FaultKind.CRASH_LOOP,)),
+    ("respawn-storm", (FaultKind.RESPAWN_STORM,)),
+)
+
 #: Campaign sizes. ``smoke`` is the CI gate; ``default`` the local run.
 _SCALES = {
     "smoke": {"num_subframes": 6, "num_workers": 4, "max_users": 3,
@@ -101,6 +113,7 @@ class ChaosScenario:
     max_users: int
     resilience: ResilienceConfig
     max_activity: float = 0.9  # admission budget (sim backend)
+    respawn: bool = False  # run the pool under a WorkerSupervisor
 
     def to_dict(self) -> dict:
         return {
@@ -110,6 +123,7 @@ class ChaosScenario:
             "plan": self.plan.to_dict(),
             "num_subframes": self.num_subframes,
             "num_workers": self.num_workers,
+            "respawn": self.respawn,
         }
 
 
@@ -127,6 +141,8 @@ class ScenarioOutcome:
     # SLO telemetry of the first run (timing-dependent, so deliberately
     # NOT part of the replay fingerprint).
     slo_report: dict | None = None
+    # WorkerSupervisor.summary() of the first run (respawn scenarios).
+    supervisor: dict | None = None
 
     @property
     def label(self) -> str:
@@ -162,6 +178,7 @@ class SurvivalReport:
                     "wall_s": round(o.wall_s, 3),
                     "error": o.error,
                     "slo_report": o.slo_report,
+                    "supervisor": o.supervisor,
                 }
                 for o in self.outcomes
             ],
@@ -252,7 +269,9 @@ def build_matrix(
         raise ValueError(f"unknown scale {scale!r} (choose from {sorted(_SCALES)})")
     if seeds < 1:
         raise ValueError("seeds must be >= 1")
-    unknown = set(backends) - {"sim", "threaded", "multiprocess"}
+    unknown = set(backends) - {
+        "sim", "threaded", "multiprocess", "multiprocess-respawn"
+    }
     if unknown:
         raise ValueError(f"unknown chaos backend(s): {sorted(unknown)}")
     params = _SCALES[scale]
@@ -323,6 +342,32 @@ def build_matrix(
                         resilience=ResilienceConfig(
                             max_retries=2, drain_timeout_s=120.0
                         ),
+                    )
+                )
+        if "multiprocess-respawn" in backends:
+            # Same sizing logic as the fail-stop pool. max_retries=3:
+            # the default crash loop kills one slot's task twice in a
+            # row, and both reclaims must stay inside the retry budget
+            # so the subframe's terminal state is timing-independent.
+            mp_workers = max(2, params["faults_per_kind"] + 1)
+            for group, kinds in RESPAWN_GROUPS:
+                scenarios.append(
+                    ChaosScenario(
+                        name=group,
+                        backend="multiprocess-respawn",
+                        seed=seed,
+                        plan=_scenario_plan(
+                            group, kinds, seed,
+                            params["num_subframes"], mp_workers,
+                            params["faults_per_kind"],
+                        ),
+                        num_subframes=params["num_subframes"],
+                        num_workers=mp_workers,
+                        max_users=params["max_users"],
+                        resilience=ResilienceConfig(
+                            max_retries=3, drain_timeout_s=120.0
+                        ),
+                        respawn=True,
                     )
                 )
     return scenarios
@@ -475,13 +520,45 @@ def _run_multiprocess(scenario: ChaosScenario) -> tuple:
     subframes = corrupt_subframes(subframes, scenario.plan)
     checker = SchedulerInvariantChecker(strict=False)
     engine = SLOEngine()
+    respawn = None
+    if scenario.respawn:
+        from ..serve.supervisor import RespawnPolicy
+
+        # Generous budget and short backoffs: campaigns assert the
+        # respawn *path*, not budget exhaustion (the supervision test
+        # suite covers crash-loop fail-stop directly), and long backoffs
+        # would dominate the matrix wall clock.
+        respawn = RespawnPolicy(
+            max_respawns=64,
+            window_s=60.0,
+            backoff_initial_s=0.02,
+            backoff_max_s=0.25,
+        )
     runtime = MultiprocessRuntime(
         num_workers=scenario.num_workers,
         observers=[checker, engine],
         faults=scenario.plan,
         resilience=scenario.resilience,
+        respawn=respawn,
     )
-    results = runtime.run(subframes)
+    if scenario.respawn:
+        # Explicit lifecycle so pending respawns can be awaited before
+        # close: a kill near the end of the run schedules a respawn whose
+        # backoff may outlive the last subframe, and run() would close
+        # the pool from under it.
+        runtime.start()
+        try:
+            for subframe in subframes:
+                runtime.submit(subframe)
+            runtime.drain()
+            runtime.await_respawns()
+        except BaseException:
+            runtime.abort()
+            raise
+        results = runtime.collect_results()
+        runtime.close()
+    else:
+        results = runtime.run(subframes)
     fingerprint = {
         "counts": runtime.ledger.counts(),
         "ledger": ledger_fingerprint(runtime.ledger),
@@ -497,6 +574,13 @@ def _run_multiprocess(scenario: ChaosScenario) -> tuple:
             if r.aborted_user_ids
         },
     }
+    if scenario.respawn and runtime.supervisor is not None:
+        # Deliberately popped out of the fingerprint before the replay
+        # comparison (run_scenario): respawn *counts* are timing-shaped
+        # for crash loops (kills fire per dispatch to the slot, and the
+        # dispatch count depends on interleaving) even though terminal
+        # states are not.
+        fingerprint["supervisor"] = runtime.supervisor.summary()
     slo = engine.slo_report()
     reference = QuantileSketch(
         relative_accuracy=engine.relative_accuracy
@@ -533,6 +617,7 @@ _RUNNERS = {
     "sim": _run_sim,
     "threaded": _run_threaded,
     "multiprocess": _run_multiprocess,
+    "multiprocess-respawn": _run_multiprocess,
 }
 
 
@@ -553,6 +638,11 @@ def run_scenario(scenario: ChaosScenario) -> ScenarioOutcome:
     outcome.slo_report = slo_report
     outcome.counts = ledger.counts()
     outcome.dispatched = ledger.dispatched
+    # Supervisor counters are timing-shaped (see _run_multiprocess), so
+    # they ride outside the replay fingerprint.
+    supervisor = fingerprint.pop("supervisor", None)
+    replay_supervisor = replay_fp.pop("supervisor", None)
+    outcome.supervisor = supervisor
     accounts = (
         ledger.ok
         and ledger.dispatched == sum(ledger.counts().values())
@@ -565,6 +655,17 @@ def run_scenario(scenario: ChaosScenario) -> ScenarioOutcome:
         "replays": fingerprint == replay_fp
         and ledger.counts() == replay_ledger.counts(),
     }
+    if scenario.respawn:
+        # Self-healing scenarios must actually heal: at least one respawn
+        # in both the run and the replay, with the budget never tripped.
+        outcome.checks["respawned"] = bool(
+            supervisor
+            and supervisor["respawns"] > 0
+            and not supervisor["fail_stop"]
+            and replay_supervisor
+            and replay_supervisor["respawns"] > 0
+            and not replay_supervisor["fail_stop"]
+        )
     if not checker.ok:
         outcome.error = checker.summary()
     outcome.survived = all(outcome.checks.values())

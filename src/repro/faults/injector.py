@@ -115,7 +115,11 @@ class ThreadFaultInjector:
     lock-protected (``_GUARDED_BY`` is enforced by ``repro lint`` REP101).
     """
 
-    _GUARDED_BY: ClassVar[dict[str, str]] = {"_armed": "lock"}
+    _GUARDED_BY: ClassVar[dict[str, str]] = {
+        "_armed": "lock",
+        "_crash_loops": "lock",
+        "_storms": "lock",
+    }
 
     def __init__(self, plan: FaultPlan) -> None:
         # Deferred import: repro.obs -> repro.sim -> repro.faults cycle.
@@ -132,6 +136,19 @@ class ThreadFaultInjector:
                 FaultKind.WORKER_HANG,
                 FaultKind.TASK_EXCEPTION,
             )
+        ]
+        # Multi-shot respawn kinds carry consumption state of their own:
+        # a crash loop fires on param consecutive dispatches to its slot,
+        # a respawn storm once per distinct slot (up to param slots).
+        self._crash_loops: list[list] = [  # [spec, kills remaining]
+            [s, max(1, int(s.param))]
+            for s in plan.specs
+            if s.kind is FaultKind.CRASH_LOOP
+        ]
+        self._storms: list[tuple[FaultSpec, set[int]]] = [
+            (s, set())
+            for s in plan.specs
+            if s.kind is FaultKind.RESPAWN_STORM
         ]
         self.fired: list[FaultSpec] = []
 
@@ -158,13 +175,43 @@ class ThreadFaultInjector:
                 return spec
         return None
 
+    def _consume_respawn_kinds(
+        self, worker_id: int, subframe_index: int
+    ) -> bool:
+        """Fire any armed crash-loop/respawn-storm kill for this dispatch."""
+        with self.lock:
+            for entry in self._crash_loops:
+                spec, remaining = entry
+                if spec.target >= 0 and spec.target != worker_id:
+                    continue
+                if subframe_index < spec.subframe:
+                    continue
+                entry[1] = remaining - 1
+                if entry[1] <= 0:
+                    self._crash_loops.remove(entry)
+                self.fired.append(spec)
+                return True
+            for spec, hit in self._storms:
+                if subframe_index < spec.subframe:
+                    continue
+                if worker_id in hit:
+                    continue
+                hit.add(worker_id)
+                if len(hit) >= max(1, int(spec.param)):
+                    self._storms.remove((spec, hit))
+                self.fired.append(spec)
+                return True
+        return False
+
     # ---------------------------------------------------------- run queries
     def check_worker_death(self, worker_id: int, subframe_index: int) -> bool:
         """True when this worker must die while holding this subframe."""
-        return (
+        if (
             self._consume(FaultKind.WORKER_DEATH, worker_id, subframe_index)
             is not None
-        )
+        ):
+            return True
+        return self._consume_respawn_kinds(worker_id, subframe_index)
 
     def check_worker_hang(
         self, worker_id: int, subframe_index: int
@@ -183,4 +230,4 @@ class ThreadFaultInjector:
     @property
     def pending(self) -> int:
         with self.lock:
-            return len(self._armed)
+            return len(self._armed) + len(self._crash_loops) + len(self._storms)

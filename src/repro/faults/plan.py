@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 __all__ = ["FaultKind", "FaultSpec", "FaultPlan", "SIM_KINDS", "THREAD_KINDS",
-           "PAYLOAD_KINDS"]
+           "PAYLOAD_KINDS", "RESPAWN_KINDS"]
 
 
 class FaultKind(str, enum.Enum):
@@ -44,6 +44,15 @@ class FaultKind(str, enum.Enum):
     #: Work amplification: the subframe's load is multiplied so the
     #: admission controller must shed (exercises Eq. 1-4 based shedding).
     OVERLOAD = "overload"
+    #: The target worker slot dies on its next ``param`` consecutive
+    #: dispatches — each respawned replacement is killed again, which is
+    #: what exercises supervised-respawn backoff (and, with ``param``
+    #: past the restart budget, crash-loop detection).
+    CRASH_LOOP = "crash-loop"
+    #: Every worker slot (up to ``param`` distinct slots) dies once on
+    #: its next dispatch — a correlated die-off that forces the
+    #: supervisor to respawn the whole pool under one budget window.
+    RESPAWN_STORM = "respawn-storm"
 
 
 #: Kinds the discrete-event simulator backend can inject.
@@ -67,6 +76,11 @@ THREAD_KINDS = frozenset(
 
 #: Kinds that corrupt subframe input data (any functional backend).
 PAYLOAD_KINDS = frozenset({FaultKind.PAYLOAD_BITFLIP, FaultKind.PAYLOAD_NAN})
+
+#: Kinds that only make sense against a supervised (respawning) pool —
+#: they repeatedly kill worker slots, so a fail-stop runtime would just
+#: abort on the first death.
+RESPAWN_KINDS = frozenset({FaultKind.CRASH_LOOP, FaultKind.RESPAWN_STORM})
 
 
 @dataclass(frozen=True)
@@ -121,6 +135,8 @@ _DEFAULT_PARAMS: dict[FaultKind, float] = {
     FaultKind.PAYLOAD_BITFLIP: 24.0,  # flipped samples
     FaultKind.PAYLOAD_NAN: 8.0,  # poisoned samples
     FaultKind.OVERLOAD: 8.0,  # work multiplier
+    FaultKind.CRASH_LOOP: 2.0,  # consecutive kills of one slot
+    FaultKind.RESPAWN_STORM: 2.0,  # distinct slots killed once each
 }
 
 
@@ -216,9 +232,9 @@ class FaultPlan:
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str | Path) -> Path:
-        path = Path(path)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
-        return path
+        from ..ioutil import atomic_write_text
+
+        return atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path: str | Path) -> "FaultPlan":

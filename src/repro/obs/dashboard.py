@@ -130,6 +130,17 @@ def render_dashboard(
                 + _fmt_duration(lag["p99"], clock, clock_hz)
             )
         lines.append(line)
+    degrades = counters.get("degrades", 0)
+    respawns = counters.get("respawns", 0)
+    if degrades or respawns or counters.get("recovers", 0):
+        # Self-healing signals (DEGRADE/RECOVER/WORKER_RESPAWN events):
+        # current admission load factor and supervisor respawn count.
+        lines.append(
+            f"adaptive   load_factor {snapshot.get('load_factor', 1.0):5.2f}"
+            f"   degrades {degrades:>4d}   "
+            f"recovers {counters.get('recovers', 0):>4d}   "
+            f"respawns {respawns:>4d}"
+        )
     lines.append(rule)
 
     latency = sketches.get("subframe_latency", {})

@@ -81,6 +81,19 @@ class EventKind(str, enum.Enum):
     #: producer (payload: ``cell``, ``subframe``, ``users``,
     #: ``queue_depth``, ``policy``).
     BACKPRESSURE = "backpressure"
+    #: The adaptive overload controller entered degraded admission:
+    #: sustained SLO burn cut the serve-wide load factor (payload:
+    #: ``load_factor`` after the cut, ``burn`` that triggered it,
+    #: ``slo`` target name).
+    DEGRADE = "degrade"
+    #: The adaptive overload controller recovered to full admission
+    #: after sustained clean windows (payload: ``load_factor``,
+    #: ``burn``, ``slo``).
+    RECOVER = "recover"
+    #: The supervisor respawned a dead pool worker into its slot
+    #: (payload: ``worker``, ``process_id`` of the replacement,
+    #: ``respawns`` so far, ``backoff_s`` waited before the respawn).
+    WORKER_RESPAWN = "worker-respawn"
 
 
 class Event:

@@ -91,6 +91,16 @@ __all__ = [
 #:   describe the stream feeding the runtimes, not simulator core state,
 #:   and their accounting is validated by the serve run's shared
 #:   :class:`~repro.faults.accounting.SubframeLedger` instead.
+#: * ``DEGRADE`` / ``RECOVER`` — adaptive-admission state transitions
+#:   emitted by :class:`repro.serve.overload.OverloadController`; like
+#:   the SLO events they are derived control-plane outputs over windowed
+#:   telemetry, not scheduler state, and their effect (stricter
+#:   admission) is accounted by the SHED/terminal-state rules;
+#: * ``WORKER_RESPAWN`` — the supervisor replacing a dead pool worker is
+#:   a process-lifecycle action outside any simulator run; its
+#:   correctness is validated by the multiprocess runtime's ledger
+#:   accounting (orphan requeue, exactly-once terminals), not per-event
+#:   core state.
 IGNORED_EVENT_KINDS = frozenset(
     {
         EventKind.GOVERNOR,
@@ -106,6 +116,9 @@ IGNORED_EVENT_KINDS = frozenset(
         EventKind.SLO_RESOLVED,
         EventKind.ARRIVAL,
         EventKind.BACKPRESSURE,
+        EventKind.DEGRADE,
+        EventKind.RECOVER,
+        EventKind.WORKER_RESPAWN,
     }
 )
 

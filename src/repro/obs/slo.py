@@ -219,6 +219,29 @@ class SLOEngine:
         if self.sink is not None:
             self.sink(event)
 
+    def burn_rates(self, windows: int | None = None) -> dict[str, float]:
+        """Current burn rate (observed/objective) per target name.
+
+        Observed over the last ``windows`` measurement windows (the fast
+        horizon by default). Targets whose objective resolves to zero are
+        omitted. This is the read-only signal surface the adaptive
+        admission controller (``repro.serve.overload``) closes its loop
+        on — unlike :meth:`evaluate` it mutates no alert state.
+        """
+        horizon = windows if windows is not None else self.fast_windows
+        rates: dict[str, float] = {}
+        for target in self.targets:
+            objective = self._objective(target)
+            if objective <= 0:
+                continue
+            rates[target.name] = self._observe(target, horizon) / objective
+        return rates
+
+    @property
+    def window_index(self) -> int | None:
+        """Index of the newest completed-subframe measurement window."""
+        return self.telemetry.ring("subframes").last_index
+
     # ------------------------------------------------------------- report
     def slo_report(self) -> dict:
         """Machine-readable SLO section for run/bench/chaos JSON output."""

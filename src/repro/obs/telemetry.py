@@ -453,6 +453,9 @@ class TelemetryCollector:
         self._sf_begin: dict[int, float] = {}
         self._open_tasks: dict[int, float] = {}
         self._last_t: float = 0.0
+        #: Serve-wide admission load factor from the last DEGRADE/RECOVER
+        #: event (1.0 = full admission; see ``repro.serve.overload``).
+        self.load_factor: float = 1.0
 
     # ----------------------------------------------------------- plumbing
     def sketch(self, name: str) -> QuantileSketch:
@@ -546,6 +549,15 @@ class TelemetryCollector:
             if users:
                 self._count("shed_users", users)
                 self.ring("shed_users").add(t, users)
+        elif kind is EventKind.DEGRADE:
+            self._count("degrades")
+            self.load_factor = float(data.get("load_factor", 0.0))
+        elif kind is EventKind.RECOVER:
+            self._count("recovers")
+            self.load_factor = float(data.get("load_factor", 1.0))
+        elif kind is EventKind.WORKER_RESPAWN:
+            self._count("respawns")
+            self.ring("respawns").add(t)
 
     def _task_finish(self, event: Any, data: dict) -> None:
         # Hottest handler (one call per task per kernel stage): dict
@@ -720,6 +732,7 @@ class TelemetryCollector:
             "deadline": self._deadline(),
             "workers": self.workers,
             "counters": dict(sorted(self.counters.items())),
+            "load_factor": self.load_factor,
             "terminal_counts": dict(sorted(self.terminal_counts.items())),
             "deadline_miss_rate": self.deadline_miss_rate(),
             "shed_rate": self.shed_rate(),

@@ -38,9 +38,17 @@ a planned ``WORKER_DEATH`` fault makes the worker ``SIGKILL`` itself,
 the parent detects the corpse via its sentinel, reclaims the orphaned
 shape group (bounded by the retry budget), and keeps the
 :class:`~repro.faults.accounting.SubframeLedger` balanced — every
-dispatched subframe still reaches exactly one terminal state. Dead
-workers are not respawned (matching the threaded runtime); when the last
-one dies, outstanding subframes are aborted loudly.
+dispatched subframe still reaches exactly one terminal state. By default
+dead workers are not respawned (matching the threaded runtime); when the
+last one dies, outstanding subframes are aborted loudly. The opt-in
+``respawn=`` knob attaches a
+:class:`~repro.serve.supervisor.WorkerSupervisor` that turns the pool
+into a self-healing service: dead slots are respawned with exponential
+backoff under a rolling restart budget, orphaned groups stay queued for
+the replacement, and crash-loop detection degrades back to the fail-stop
+semantics above when the budget is exhausted. Replay fingerprints of
+existing chaos scenarios are unaffected because the default stays
+fail-stop.
 
 Events reuse the existing schema with a ``process_id`` payload dimension
 (worker OS pids). Worker-side kernel timestamps are taken with
@@ -332,6 +340,7 @@ class MultiprocessStats:
     aborted_users: int = 0
     worker_deaths: int = 0
     slab_overflows: int = 0
+    respawns: int = 0
 
     @property
     def total_tasks(self) -> int:
@@ -373,6 +382,8 @@ class _WorkerHandle:
     busy: dict | None = None  # the task currently dispatched to it
     dead: bool = False
     expect_death: bool = False  # a die-task was sent: death is planned
+    busy_since_ns: int = 0  # when the current task was dispatched
+    heartbeat_killed: bool = False  # supervisor killed it as wedged
 
 
 class MultiprocessRuntime:
@@ -415,6 +426,13 @@ class MultiprocessRuntime:
         :meth:`start` otherwise.
     slab_bytes:
         Per-worker shared output slab size (see module docstring).
+    respawn:
+        Opt into supervised worker respawn. ``True`` uses the default
+        :class:`~repro.serve.supervisor.RespawnPolicy`; a policy instance
+        customizes backoff/budget/heartbeat; a ready
+        :class:`~repro.serve.supervisor.WorkerSupervisor` (anything with
+        ``record_death``) is used as-is. ``None``/``False`` keeps the
+        historical fail-stop semantics.
     """
 
     def __init__(
@@ -428,6 +446,7 @@ class MultiprocessRuntime:
         resilience: ResilienceConfig | None = None,
         ledger: SubframeLedger | None = None,
         slab_bytes: int = DEFAULT_SLAB_BYTES,
+        respawn=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -481,6 +500,25 @@ class MultiprocessRuntime:
         self._grid_shares: dict[int, _GridShare] = {}
         self._bank_shms: list[SharedMemory] = []
         self._shipped_banks: set[tuple[int, int]] = set()
+        # Every ("banks", name, index) broadcast ever made, retained so a
+        # respawned worker — which missed them all — can be re-seeded.
+        self._bank_shipments: list[tuple[str, dict]] = []
+        self._worker_init: dict = {}
+        self._supervisor = None
+        if respawn:
+            if hasattr(respawn, "record_death"):
+                self._supervisor = respawn
+            else:
+                # Deferred import: sched must not depend on serve at
+                # module level (serve already imports sched).
+                from ..serve.supervisor import RespawnPolicy, WorkerSupervisor
+
+                policy = (
+                    respawn
+                    if isinstance(respawn, RespawnPolicy)
+                    else RespawnPolicy()
+                )
+                self._supervisor = WorkerSupervisor(policy, num_workers)
         self._stats = MultiprocessStats(
             tasks_executed=[0] * num_workers,
             users_processed=[0] * num_workers,
@@ -501,34 +539,10 @@ class MultiprocessRuntime:
                 for observer in self._merge_observers
             )
             init["telemetry"] = {"relative_accuracy": accuracy}
+        self._worker_init = init
         try:
             for worker_id in range(self.num_workers):
-                slab = SharedMemory(create=True, size=self.slab_bytes)
-                try:
-                    parent_conn, child_conn = self._ctx.Pipe()
-                    process = self._ctx.Process(
-                        target=_worker_main,
-                        args=(worker_id, child_conn, {**init, "slab": slab.name}),
-                        daemon=True,
-                        name=f"repro-mp-worker-{worker_id}",
-                    )
-                    process.start()
-                except BaseException:
-                    # This worker's slab has no _WorkerHandle yet; nothing
-                    # else will ever release it.
-                    slab.close()
-                    slab.unlink()
-                    raise
-                child_conn.close()  # keep one writer so EOF propagates on death
-                self._workers.append(
-                    _WorkerHandle(
-                        worker_id=worker_id,
-                        process=process,
-                        conn=parent_conn,
-                        pid=process.pid,
-                        slab=slab,
-                    )
-                )
+                self._workers.append(self._spawn_worker(worker_id))
         except BaseException:
             # A later spawn failed: without this, the slabs of the workers
             # that *did* start would leak (close() is a no-op before
@@ -538,6 +552,37 @@ class MultiprocessRuntime:
             raise
         self._spawned_pids = [worker.pid for worker in self._workers]
         self._started = True
+
+    def _spawn_worker(self, worker_id: int) -> _WorkerHandle:
+        """Spawn one worker process into the given slot id."""
+        slab = SharedMemory(create=True, size=self.slab_bytes)
+        try:
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    child_conn,
+                    {**self._worker_init, "slab": slab.name},
+                ),
+                daemon=True,
+                name=f"repro-mp-worker-{worker_id}",
+            )
+            process.start()
+        except BaseException:
+            # This worker's slab has no _WorkerHandle yet; nothing else
+            # will ever release it.
+            slab.close()
+            slab.unlink()
+            raise
+        child_conn.close()  # keep one writer so EOF propagates on death
+        return _WorkerHandle(
+            worker_id=worker_id,
+            process=process,
+            conn=parent_conn,
+            pid=process.pid,
+            slab=slab,
+        )
 
     def close(self) -> None:
         """Shut the pool down and release every shared segment."""
@@ -560,6 +605,7 @@ class MultiprocessRuntime:
             shm.unlink()
         self._bank_shms.clear()
         self._shipped_banks.clear()
+        self._bank_shipments.clear()
         for share in self._grid_shares.values():
             share.shm.close()
             share.shm.unlink()
@@ -680,9 +726,12 @@ class MultiprocessRuntime:
         )
         poll = self._resilience.watchdog_poll_s
         while self._outstanding > 0:
-            if all(worker.dead for worker in self._workers):
-                # Nobody left to do the work: account it as aborted
-                # instead of spinning until the drain timeout.
+            if all(worker.dead for worker in self._workers) and not (
+                self._supervisor is not None and self._supervisor.pending
+            ):
+                # Nobody left to do the work and no respawn scheduled:
+                # account it as aborted instead of spinning until the
+                # drain timeout.
                 for pending in list(self._pending.values()):
                     self._finish_subframe(
                         pending,
@@ -721,6 +770,21 @@ class MultiprocessRuntime:
             self.close()
         return self.collect_results()
 
+    def await_respawns(self, timeout_s: float = 5.0) -> bool:
+        """Pump until no respawn is pending (or ``timeout_s`` expires).
+
+        Lets callers that will :meth:`close` right after :meth:`drain`
+        observe a deterministic respawn count: a death near the end of a
+        run schedules a respawn whose backoff may outlive the last
+        subframe. Returns ``True`` when nothing is left pending.
+        """
+        if self._supervisor is None:
+            return True
+        deadline = monotonic_ns() + ns_from_s(timeout_s)
+        while self._supervisor.pending and monotonic_ns() < deadline:
+            self._pump(self._resilience.watchdog_poll_s)
+        return not self._supervisor.pending
+
     def collect_results(self) -> list[SubframeResult]:
         """Return and clear completed results, ordered by subframe index."""
         if self._started:
@@ -732,6 +796,11 @@ class MultiprocessRuntime:
     @property
     def stats(self) -> MultiprocessStats:
         return self._stats
+
+    @property
+    def supervisor(self):
+        """The attached :class:`WorkerSupervisor`, or ``None``."""
+        return self._supervisor
 
     @property
     def failures(self) -> list[WorkerFailure]:
@@ -757,9 +826,15 @@ class MultiprocessRuntime:
     def _pump(self, timeout_s: float) -> None:
         """One event-loop step: dispatch, then collect results and deaths."""
         self._check_deadlines()
+        self._service_supervisor()
         self._dispatch_ready()
         live = [worker for worker in self._workers if not worker.dead]
         if not live:
+            if self._supervisor is not None and self._supervisor.pending:
+                # Every slot is dead but a respawn is scheduled: wait out
+                # (part of) the backoff instead of busy-spinning callers.
+                if timeout_s > 0:
+                    time.sleep(min(timeout_s, 0.005))
             return
         waitables: dict[object, _WorkerHandle] = {}
         for worker in live:
@@ -826,6 +901,7 @@ class MultiprocessRuntime:
                     )
                 )
         worker.busy = task
+        worker.busy_since_ns = monotonic_ns()
         self._send(worker, ("task", wire))
 
     def _drain_conn(self, worker: _WorkerHandle) -> None:
@@ -848,6 +924,10 @@ class MultiprocessRuntime:
             )
         if message[0] == "ok":
             _, _, packed, overflowed, stage_ns, shard = message
+            if self._supervisor is not None:
+                # Completed real work: reset this slot's consecutive-death
+                # backoff so a much-later crash starts from the initial one.
+                self._supervisor.note_progress(worker.worker_id)
             self._stats.slab_overflows += overflowed
             self._stats.tasks_executed[worker.worker_id] += len(stage_ns)
             self._stats.users_processed[worker.worker_id] += len(
@@ -992,14 +1072,28 @@ class MultiprocessRuntime:
         if injected:
             error = "killed by injected fault (SIGKILL)"
             self._stats.worker_deaths += 1
+        elif worker.heartbeat_killed:
+            error = "killed by supervisor (heartbeat timeout)"
         else:
             exitcode = worker.process.exitcode
             error = f"worker process died unexpectedly (exitcode {exitcode})"
+        supervisor = self._supervisor
+        due = None
+        if supervisor is not None:
+            due = supervisor.record_death(worker.worker_id, monotonic_ns())
+        # Under an active supervisor a death is an incident, not a
+        # verdict: the slot respawns, so nothing is fatal unless
+        # crash-loop detection already degraded the pool to fail-stop
+        # (due is None then, restoring the historical semantics).
+        if supervisor is None:
+            fatal = not injected
+        else:
+            fatal = due is None and not injected and not worker.heartbeat_killed
         self._failures.append(
             WorkerFailure(
                 worker_id=worker.worker_id,
                 error=error,
-                fatal=not injected,
+                fatal=fatal,
                 injected=injected,
             )
         )
@@ -1007,8 +1101,12 @@ class MultiprocessRuntime:
         worker.busy = None
         if task is not None:
             self._requeue_or_abort_task(worker, task, "worker death")
+        if due is not None:
+            # A replacement is scheduled: keep the remaining work queued
+            # for it instead of aborting.
+            return
         all_dead = all(w.dead for w in self._workers)
-        if all_dead or not injected:
+        if all_dead or fatal:
             reason = (
                 "all workers dead" if all_dead else f"worker failure: {error}"
             )
@@ -1016,6 +1114,79 @@ class MultiprocessRuntime:
                 self._finish_subframe(
                     pending, forced_state=TerminalState.ABORTED, reason=reason
                 )
+
+    # ------------------------------------------------------------ supervision
+    def _service_supervisor(self) -> None:
+        """Heartbeat checks plus any respawns whose backoff expired."""
+        supervisor = self._supervisor
+        if supervisor is None or not self._started:
+            return
+        self._check_heartbeats(supervisor)
+        if not supervisor.pending:
+            return
+        now = monotonic_ns()
+        for slot, worker in enumerate(self._workers):
+            if not worker.dead:
+                continue
+            due = supervisor.respawn_due(worker.worker_id)
+            if due is not None and now >= due:
+                self._respawn_worker(slot, worker, supervisor)
+
+    def _check_heartbeats(self, supervisor) -> None:
+        """SIGKILL workers wedged on one task past the heartbeat budget."""
+        timeout_ns = supervisor.heartbeat_timeout_ns
+        if timeout_ns is None or supervisor.fail_stop:
+            return
+        now = monotonic_ns()
+        for worker in self._workers:
+            if worker.dead or worker.busy is None or worker.expect_death:
+                continue
+            if worker.busy_since_ns and now - worker.busy_since_ns >= timeout_ns:
+                # Presumed wedged. The kill surfaces through the process
+                # sentinel like any other death: the standard path
+                # requeues its task and schedules the respawn.
+                worker.heartbeat_killed = True
+                worker.process.kill()
+
+    def _respawn_worker(
+        self, slot: int, corpse: _WorkerHandle, supervisor
+    ) -> None:
+        """Replace one dead slot with a fresh process (same worker id)."""
+        replacement = self._spawn_worker(corpse.worker_id)
+        # Reap the corpse and release its resources. Its slab may still
+        # back descriptors of replies drained earlier, but every result
+        # is copied out of the slab on receipt, so unlinking is safe.
+        corpse.process.join(timeout=0)
+        corpse.conn.close()
+        corpse.slab.close()
+        corpse.slab.unlink()
+        self._workers[slot] = replacement
+        self._spawned_pids.append(replacement.pid)
+        now = monotonic_ns()
+        supervisor.note_respawn(corpse.worker_id, now)
+        self._stats.respawns += 1
+        if self._emit is not None:
+            self._emit(
+                Event(
+                    EventKind.WORKER_RESPAWN,
+                    now,
+                    corpse.worker_id,
+                    {
+                        "worker": corpse.worker_id,
+                        "process_id": replacement.pid,
+                        "respawns": supervisor.respawns,
+                        "backoff_s": supervisor.last_backoff_s(
+                            corpse.worker_id
+                        ),
+                    },
+                )
+            )
+        # The replacement missed every DMRS-bank broadcast this pool has
+        # made; re-seed it so its cache matches its siblings'. A send
+        # failure routes through the death handler like any other.
+        for name, index in self._bank_shipments:
+            if not self._send(replacement, ("banks", name, index)):
+                return
 
     def _requeue_or_abort_task(
         self, worker: _WorkerHandle, task: dict, reason: str
@@ -1235,6 +1406,7 @@ class MultiprocessRuntime:
             cursor += _aligned(bank.nbytes)
         self._bank_shms.append(shm)
         self._shipped_banks |= keys
+        self._bank_shipments.append((shm.name, index))
         self._broadcast(("banks", shm.name, index))
 
     def _broadcast(self, message: tuple) -> None:

@@ -12,7 +12,13 @@ instead of deadline collapse? See ``docs/serving.md``.
   admission, bounded queue, and an execution backend;
 * :mod:`repro.serve.loop` — the asyncio ingest loop, backpressure, and
   ledger-first accounting;
-* :mod:`repro.serve.report` — the ``repro-serve/1`` report schema.
+* :mod:`repro.serve.report` — the ``repro-serve/1`` report schema;
+* :mod:`repro.serve.overload` — SLO-driven adaptive admission (AIMD
+  with hysteresis, ``--adaptive``);
+* :mod:`repro.serve.supervisor` — bounded worker-respawn policy for the
+  multiprocess backend (``--respawn``, see ``docs/robustness.md``);
+* :mod:`repro.serve.checkpoint` — crash-safe ``repro-ckpt/1`` snapshots
+  and ``--resume`` validation.
 """
 
 from .arrivals import (
@@ -24,6 +30,12 @@ from .arrivals import (
     make_arrivals,
 )
 from .cell import CELL_STRIDE, CellShard, offset_plan
+from .checkpoint import (
+    CKPT_SCHEMA,
+    load_checkpoint,
+    validate_checkpoint,
+    write_checkpoint,
+)
 from .loop import (
     SERVE_BACKENDS,
     ServeConfig,
@@ -31,23 +43,34 @@ from .loop import (
     serve,
     serve_async,
 )
+from .overload import AimdConfig, AimdController, OverloadController
 from .report import SERVE_SCHEMA, validate_serve_report
+from .supervisor import RespawnPolicy, WorkerSupervisor
 
 __all__ = [
+    "AimdConfig",
+    "AimdController",
     "ARRIVAL_KINDS",
     "CELL_STRIDE",
+    "CKPT_SCHEMA",
     "CellShard",
     "ConstantRateArrivals",
     "DiurnalArrivals",
     "MmtcBurstArrivals",
+    "OverloadController",
     "PoissonArrivals",
+    "RespawnPolicy",
     "SERVE_BACKENDS",
     "SERVE_SCHEMA",
     "ServeConfig",
     "ServeResult",
+    "WorkerSupervisor",
+    "load_checkpoint",
     "make_arrivals",
     "offset_plan",
     "serve",
     "serve_async",
+    "validate_checkpoint",
     "validate_serve_report",
+    "write_checkpoint",
 ]

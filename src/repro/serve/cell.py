@@ -85,6 +85,7 @@ class CellShard:
         resilience: ResilienceConfig | None = None,
         observers: list | None = None,
         processor: Callable[[SubframeInput], SubframeResult] | None = None,
+        respawn: Any = None,
     ) -> None:
         if cell_id < 0:
             raise ValueError("cell_id must be >= 0")
@@ -105,7 +106,7 @@ class CellShard:
         self.runtime: Any = None
         if backend not in _INLINE_BACKENDS:
             self.runtime = self._make_runtime(
-                backend, faults, resilience, observers
+                backend, faults, resilience, observers, respawn
             )
         # --- loop-owned state (single consumer, no lock needed) ---------
         self.inflight = 0
@@ -124,6 +125,15 @@ class CellShard:
         self.users_of: dict[int, int] = {}
         #: Ids dispatched-as-shed that never occupied the queue.
         self._unqueued: set[int] = set()
+        #: Per-gid user accounting staged at dispatch and folded into the
+        #: cell counters only at the terminal: (offered, shed, bp, tick).
+        #: This makes every user counter cover exactly the *resolved*
+        #: subframes — the consistent cut a crash-safe checkpoint needs.
+        self._meta: dict[int, tuple[int, int, int, int]] = {}
+        #: Terminal state per resolved local tick (this segment plus any
+        #: restored checkpoint baseline): the checkpoint state map and the
+        #: resume skip set.
+        self.resolved_ticks: dict[int, str] = {}
 
     def _make_runtime(
         self,
@@ -131,16 +141,18 @@ class CellShard:
         faults: FaultPlan | None,
         resilience: ResilienceConfig | None,
         observers: list | None,
+        respawn: Any = None,
     ) -> Any:
         plan = None
         if faults is not None:
+            kinds = {FaultKind.WORKER_DEATH, FaultKind.TASK_EXCEPTION}
+            if respawn is not None:
+                # Repeated-kill kinds only make sense when the pool heals.
+                from ..faults.plan import RESPAWN_KINDS
+
+                kinds |= RESPAWN_KINDS
             plan = offset_plan(
-                faults.of_kinds(
-                    frozenset(
-                        {FaultKind.WORKER_DEATH, FaultKind.TASK_EXCEPTION}
-                    )
-                ),
-                self.global_id(0),
+                faults.of_kinds(frozenset(kinds)), self.global_id(0)
             )
         if backend == "threaded":
             from ..sched.threaded import ThreadedRuntime
@@ -163,6 +175,7 @@ class CellShard:
                 faults=plan,
                 resilience=resilience,
                 ledger=self.ledger,
+                respawn=respawn,
             )
         raise ValueError(f"unknown serve backend {backend!r}")
 
@@ -210,15 +223,29 @@ class CellShard:
 
     # ------------------------------------------------------------- tracking
     def note_dispatch(
-        self, tick: int, gid: int, users: int, queued: bool = True
+        self,
+        tick: int,
+        gid: int,
+        users: int,
+        queued: bool = True,
+        offered: int = 0,
+        shed: int = 0,
+        backpressure: int = 0,
     ) -> None:
         """Track one ledger dispatch; ``queued=False`` for subframes shed
-        before execution, which never occupy the in-flight queue."""
+        before execution, which never occupy the in-flight queue.
+
+        ``offered``/``shed``/``backpressure`` are this tick's user-level
+        facts, staged here and folded into the cell counters when the
+        subframe resolves (:meth:`note_terminal`) so the counters always
+        describe exactly the resolved subframes.
+        """
         if self.last_tick is not None and tick <= self.last_tick:
             self.monotone = False
         self.last_tick = tick
         self.dispatched += 1
         self.users_of[gid] = users
+        self._meta[gid] = (offered, shed, backpressure, tick)
         if queued:
             self.inflight += 1
             if self.inflight > self.max_depth:
@@ -234,10 +261,68 @@ class CellShard:
         else:
             self.inflight = max(0, self.inflight - 1)
         self.terminal_counts[state] = self.terminal_counts.get(state, 0) + 1
+        offered, shed, backpressure, tick = self._meta.pop(
+            gid, (0, 0, 0, gid - self.cell_id * CELL_STRIDE)
+        )
+        self.offered_users += offered
+        self.admitted_users += users
+        self.shed_users += shed
+        self.backpressure_hits += backpressure
+        self.resolved_ticks[tick] = state
         if state in ("ok", "crc_failed"):
             self.served_users += users
             self.crc_ok_users += crc_ok
         return users
+
+    @property
+    def resolved(self) -> int:
+        """Subframes that reached a terminal state (<= ``dispatched``)."""
+        return sum(self.terminal_counts.values())
+
+    # ----------------------------------------------------------- checkpoint
+    def checkpoint_record(self) -> dict:
+        """Consistent per-cell snapshot covering only resolved subframes.
+
+        ``dispatched`` is deliberately the *resolved* count, not the live
+        one: in-flight subframes at snapshot time have no terminal state
+        yet, and a resumed run will re-dispatch their ticks.
+        """
+        return {
+            "cell": self.cell_id,
+            "states": {str(t): s for t, s in self.resolved_ticks.items()},
+            "counters": {
+                "dispatched": self.resolved,
+                "offered_users": self.offered_users,
+                "admitted_users": self.admitted_users,
+                "shed_users": self.shed_users,
+                "served_users": self.served_users,
+                "crc_ok_users": self.crc_ok_users,
+                "backpressure_hits": self.backpressure_hits,
+                "terminal_counts": dict(sorted(self.terminal_counts.items())),
+            },
+        }
+
+    def restore(self, record: dict) -> None:
+        """Adopt a checkpoint record as this cell's already-done baseline.
+
+        Must run before the first dispatch. ``last_tick`` stays ``None``:
+        the monotonicity witness is per-segment (the resumed segment
+        dispatches only the not-yet-resolved ticks, in order).
+        """
+        if self.dispatched:
+            raise RuntimeError("cannot restore into a cell that already ran")
+        counters = record["counters"]
+        self.resolved_ticks = {
+            int(tick): state for tick, state in record["states"].items()
+        }
+        self.dispatched = int(counters["dispatched"])
+        self.offered_users = int(counters["offered_users"])
+        self.admitted_users = int(counters["admitted_users"])
+        self.shed_users = int(counters["shed_users"])
+        self.served_users = int(counters["served_users"])
+        self.crc_ok_users = int(counters["crc_ok_users"])
+        self.backpressure_hits = int(counters["backpressure_hits"])
+        self.terminal_counts = dict(counters["terminal_counts"])
 
     def summary(self) -> dict:
         """Per-cell report row (plain data)."""

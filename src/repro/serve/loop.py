@@ -55,6 +55,7 @@ from ..faults.watchdog import (
     monotonic_ns,
     ns_from_s,
 )
+from ..ioutil import fsync_file
 from ..obs.events import Event, EventKind
 from ..obs.lockdep import tracked_lock
 from ..obs.slo import SLOEngine
@@ -62,6 +63,14 @@ from ..obs.telemetry import TelemetryCollector
 from ..uplink.serial import SubframeResult
 from .arrivals import ARRIVAL_KINDS, make_arrivals
 from .cell import CellShard
+from .checkpoint import (
+    build_checkpoint,
+    load_checkpoint,
+    validate_checkpoint,
+    write_checkpoint,
+)
+from .overload import OverloadController
+from .supervisor import RespawnPolicy
 
 __all__ = [
     "SERVE_BACKENDS",
@@ -141,6 +150,28 @@ class ServeConfig:
     #: for serial/vectorized cells — the bench harness injects a
     #: stage-timed processor here to attribute per-kernel wall clock.
     processor: Any = None
+    #: Close the SLO burn-rate loop into admission: AIMD load shedding
+    #: with hysteresis (see :mod:`repro.serve.overload`). Opt-in.
+    adaptive: bool = False
+    #: Optional :class:`~repro.serve.overload.AimdConfig` override.
+    adaptive_config: Any = None
+    #: Supervised worker respawn (multiprocess backend only): heal
+    #: worker deaths under a bounded restart budget instead of aborting
+    #: the shard (see :mod:`repro.serve.supervisor`). Opt-in.
+    respawn: bool = False
+    #: Optional :class:`~repro.serve.supervisor.RespawnPolicy` override.
+    respawn_policy: Any = None
+    #: Crash-safe checkpoint path (``repro-ckpt/1``, atomic writes).
+    checkpoint_path: str | None = None
+    #: Seconds between periodic checkpoint snapshots.
+    checkpoint_every_s: float = 1.0
+    #: Resume from a prior run's checkpoint (validated against this
+    #: config's signature before any state is adopted).
+    resume_path: str | None = None
+    #: Wall-clock guard: producers stop after this many seconds and the
+    #: run drains; the CLI maps a tripped guard to exit code 124
+    #: (``timeout(1)``'s convention).
+    max_wall_s: float | None = None
 
     def validate(self) -> None:
         if self.cells < 1:
@@ -161,6 +192,12 @@ class ServeConfig:
             raise ValueError("queue_depth must be >= 1")
         if self.max_users < 1:
             raise ValueError("max_users must be >= 1")
+        if self.respawn and self.backend != "multiprocess":
+            raise ValueError("respawn requires the multiprocess backend")
+        if self.checkpoint_every_s <= 0:
+            raise ValueError("checkpoint_every_s must be positive")
+        if self.max_wall_s is not None and self.max_wall_s <= 0:
+            raise ValueError("max_wall_s must be positive")
 
 
 @dataclass
@@ -194,6 +231,11 @@ class _JsonlTraceSink:
 
     def close(self) -> None:
         with self._lock:
+            # Final flush is crash-safe: force the tail of the trace to
+            # stable storage before close so a kill right after the run
+            # cannot truncate the last lines `repro top --from` reads.
+            if not self._fh.closed:
+                fsync_file(self._fh)
             self._fh.close()
 
 
@@ -258,6 +300,13 @@ class _Server:
         )
         self.engine = SLOEngine(TelemetryCollector(), sink=self.trace_sink)
         self.telemetry = self.engine.telemetry
+        self.overload: OverloadController | None = (
+            OverloadController(
+                self.engine, config=config.adaptive_config, sink=self.emit
+            )
+            if config.adaptive
+            else None
+        )
         inline = config.backend in ("serial", "vectorized")
         self.telemetry.workers = (
             config.cells if inline else config.cells * config.workers
@@ -268,6 +317,9 @@ class _Server:
                 deadline_s=config.faults_deadline_s,
                 drain_timeout_s=config.drain_timeout_s,
             )
+        respawn_policy = None
+        if config.respawn:
+            respawn_policy = config.respawn_policy or RespawnPolicy()
         self.cells: list[CellShard] = []
         self.overloads: list[tuple[FaultSpec, ...]] = []
         for cell_id in range(config.cells):
@@ -290,6 +342,7 @@ class _Server:
                 resilience=resilience,
                 observers=[watcher],
                 processor=config.processor,
+                respawn=respawn_policy,
             )
             watcher.bind(cell)
             self.cells.append(cell)
@@ -304,6 +357,39 @@ class _Server:
         self._inline_tasks: set[asyncio.Task] = set()
         self._pump_stop = False
         self._start_ns = 0
+        # --- checkpoint / resume / wall-guard state ---------------------
+        self._skip: list[frozenset[int]] = [
+            frozenset() for _ in self.cells
+        ]
+        self._segments = 1
+        self._resumed_wall_s = 0.0
+        self._wall_begin = 0.0
+        self._ckpt_stop = False
+        self._ckpt_writes = 0
+        self._ckpt_telemetry_misses = 0
+        self._max_wall_hit = False
+        self._producers_done = False
+        if config.resume_path:
+            self._restore(load_checkpoint(config.resume_path))
+
+    def _restore(self, snapshot: dict) -> None:
+        """Adopt a validated ``repro-ckpt/1`` snapshot before running."""
+        problems = validate_checkpoint(snapshot, self.config)
+        if problems:
+            raise ValueError(
+                "checkpoint not resumable: " + "; ".join(problems)
+            )
+        records = sorted(
+            snapshot["cells"], key=lambda record: record.get("cell", 0)
+        )
+        for cell, record in zip(self.cells, records):
+            cell.restore(record)
+            self._skip[cell.cell_id] = frozenset(cell.resolved_ticks)
+        shard = snapshot.get("telemetry")
+        if shard:
+            self.engine.merge_shard(shard)
+        self._segments = int(snapshot.get("segments", 1)) + 1
+        self._resumed_wall_s = float(snapshot.get("wall_s", 0.0))
 
     # ------------------------------------------------------------ factories
     def _cell_arrivals(self, cell_id: int) -> Any:
@@ -325,15 +411,18 @@ class _Server:
     def _cell_plan(self, cell_id: int) -> FaultPlan:
         config = self.config
         inline = config.backend in ("serial", "vectorized")
-        kinds = (
-            (FaultKind.OVERLOAD,)
-            if inline
-            else (
+        if inline:
+            kinds: tuple[FaultKind, ...] = (FaultKind.OVERLOAD,)
+        else:
+            kinds = (
                 FaultKind.WORKER_DEATH,
                 FaultKind.TASK_EXCEPTION,
                 FaultKind.OVERLOAD,
             )
-        )
+            if config.respawn:
+                # Repeated-kill kinds exercise the supervisor's bounded
+                # respawn; without one they would just abort the shard.
+                kinds += (FaultKind.CRASH_LOOP, FaultKind.RESPAWN_STORM)
         return FaultPlan.generate(
             seed=config.seed + config.cell_seed_stride * cell_id + 1,
             num_subframes=config.subframes,
@@ -376,6 +465,10 @@ class _Server:
                 },
             )
         )
+        if self.overload is not None:
+            # Terminals are what advance the SLO measurement window, so
+            # this is the exact cadence the burn-rate alerts re-evaluate.
+            self.overload.maybe_update(t)
         self._capacity[cell.cell_id].set()
 
     def _on_runtime_terminal(
@@ -424,21 +517,52 @@ class _Server:
                 continue
 
     def _shed_whole(
-        self, cell: CellShard, tick: int, gid: int, users: int, reason: str
+        self,
+        cell: CellShard,
+        tick: int,
+        gid: int,
+        users: int,
+        reason: str,
+        backpressure: int = 0,
     ) -> None:
-        """Account one subframe refused before dispatch (ledger: shed)."""
+        """Account one subframe refused before dispatch (ledger: shed).
+
+        ``users`` is the tick's full offered count; whole-subframe sheds
+        stage ``offered == shed`` so the counters fold at the terminal.
+        """
         self.ledger.dispatch(gid, users)
         self.ledger.resolve(gid, TerminalState.SHED, reason=reason)
-        cell.note_dispatch(tick, gid, 0, queued=False)
-        cell.shed_users += users
+        cell.note_dispatch(
+            tick,
+            gid,
+            0,
+            queued=False,
+            offered=users,
+            shed=users,
+            backpressure=backpressure,
+        )
         self._finish(cell, gid, TerminalState.SHED.value, monotonic_ns())
 
     async def _run_cell(self, cell: CellShard) -> None:
         config = self.config
         delta_ns = ns_from_s(config.delta_s)
         loop = self.loop
+        skip = self._skip[cell.cell_id]
+        max_wall_ns = (
+            ns_from_s(config.max_wall_s)
+            if config.max_wall_s is not None
+            else None
+        )
+        burst_count = getattr(cell.arrivals, "burst_count", None)
+        # Pacing position among the ticks this segment actually runs: a
+        # resumed segment paces its *remaining* ticks at DELTA instead of
+        # idling through the already-resolved prefix.
+        slot = 0
         for tick in range(config.subframes):
-            scheduled = self._start_ns + tick * delta_ns
+            if tick in skip:
+                continue  # resolved by a previous segment's run
+            scheduled = self._start_ns + slot * delta_ns
+            slot += 1
             now = monotonic_ns()
             if config.pace and now < scheduled:
                 await asyncio.sleep((scheduled - now) / 1e9)
@@ -447,10 +571,16 @@ class _Server:
                 # Unpaced runs still yield so terminals/pumps interleave.
                 await asyncio.sleep(0)
                 now = monotonic_ns()
+            if (
+                max_wall_ns is not None
+                and now - self._start_ns >= max_wall_ns
+            ):
+                self._max_wall_hit = True
+                break
             lag_ns = max(0, now - scheduled) if config.pace else 0
             users = cell.arrivals.users_for(tick)
             gid = cell.global_id(tick)
-            cell.offered_users += len(users)
+            offered = len(users)
             self.emit(
                 Event(
                     EventKind.ARRIVAL,
@@ -459,7 +589,7 @@ class _Server:
                     {
                         "cell": cell.cell_id,
                         "subframe": gid,
-                        "users": len(users),
+                        "users": offered,
                         "lag_ns": lag_ns,
                         "queue_depth": cell.inflight,
                     },
@@ -467,8 +597,41 @@ class _Server:
             )
             if not users:
                 continue
-            if cell.inflight >= cell.queue_depth:
-                cell.backpressure_hits += 1
+            # While the adaptive controller is degraded, mMTC surge users
+            # (the tail the burst process appends beyond the base rate)
+            # are shed first — machine devices retry, humans do not.
+            shed_surge = 0
+            if (
+                self.overload is not None
+                and self.overload.degraded
+                and burst_count is not None
+            ):
+                shed_surge = min(offered, int(burst_count(tick)))
+                if shed_surge:
+                    users = users[: offered - shed_surge]
+                    self.emit(
+                        Event(
+                            EventKind.SHED,
+                            now,
+                            -1,
+                            {
+                                "cell": cell.cell_id,
+                                "subframe": gid,
+                                "users": shed_surge,
+                                "surge": True,
+                                "load_factor": self.overload.load_factor,
+                            },
+                        )
+                    )
+                    if not users:
+                        self._shed_whole(cell, tick, gid, offered, "surge")
+                        continue
+            depth = cell.queue_depth
+            if self.overload is not None:
+                depth = self.overload.effective_queue_depth(depth)
+            backpressured = 0
+            if cell.inflight >= depth:
+                backpressured = 1
                 self.emit(
                     Event(
                         EventKind.BACKPRESSURE,
@@ -479,22 +642,32 @@ class _Server:
                             "subframe": gid,
                             "users": len(users),
                             "queue_depth": cell.inflight,
+                            "threshold": depth,
                             "policy": config.backpressure,
                         },
                     )
                 )
                 if config.backpressure == "shed":
                     self._shed_whole(
-                        cell, tick, gid, len(users), "backpressure"
+                        cell,
+                        tick,
+                        gid,
+                        offered,
+                        "backpressure",
+                        backpressure=1,
                     )
                     continue
                 await self._await_capacity(cell)
                 now = monotonic_ns()
-            decision = cell.admit(
-                users, load_factor=self._overload_factor(cell.cell_id, tick)
-            )
+            factor = self._overload_factor(cell.cell_id, tick)
+            if self.overload is not None:
+                # Injected overload and adaptive inflation compose; 1.0
+                # collapses back to None so the static path stays exact.
+                factor = (factor or 1.0) * self.overload.admission_factor()
+                if factor == 1.0:
+                    factor = None
+            decision = cell.admit(users, load_factor=factor)
             if decision.shed:
-                cell.shed_users += len(decision.shed)
                 self.emit(
                     Event(
                         EventKind.SHED,
@@ -510,15 +683,17 @@ class _Server:
                     )
                 )
             admitted = list(decision.admitted)
+            shed_users = shed_surge + len(decision.shed)
             if not admitted:
-                self.ledger.dispatch(gid, len(users))
-                self.ledger.resolve(gid, TerminalState.SHED, reason="admission")
-                cell.note_dispatch(tick, gid, 0, queued=False)
-                self._finish(
-                    cell, gid, TerminalState.SHED.value, monotonic_ns()
+                self._shed_whole(
+                    cell,
+                    tick,
+                    gid,
+                    offered,
+                    "admission",
+                    backpressure=backpressured,
                 )
                 continue
-            cell.admitted_users += len(admitted)
             subframe = cell.make_subframe(tick, admitted)
             self.emit(
                 Event(
@@ -532,7 +707,14 @@ class _Server:
                     },
                 )
             )
-            cell.note_dispatch(tick, gid, len(admitted))
+            cell.note_dispatch(
+                tick,
+                gid,
+                len(admitted),
+                offered=offered,
+                shed=shed_users,
+                backpressure=backpressured,
+            )
             if cell.inline:
                 self.ledger.dispatch(gid, len(admitted))
                 fut = loop.run_in_executor(
@@ -599,6 +781,63 @@ class _Server:
                         f"cell {cell.cell_id} pump: {exc!r}"
                     )
             await asyncio.sleep(0.002)
+
+    # ----------------------------------------------------------- checkpoint
+    async def _checkpoint_loop(self) -> None:
+        """Periodic crash-safe snapshots while producers run."""
+        every = self.config.checkpoint_every_s
+        while not self._ckpt_stop:
+            await asyncio.sleep(every)
+            if self._ckpt_stop:
+                break
+            self._write_checkpoint(completed=False)
+
+    def _telemetry_shard(self) -> dict | None:
+        """Mergeable telemetry cut for the checkpoint (best effort).
+
+        Runtime observer threads mutate these dicts concurrently with the
+        loop; the ledger-backed per-cell state maps are the *exact* part
+        of a snapshot, so a rare mid-mutation pass here is retried once
+        and then dropped rather than adding a lock to the hot path.
+        """
+        for _ in range(2):
+            try:
+                return {
+                    "sketches": {
+                        name: sketch.to_dict()
+                        for name, sketch in self.telemetry.sketches.items()
+                    },
+                    "counters": dict(self.telemetry.counters),
+                }
+            except RuntimeError:
+                # Dict mutated during iteration: an observer thread
+                # raced the cut. Counted (report `checkpoint` section)
+                # so a snapshot that persistently lacks telemetry is
+                # visible, then retried once.
+                self._ckpt_telemetry_misses += 1
+                continue
+        return None
+
+    def _write_checkpoint(self, completed: bool) -> None:
+        path = self.config.checkpoint_path
+        if not path:
+            return
+        wall = self._resumed_wall_s + max(
+            0.0, time.perf_counter() - self._wall_begin
+        )
+        snapshot = build_checkpoint(
+            self.config,
+            self.cells,
+            self._telemetry_shard(),
+            wall,
+            self._segments,
+            completed,
+        )
+        try:
+            write_checkpoint(path, snapshot)
+            self._ckpt_writes += 1
+        except OSError as exc:
+            self.errors.append(f"checkpoint write: {exc!r}")
 
     # ---------------------------------------------------------------- drain
     async def _drain(self) -> None:
@@ -670,15 +909,20 @@ class _Server:
             for c in self.cells
         ]
         wall_begin = time.perf_counter()
+        self._wall_begin = wall_begin
         pump_task = None
+        ckpt_task = None
         try:
             for cell in self.cells:
                 cell.start()
             pump_task = self.loop.create_task(self._pump_runtimes())
+            if config.checkpoint_path:
+                ckpt_task = self.loop.create_task(self._checkpoint_loop())
             self._start_ns = monotonic_ns()
             await asyncio.gather(
                 *(self._run_cell(cell) for cell in self.cells)
             )
+            self._producers_done = True
             if self._inline_tasks:
                 await asyncio.gather(*tuple(self._inline_tasks))
             self._pump_stop = True
@@ -688,8 +932,14 @@ class _Server:
             self._collect_runtime_results()
         finally:
             self._pump_stop = True
+            self._ckpt_stop = True
             if pump_task is not None:
                 pump_task.cancel()
+            if ckpt_task is not None:
+                ckpt_task.cancel()
+            # Final snapshot after every terminal has been reconciled —
+            # a graceful max-wall stop leaves a resumable checkpoint.
+            self._write_checkpoint(completed=self._completed)
             for cell in self.cells:
                 try:
                     cell.stop()
@@ -712,10 +962,22 @@ class _Server:
         )
 
     # --------------------------------------------------------------- report
+    @property
+    def _completed(self) -> bool:
+        """Every tick this run was asked to serve reached a terminal."""
+        return self._producers_done and not self._max_wall_hit
+
     def _report(self, wall_s: float) -> dict:
         config = self.config
-        counts = self.ledger.counts()
-        dispatched = self.ledger.dispatched
+        # Terminal counts aggregate across *all* segments (the restored
+        # checkpoint baseline plus this run); the ledger itself is
+        # segment-local, so ``ledger_ok`` certifies exactly this run.
+        counts = {"ok": 0, "crc_failed": 0, "shed": 0, "aborted": 0}
+        for c in self.cells:
+            for state, n in c.terminal_counts.items():
+                counts[state] = counts.get(state, 0) + n
+        dispatched = sum(c.dispatched for c in self.cells)
+        wall_s = max(1e-9, self._resumed_wall_s + wall_s)
         offered = sum(c.offered_users for c in self.cells)
         admitted = sum(c.admitted_users for c in self.cells)
         shed = sum(c.shed_users for c in self.cells)
@@ -726,7 +988,7 @@ class _Server:
         shedding_engaged = bool(
             shed or backpressure or counts.get(TerminalState.SHED.value, 0)
         )
-        return {
+        report = {
             "schema": "repro-serve/1",
             "seed": config.seed,
             "cells": config.cells,
@@ -758,8 +1020,58 @@ class _Server:
                 "shedding_engaged": shedding_engaged,
                 "faults_seen": snapshot["counters"].get("faults", 0),
             },
+            "adaptive": (
+                self.overload.summary()
+                if self.overload is not None
+                else {"enabled": False}
+            ),
+            "supervisor": self._supervisor_summary(),
+            "checkpoint": {
+                "enabled": bool(
+                    config.checkpoint_path or config.resume_path
+                ),
+                "path": config.checkpoint_path,
+                "resumed_from": config.resume_path,
+                "segments": self._segments,
+                "writes": self._ckpt_writes,
+                "telemetry_misses": self._ckpt_telemetry_misses,
+                "completed": self._completed,
+            },
+            "max_wall": {
+                "limit_s": config.max_wall_s,
+                "hit": self._max_wall_hit,
+            },
             "slo": self.engine.slo_report(),
             "errors": list(self.errors),
+        }
+        if config.checkpoint_path or config.resume_path:
+            # The per-subframe terminal-state map is the differential
+            # witness: a kill-midway-and-resume run must reproduce the
+            # uninterrupted run's map exactly at the same seed.
+            report["terminal_states"] = {
+                str(cell.global_id(tick)): state
+                for cell in self.cells
+                for tick, state in sorted(cell.resolved_ticks.items())
+            }
+        return report
+
+    def _supervisor_summary(self) -> dict:
+        supervisors = [
+            supervisor
+            for supervisor in (
+                getattr(cell.runtime, "supervisor", None)
+                for cell in self.cells
+            )
+            if supervisor is not None
+        ]
+        if not supervisors:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "deaths": sum(s.deaths for s in supervisors),
+            "respawns": sum(s.respawns for s in supervisors),
+            "fail_stop": any(s.fail_stop for s in supervisors),
+            "per_cell": [s.summary() for s in supervisors],
         }
 
 

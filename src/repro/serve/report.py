@@ -44,6 +44,10 @@ SERVE_SCHEMA: dict[str, tuple[type, ...]] = {
     "queue_depth_series": (list,),
     "per_cell": (list,),
     "faults": (dict,),
+    "adaptive": (dict,),
+    "supervisor": (dict,),
+    "checkpoint": (dict,),
+    "max_wall": (dict,),
     "slo": (dict,),
     "errors": (list,),
 }
@@ -120,4 +124,20 @@ def validate_serve_report(report: Any) -> list[str]:
     for field in ("enabled", "shedding_engaged"):
         if field not in faults:
             problems.append(f"faults missing {field!r}")
+    for section in ("adaptive", "supervisor", "checkpoint"):
+        if "enabled" not in report[section]:
+            problems.append(f"{section} missing 'enabled'")
+    if "hit" not in report["max_wall"]:
+        problems.append("max_wall missing 'hit'")
+    states = report.get("terminal_states")
+    if states is not None:
+        if not isinstance(states, dict):
+            problems.append("terminal_states is not a dict")
+        elif report["checkpoint"].get("completed") and len(states) > report[
+            "dispatched"
+        ]:
+            problems.append(
+                f"terminal_states has {len(states)} entries but only "
+                f"{report['dispatched']} subframes dispatched"
+            )
     return problems

@@ -6,6 +6,7 @@ import pytest
 
 from repro.faults.plan import (
     PAYLOAD_KINDS,
+    RESPAWN_KINDS,
     SIM_KINDS,
     THREAD_KINDS,
     FaultKind,
@@ -99,8 +100,13 @@ class TestQueries:
         sim = plan.of_kinds(SIM_KINDS)
         threaded = plan.of_kinds(THREAD_KINDS)
         payload = plan.of_kinds(PAYLOAD_KINDS)
-        assert len(sim) + len(threaded) + len(payload) == len(plan)
+        respawn = plan.of_kinds(RESPAWN_KINDS)
+        assert len(sim) + len(threaded) + len(payload) + len(respawn) == len(
+            plan
+        )
         assert all(s.kind in SIM_KINDS for s in sim.specs)
 
     def test_kind_sets_cover_all_kinds(self):
-        assert SIM_KINDS | THREAD_KINDS | PAYLOAD_KINDS == frozenset(FaultKind)
+        assert SIM_KINDS | THREAD_KINDS | PAYLOAD_KINDS | RESPAWN_KINDS == frozenset(
+            FaultKind
+        )

@@ -1,0 +1,155 @@
+"""Crash-safe checkpoint/resume (ISSUE 10 tentpole, part 3).
+
+The acceptance criterion is *differential*: kill a run midway, resume
+from its last ``repro-ckpt/1`` snapshot, and the per-subframe
+terminal-state map must equal an uninterrupted run at the same seed.
+That only holds for configs where every decision is a pure function of
+(seed, tick): backpressure sheds depend on inflight timing relative to
+the checkpoint cut, so the canonical differential config disables
+pacing and sizes the queue so backpressure can never engage
+(``queue_depth >= subframes``). The remaining tests pin the snapshot
+format itself: atomic writes (no torn file is ever visible), the
+config-signature guard, and corrupt-snapshot rejection.
+"""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    CKPT_SCHEMA,
+    ServeConfig,
+    load_checkpoint,
+    serve,
+    validate_checkpoint,
+)
+from repro.serve.report import validate_serve_report
+
+BASE = dict(
+    cells=2,
+    subframes=120,
+    backend="serial",
+    pace=False,
+    arrival="poisson",
+    rate=2.0,
+    seed=7,
+    queue_depth=200,  # >= subframes: backpressure provably never engages
+    keep_results=False,
+)
+
+
+def _serve(**overrides):
+    return serve(ServeConfig(**{**BASE, **overrides}))
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(tmp_path_factory):
+    path = tmp_path_factory.mktemp("ckpt") / "full.json"
+    result = _serve(checkpoint_path=str(path))
+    assert result.ok, result.errors
+    return result
+
+
+class TestResumeDifferential:
+    def test_cut_and_resume_matches_uninterrupted(
+        self, tmp_path, uninterrupted
+    ):
+        full = uninterrupted.report
+        assert validate_serve_report(full) == []
+        assert full["backpressure_hits"] == 0  # precondition for equality
+        assert full["checkpoint"]["completed"]
+        full_map = full["terminal_states"]
+        assert len(full_map) == full["dispatched"]
+
+        ckpt = str(tmp_path / "cut.json")
+        cut = _serve(
+            checkpoint_path=ckpt, checkpoint_every_s=0.02, max_wall_s=0.06
+        )
+        report = cut.report
+        assert report["max_wall"]["hit"] is True
+        assert report["ledger_ok"]  # the running segment resolved cleanly
+        assert not report["checkpoint"]["completed"]
+        cut_map = report["terminal_states"]
+        assert 0 < len(cut_map) < len(full_map)
+        snapshot = load_checkpoint(ckpt)
+        assert snapshot["schema"] == CKPT_SCHEMA
+        assert snapshot["completed"] is False
+        assert validate_checkpoint(snapshot, ServeConfig(**BASE)) == []
+
+        resumed = _serve(resume_path=ckpt, checkpoint_path=ckpt)
+        assert resumed.ok, resumed.errors
+        report = resumed.report
+        assert validate_serve_report(report) == []
+        assert report["checkpoint"]["segments"] == 2
+        assert report["checkpoint"]["resumed_from"] == ckpt
+        # Exactly-once terminal accounting across the cut: the combined
+        # map is the uninterrupted map, entry for entry.
+        assert report["terminal_states"] == full_map
+        for key in (
+            "offered_users",
+            "served_users",
+            "shed_users",
+            "crc_ok_users",
+            "dispatched",
+            "terminal_counts",
+        ):
+            assert report[key] == full[key], key
+        assert load_checkpoint(ckpt)["completed"] is True
+
+    def test_resume_from_completed_run_is_a_noop_segment(
+        self, tmp_path, uninterrupted
+    ):
+        full = uninterrupted.report
+        ckpt = str(tmp_path / "done.json")
+        done = _serve(checkpoint_path=ckpt)
+        assert done.ok
+        resumed = _serve(resume_path=ckpt)
+        assert resumed.ok, resumed.errors
+        report = resumed.report
+        assert report["dispatched"] == full["dispatched"]
+        assert report["terminal_counts"] == full["terminal_counts"]
+        # Nothing left to run: the second segment dispatches zero new
+        # subframes but still reports the restored totals.
+        assert report["checkpoint"]["segments"] == 2
+
+
+class TestSnapshotGuards:
+    def test_signature_mismatch_names_the_field(self, tmp_path):
+        ckpt = str(tmp_path / "sig.json")
+        _serve(subframes=8, checkpoint_path=ckpt)
+        with pytest.raises(ValueError, match="seed"):
+            _serve(subframes=8, seed=8, resume_path=ckpt)
+
+    def test_corrupt_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"schema": "repro-ckpt/1", "cell')
+        with pytest.raises(ValueError):
+            load_checkpoint(str(path))
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"schema": "repro-serve/1"}))
+        with pytest.raises(ValueError, match="schema"):
+            load_checkpoint(str(path))
+
+    def test_checkpoint_write_is_atomic(self, tmp_path):
+        # The writer goes through tmp+rename: after any run, the
+        # directory holds only the final file — no .tmp litter that a
+        # crash-landed reader could mistake for a snapshot.
+        ckpt = tmp_path / "atomic.json"
+        _serve(
+            subframes=30,
+            checkpoint_path=str(ckpt),
+            checkpoint_every_s=0.01,
+        )
+        leftovers = [p.name for p in tmp_path.iterdir() if p != ckpt]
+        assert leftovers == []
+        assert load_checkpoint(str(ckpt))["completed"] is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"checkpoint_every_s": 0.0}, {"max_wall_s": -1.0}],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(cells=1, subframes=2, **kwargs).validate()
